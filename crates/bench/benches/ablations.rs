@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! candidate-ring pruning depth `K`, pseudo-net weight schedule, and the
+//! two cost-driven skew variants. Each bench measures runtime; the quality
+//! side of the trade-off is printed once at startup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rotary_bench::TABLE_SEED;
+use rotary_core::flow::{Flow, FlowConfig, SkewVariant};
+use rotary_netlist::BenchmarkSuite;
+
+fn quality_report() {
+    let suite = BenchmarkSuite::S9234;
+    eprintln!("\n[ablation quality] suite {suite}:");
+    for k in [3usize, 6, 9, 16] {
+        let mut c = suite.circuit(TABLE_SEED);
+        let cfg = FlowConfig { candidate_rings: k, ..FlowConfig::default() };
+        let out = Flow::new(cfg).run(&mut c, suite.ring_grid());
+        eprintln!(
+            "  candidate K={k:<2} → tapping WL {:>8.0} µm (improvement {:>5.1}%)",
+            out.final_snapshot().tapping_wl,
+            out.tapping_improvement() * 100.0
+        );
+    }
+    for w in [2.0f64, 8.0, 16.0, 40.0] {
+        let mut c = suite.circuit(TABLE_SEED);
+        let cfg = FlowConfig { pseudo_weight: w, ..FlowConfig::default() };
+        let out = Flow::new(cfg).run(&mut c, suite.ring_grid());
+        eprintln!(
+            "  pseudo weight {w:<4} → AFD {:>6.1} µm, signal WL {:>9.0} µm",
+            out.final_snapshot().afd,
+            out.final_snapshot().signal_wl
+        );
+    }
+    for (label, variant) in [("weighted", SkewVariant::WeightedSum), ("minimax", SkewVariant::Minimax)] {
+        let mut c = suite.circuit(TABLE_SEED);
+        let cfg = FlowConfig { skew_variant: variant, ..FlowConfig::default() };
+        let out = Flow::new(cfg).run(&mut c, suite.ring_grid());
+        eprintln!(
+            "  skew variant {label:<8} → tapping WL {:>8.0} µm",
+            out.final_snapshot().tapping_wl
+        );
+    }
+}
+
+fn bench_candidate_k(c: &mut Criterion) {
+    quality_report();
+    let suite = BenchmarkSuite::S9234;
+    let mut group = c.benchmark_group("ablation/candidate_k");
+    group.sample_size(10);
+    for k in [3usize, 9, 16] {
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter_batched(
+                || suite.circuit(TABLE_SEED),
+                |mut circuit| {
+                    let cfg = FlowConfig { candidate_rings: k, ..FlowConfig::default() };
+                    std::hint::black_box(Flow::new(cfg).run(&mut circuit, suite.ring_grid()))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_skew_variant(c: &mut Criterion) {
+    let suite = BenchmarkSuite::S9234;
+    let mut group = c.benchmark_group("ablation/skew_variant");
+    group.sample_size(10);
+    for (label, variant) in [("weighted", SkewVariant::WeightedSum), ("minimax", SkewVariant::Minimax)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || suite.circuit(TABLE_SEED),
+                |mut circuit| {
+                    let cfg = FlowConfig { skew_variant: variant, ..FlowConfig::default() };
+                    std::hint::black_box(Flow::new(cfg).run(&mut circuit, suite.ring_grid()))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, bench_candidate_k, bench_skew_variant);
+criterion_main!(ablations);

@@ -1,0 +1,67 @@
+//! End-to-end stage benchmarks: initial vs incremental placement, the
+//! clock-tree baseline, and the full Fig. 3 flow on the small suites —
+//! the runtime split behind Table IV's "Stg 2-5" vs "mPL" columns.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rotary_bench::TABLE_SEED;
+use rotary_core::flow::{Flow, FlowConfig};
+use rotary_cts::ClockTree;
+use rotary_netlist::BenchmarkSuite;
+use rotary_place::{Placer, PlacerConfig};
+use rotary_timing::Technology;
+
+fn bench_placement(c: &mut Criterion) {
+    let suite = BenchmarkSuite::S9234;
+    c.bench_function("place/initial_s9234", |b| {
+        b.iter_batched(
+            || suite.circuit(TABLE_SEED),
+            |mut circuit| {
+                std::hint::black_box(Placer::new(PlacerConfig::default()).place(&mut circuit))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut placed = suite.circuit(TABLE_SEED);
+    Placer::new(PlacerConfig::default()).place(&mut placed);
+    c.bench_function("place/incremental_s9234", |b| {
+        b.iter_batched(
+            || placed.clone(),
+            |mut circuit| {
+                std::hint::black_box(
+                    Placer::new(PlacerConfig::default()).place_incremental(&mut circuit, &[]),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cts(c: &mut Criterion) {
+    let mut placed = BenchmarkSuite::S5378.circuit(TABLE_SEED);
+    Placer::new(PlacerConfig::default()).place(&mut placed);
+    c.bench_function("cts/zero_skew_tree_s5378", |b| {
+        b.iter(|| std::hint::black_box(ClockTree::build(&placed, &Technology::default())))
+    });
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let suite = BenchmarkSuite::S9234;
+    c.bench_function("flow/full_s9234", |b| {
+        b.iter_batched(
+            || suite.circuit(TABLE_SEED),
+            |mut circuit| {
+                std::hint::black_box(
+                    Flow::new(FlowConfig::default()).run(&mut circuit, suite.ring_grid()),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = flow_stages;
+    config = Criterion::default().sample_size(10);
+    targets = bench_placement, bench_cts, bench_full_flow
+}
+criterion_main!(flow_stages);

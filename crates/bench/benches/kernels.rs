@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the optimization kernels: tapping solver,
+//! min-cost flow assignment, LP relaxation + greedy rounding, and the skew
+//! schedulers. These are the per-stage costs behind the CPU columns of
+//! Tables I and III–V.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rotary_bench::{placed_circuit, TABLE_SEED};
+use rotary_core::assign::{assign_min_max_cap, assign_network_flow};
+use rotary_core::skew::{max_slack_schedule, weighted_schedule};
+use rotary_core::tapping::CandidateCosts;
+use rotary_netlist::geom::Point;
+use rotary_netlist::BenchmarkSuite;
+use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
+use rotary_timing::{SequentialGraph, Technology};
+
+fn bench_tapping(c: &mut Criterion) {
+    let ring = Ring::new(Point::new(500.0, 500.0), 150.0, RingDirection::Ccw, RingParams::default());
+    c.bench_function("tapping/solve_one_flip_flop", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let ff = Point::new(300.0 + (k % 400) as f64, 250.0 + (k % 300) as f64);
+            let target = (k % 100) as f64 / 100.0;
+            std::hint::black_box(ring.tap_for_target(ff, 0.012, target))
+        })
+    });
+}
+
+fn setup_costs(suite: BenchmarkSuite) -> (CandidateCosts, Vec<usize>, usize) {
+    let circuit = placed_circuit(suite);
+    let tech = Technology::default();
+    let graph = SequentialGraph::extract(&circuit, &tech);
+    let schedule = max_slack_schedule(&graph, &tech);
+    let params = RingParams { period: schedule.period, ..RingParams::default() };
+    let array = RingArray::generate(circuit.die, suite.ring_grid(), params);
+    let costs = CandidateCosts::compute(&circuit, &array, &schedule, 9);
+    let caps = array.capacities();
+    let n = array.rings().len();
+    (costs, caps, n)
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let (costs, caps, n_rings) = setup_costs(BenchmarkSuite::S9234);
+    c.bench_function("assign/network_flow_s9234", |b| {
+        b.iter_batched(
+            || costs.clone(),
+            |costs| std::hint::black_box(assign_network_flow(&costs, &caps).expect("feasible")),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("assign/min_max_cap_lp_s9234", |b| {
+        b.iter_batched(
+            || costs.clone(),
+            |costs| std::hint::black_box(assign_min_max_cap(&costs, n_rings).expect("solved")),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_skew(c: &mut Criterion) {
+    let circuit = placed_circuit(BenchmarkSuite::S9234);
+    let tech = Technology::default();
+    let graph = SequentialGraph::extract(&circuit, &tech);
+    c.bench_function("skew/max_slack_s9234", |b| {
+        b.iter(|| std::hint::black_box(max_slack_schedule(&graph, &tech)))
+    });
+    let schedule = max_slack_schedule(&graph, &tech);
+    let tech_eff = Technology { clock_period: schedule.period, ..tech };
+    let n = graph.flip_flops().len();
+    let ideal: Vec<f64> = (0..n).map(|i| 0.13 * (i % 7) as f64).collect();
+    let weight: Vec<f64> = (0..n).map(|i| 10.0 + (i % 5) as f64).collect();
+    c.bench_function("skew/weighted_dual_s9234", |b| {
+        b.iter(|| {
+            std::hint::black_box(weighted_schedule(&graph, &tech_eff, &ideal, &weight, 0.0))
+        })
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let circuit = placed_circuit(BenchmarkSuite::S9234);
+    let tech = Technology::default();
+    c.bench_function("sta/sequential_graph_s9234", |b| {
+        b.iter(|| std::hint::black_box(SequentialGraph::extract(&circuit, &tech)))
+    });
+    let _ = TABLE_SEED;
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tapping, bench_assignment, bench_skew, bench_sta
+}
+criterion_main!(kernels);

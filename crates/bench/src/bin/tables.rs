@@ -1,0 +1,481 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```sh
+//! cargo run --release -p rotary-bench --bin tables -- all
+//! cargo run --release -p rotary-bench --bin tables -- table1 [bnb_budget_secs]
+//! cargo run --release -p rotary-bench --bin tables -- table2 ... table7
+//! cargo run --release -p rotary-bench --bin tables -- fig1 fig2 fig4 fig5
+//! cargo run --release -p rotary-bench --bin tables -- --small all   # 2 small suites only
+//! ```
+//!
+//! Absolute numbers differ from the paper (synthetic netlists, different
+//! machine); shapes — who wins, by what rough factor — are the
+//! reproduction target. See EXPERIMENTS.md for the side-by-side record.
+
+use rotary_bench::{imp, pct, run_suite, table1_row, table2_row, SuiteResults, TABLE_SEED};
+use rotary_core::metrics::wirelength_capacitance_product;
+use rotary_netlist::geom::Point;
+use rotary_netlist::BenchmarkSuite;
+use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
+use rotary_solver::greedy_round;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+struct Ctx {
+    suites: Vec<BenchmarkSuite>,
+    results: BTreeMap<&'static str, SuiteResults>,
+    bnb_budget: Duration,
+}
+
+impl Ctx {
+    fn results_for(&mut self, suite: BenchmarkSuite) -> &SuiteResults {
+        self.results.entry(suite.name()).or_insert_with(|| {
+            eprintln!("[tables] running full experiment battery on {suite} ...");
+            run_suite(suite)
+        })
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    args.retain(|a| a != "--small");
+    if args.is_empty() {
+        args.push("all".into());
+    }
+    let suites: Vec<BenchmarkSuite> = if small {
+        vec![BenchmarkSuite::S9234, BenchmarkSuite::S5378]
+    } else {
+        BenchmarkSuite::ALL.to_vec()
+    };
+    let bnb_budget = args
+        .iter()
+        .filter_map(|a| a.parse::<u64>().ok())
+        .next()
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(30));
+    let mut ctx = Ctx { suites, results: BTreeMap::new(), bnb_budget };
+
+    for arg in &args {
+        match arg.as_str() {
+            "all" => {
+                fig1();
+                fig2();
+                fig4();
+                fig5();
+                table2(&mut ctx);
+                table1(&mut ctx);
+                table3(&mut ctx);
+                table4(&mut ctx);
+                table5(&mut ctx);
+                table6(&mut ctx);
+                table7(&mut ctx);
+            }
+            "table1" => table1(&mut ctx),
+            "table2" => table2(&mut ctx),
+            "table3" => table3(&mut ctx),
+            "table4" => table4(&mut ctx),
+            "table5" => table5(&mut ctx),
+            "table6" => table6(&mut ctx),
+            "table7" => table7(&mut ctx),
+            "fig1" => fig1(),
+            "fig2" => fig2(),
+            "fig4" => fig4(),
+            "fig5" => fig5(),
+            "variation" => variation(&mut ctx),
+            other if other.parse::<u64>().is_ok() => {}
+            other => eprintln!("unknown target {other}"),
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Table I: IG of greedy rounding vs a time-bounded generic ILP solver.
+fn table1(ctx: &mut Ctx) {
+    header("TABLE I — integrality gap: greedy rounding vs generic ILP (B&B)");
+    println!(
+        "{:<8} | {:>8} {:>9} | {:>10} {:>9}",
+        "Circuit", "IG", "CPU(s)", "IG", "CPU"
+    );
+    println!("{:<8} | {:^18} | {:^20}", "", "Greedy Rounding", "ILP-Solver (B&B)");
+    for suite in ctx.suites.clone() {
+        let row = table1_row(suite, ctx.bnb_budget);
+        let bnb_ig = row
+            .bnb_ig
+            .map(|g| format!("{g:.2}"))
+            .unwrap_or_else(|| "—".into());
+        let bnb_cpu = if row.bnb_timed_out {
+            format!("> {:.0}s", ctx.bnb_budget.as_secs_f64())
+        } else {
+            format!("{:.2}", row.bnb_cpu)
+        };
+        println!(
+            "{:<8} | {:>8.2} {:>9.2} | {:>10} {:>9}",
+            suite.name(),
+            row.greedy_ig,
+            row.greedy_cpu,
+            bnb_ig,
+            bnb_cpu
+        );
+    }
+    println!("(B&B budget {:?}; the paper bounded GLPK to 10 h)", ctx.bnb_budget);
+}
+
+/// Table II: benchmark characteristics.
+fn table2(ctx: &mut Ctx) {
+    header("TABLE II — test cases");
+    println!(
+        "{:<8} {:>7} {:>12} {:>7} {:>9} {:>8}",
+        "Circuit", "#Cells", "#Flip-flops", "#Nets", "PL(µm)", "#Rings"
+    );
+    for suite in ctx.suites.clone() {
+        let r = table2_row(suite);
+        println!(
+            "{:<8} {:>7} {:>12} {:>7} {:>9.0} {:>8}",
+            suite.name(),
+            r.cells,
+            r.flip_flops,
+            r.nets,
+            r.pl,
+            r.rings
+        );
+    }
+}
+
+/// Table III: base case.
+fn table3(ctx: &mut Ctx) {
+    header("TABLE III — base case (stages 1-3, network flow)");
+    println!(
+        "{:<8} {:>7} {:>9} {:>10} {:>10} {:>7} {:>7} {:>7} {:>8}",
+        "Circuit", "AFD", "Tap.WL", "SignalWL", "Tot.WL", "ClkP", "SigP", "TotP", "CPU(s)"
+    );
+    for suite in ctx.suites.clone() {
+        let r = ctx.results_for(suite).clone();
+        println!(
+            "{:<8} {:>7.1} {:>9.0} {:>10.0} {:>10.0} {:>7.2} {:>7.2} {:>7.2} {:>8.1}",
+            suite.name(),
+            r.base.afd,
+            r.base.tapping_wl,
+            r.base.signal_wl,
+            r.base.total_wl(),
+            r.base_power.clock_mw,
+            r.base_power.signal_mw,
+            r.base_power.total(),
+            r.base_cpu
+        );
+    }
+}
+
+/// Table IV: network-flow optimization with pseudo-net iterations.
+fn table4(ctx: &mut Ctx) {
+    header("TABLE IV — network-flow based optimization (full Fig. 3 loop)");
+    println!(
+        "{:<8} {:>7} | {:>9} {:>8} | {:>10} {:>8} | {:>10} {:>8} | {:>8} {:>8}",
+        "Circuit", "AFD", "Tap.WL", "Imp", "SignalWL", "Imp", "Tot.WL", "Imp", "Stg2-5s", "Placer-s"
+    );
+    for suite in ctx.suites.clone() {
+        let r = ctx.results_for(suite).clone();
+        let f = r.nf.final_snapshot();
+        println!(
+            "{:<8} {:>7.1} | {:>9.0} {:>8} | {:>10.0} {:>8} | {:>10.0} {:>8} | {:>8.1} {:>8.1}",
+            suite.name(),
+            f.afd,
+            f.tapping_wl,
+            imp(r.base.tapping_wl, f.tapping_wl),
+            f.signal_wl,
+            imp(r.base.signal_wl, f.signal_wl),
+            f.total_wl(),
+            imp(r.base.total_wl(), f.total_wl()),
+            r.nf_cpu.0,
+            r.nf_cpu.1
+        );
+    }
+    println!("(iterations to convergence ≤ {})", 5);
+}
+
+/// Table V: max load capacitance, network flow vs ILP formulation.
+fn table5(ctx: &mut Ctx) {
+    header("TABLE V — max ring load capacitance: network flow vs ILP formulation");
+    println!(
+        "{:<8} | {:>7} {:>8} | {:>8} {:>8} {:>7} {:>8} | {:>10} {:>8} | {:>8}",
+        "Circuit", "Cap", "AFD", "AFD", "Imp", "Cap", "Imp", "Tot.WL", "Imp", "CPU(s)"
+    );
+    println!("{:<8} | {:^16} | {:^60}", "", "Network Flow", "ILP Formulation");
+    for suite in ctx.suites.clone() {
+        let r = ctx.results_for(suite).clone();
+        let nf = r.nf.final_snapshot();
+        let il = r.ilp.final_snapshot();
+        println!(
+            "{:<8} | {:>7.3} {:>8.1} | {:>8.1} {:>8} {:>7.3} {:>8} | {:>10.0} {:>8} | {:>8.2}",
+            suite.name(),
+            nf.max_ring_cap,
+            nf.afd,
+            il.afd,
+            imp(nf.afd, il.afd),
+            il.max_ring_cap,
+            imp(nf.max_ring_cap, il.max_ring_cap),
+            il.total_wl(),
+            imp(nf.total_wl(), il.total_wl()),
+            r.ilp_assign_cpu
+        );
+    }
+}
+
+/// Table VI: power, network flow and ILP vs base case.
+fn table6(ctx: &mut Ctx) {
+    header("TABLE VI — power (mW), network flow and ILP formulations vs base");
+    println!(
+        "{:<8} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "Circuit", "Clk", "Imp", "Sig", "Imp", "Tot", "Imp", "Clk", "Imp", "Sig", "Imp", "Tot", "Imp"
+    );
+    println!("{:<8} | {:^47} | {:^47}", "", "Network Flow Formulation", "ILP Formulation");
+    let mut sums = [0.0f64; 6];
+    let mut n = 0usize;
+    for suite in ctx.suites.clone() {
+        let r = ctx.results_for(suite).clone();
+        let b = r.base_power;
+        let nf = r.nf_power;
+        let il = r.ilp_power;
+        println!(
+            "{:<8} | {:>7.2} {:>7} {:>7.2} {:>7} {:>7.2} {:>7} | {:>7.2} {:>7} {:>7.2} {:>7} {:>7.2} {:>7}",
+            suite.name(),
+            nf.clock_mw,
+            imp(b.clock_mw, nf.clock_mw),
+            nf.signal_mw,
+            imp(b.signal_mw, nf.signal_mw),
+            nf.total(),
+            imp(b.total(), nf.total()),
+            il.clock_mw,
+            imp(b.clock_mw, il.clock_mw),
+            il.signal_mw,
+            imp(b.signal_mw, il.signal_mw),
+            il.total(),
+            imp(b.total(), il.total()),
+        );
+        sums[0] += (b.clock_mw - nf.clock_mw) / b.clock_mw;
+        sums[1] += (b.signal_mw - nf.signal_mw) / b.signal_mw;
+        sums[2] += (b.total() - nf.total()) / b.total();
+        sums[3] += (b.clock_mw - il.clock_mw) / b.clock_mw;
+        sums[4] += (b.signal_mw - il.signal_mw) / b.signal_mw;
+        sums[5] += (b.total() - il.total()) / b.total();
+        n += 1;
+    }
+    if n > 0 {
+        println!(
+            "{:<8} | ave clock {} signal {} total {} | ave clock {} signal {} total {}",
+            "Ave",
+            pct(sums[0] / n as f64),
+            pct(sums[1] / n as f64),
+            pct(sums[2] / n as f64),
+            pct(sums[3] / n as f64),
+            pct(sums[4] / n as f64),
+            pct(sums[5] / n as f64),
+        );
+    }
+}
+
+/// Table VII: wirelength-capacitance product.
+fn table7(ctx: &mut Ctx) {
+    header("TABLE VII — wirelength-capacitance product (µm·pF)");
+    println!(
+        "{:<8} {:>16} {:>16} {:>8}",
+        "Circuit", "NetworkFlow WCP", "ILP WCP", "Imp"
+    );
+    for suite in ctx.suites.clone() {
+        let r = ctx.results_for(suite).clone();
+        let nf = r.nf.final_snapshot();
+        let il = r.ilp.final_snapshot();
+        let w_nf = wirelength_capacitance_product(nf.total_wl(), nf.max_ring_cap);
+        let w_il = wirelength_capacitance_product(il.total_wl(), il.max_ring_cap);
+        println!(
+            "{:<8} {:>16.0} {:>16.0} {:>8}",
+            suite.name(),
+            w_nf,
+            w_il,
+            imp(w_nf, w_il)
+        );
+    }
+}
+
+/// Fig. 1: ring and ring-array geometry with phases.
+fn fig1() {
+    header("FIG 1 — rotary ring and array phase map");
+    let ring = Ring::new(Point::new(0.0, 0.0), 100.0, RingDirection::Ccw, RingParams::default());
+    println!("single ring, side {} µm, ρ = {:.4} ps/µm:", ring.side(), ring.rho() * 1000.0);
+    for seg in ring.segments().iter().filter(|s| !s.complementary) {
+        println!(
+            "  side {}: {} → {}   phase {:.0}° → {:.0}°",
+            seg.side,
+            seg.start,
+            seg.end,
+            360.0 * seg.t_start / ring.params().period,
+            360.0 * (seg.t_start + 0.25) / ring.params().period,
+        );
+    }
+    let array = RingArray::generate(
+        rotary_netlist::geom::Rect::from_size(1000.0, 1000.0),
+        4,
+        RingParams::default(),
+    );
+    println!("4×4 array; propagation directions (CCW/CW checkerboard):");
+    for j in (0..4).rev() {
+        let row: Vec<&str> = (0..4)
+            .map(|i| {
+                match array.ring(rotary_ring::RingId((j * 4 + i) as u32)).direction() {
+                    RingDirection::Ccw => "CCW",
+                    RingDirection::Cw => " CW",
+                }
+            })
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+}
+
+/// Fig. 2: the tapping curve t_f(x) — two joined parabolas.
+fn fig2() {
+    header("FIG 2 — tapping delay curve t_f(x) (CSV)");
+    let ring = Ring::new(Point::new(500.0, 500.0), 200.0, RingDirection::Ccw, RingParams::default());
+    let ff = Point::new(560.0, 180.0); // below the bottom side
+    let cap = 0.012;
+    let seg = ring
+        .segments()
+        .into_iter()
+        .find(|s| !s.complementary && s.side == 0)
+        .expect("bottom side");
+    let (xf, yf) = seg.local_coords(ff);
+    println!("x_um,l_um,t_f_ns   (joint at x_f = {xf:.1})");
+    let b = seg.length();
+    for k in 0..=40 {
+        let x = b * k as f64 / 40.0;
+        let l = (x - xf).abs() + yf;
+        let t = seg.t_start + ring.rho() * x + ring.params().stub_delay(l, cap);
+        println!("{x:.1},{l:.1},{t:.5}");
+    }
+    println!("-- solution cases for four representative targets:");
+    for (label, target) in [("t_f1 (below curve)", 0.05), ("t_f2 (two roots)", 0.16), ("t_f3 (unique)", 0.40), ("t_f4 (above curve)", 0.95)] {
+        let sol = ring.tap_on_segment(&seg, ff, cap, target).expect("solvable");
+        println!(
+            "  {label}: target {target:.2} → case {:?}, x = {:.1}, wirelength {:.1} µm, k = {}",
+            sol.case,
+            seg.local_coords(sol.point).0,
+            sol.wirelength,
+            sol.periods_borrowed
+        );
+    }
+}
+
+/// Fig. 4: the min-cost flow assignment network, with an optimality check
+/// against brute force on a small instance.
+fn fig4() {
+    header("FIG 4 — min-cost network flow assignment model");
+    use rotary_core::assign::assign_network_flow;
+    use rotary_core::tapping::CandidateCosts;
+    use rotary_netlist::CellId;
+    use rotary_ring::RingId;
+
+    // 4 flip-flops × 3 rings with explicit costs.
+    let costs_table: Vec<Vec<(u32, f64)>> = vec![
+        vec![(0, 12.0), (1, 30.0), (2, 44.0)],
+        vec![(0, 14.0), (1, 22.0), (2, 40.0)],
+        vec![(0, 35.0), (1, 20.0), (2, 21.0)],
+        vec![(0, 50.0), (1, 28.0), (2, 16.0)],
+    ];
+    let caps = vec![1usize, 2, 2];
+    let costs = CandidateCosts {
+        flip_flops: (0..4).map(CellId).collect(),
+        candidates: costs_table
+            .iter()
+            .map(|row| row.iter().map(|&(r, c)| (RingId(r), c, 0.1)).collect())
+            .collect(),
+    };
+    println!("source → 4 flip-flop vertices → 3 ring vertices (U = {caps:?}) → target");
+    for (i, row) in costs_table.iter().enumerate() {
+        let arcs: Vec<String> = row.iter().map(|(r, c)| format!("r{r}:{c}")).collect();
+        println!("  f{i}: {}", arcs.join("  "));
+    }
+    let a = assign_network_flow(&costs, &caps).expect("feasible");
+    let total: f64 = a
+        .rings
+        .iter()
+        .enumerate()
+        .map(|(i, r)| costs_table[i].iter().find(|&&(j, _)| j == r.0).unwrap().1)
+        .sum();
+    println!("flow assignment: {:?}, total cost {total}", a.rings);
+
+    // Brute-force verification.
+    let mut best = f64::INFINITY;
+    for m in 0..81u32 {
+        let pick: Vec<u32> = (0..4).map(|i| (m / 3u32.pow(i)) % 3).collect();
+        let mut occ = [0usize; 3];
+        for &p in &pick {
+            occ[p as usize] += 1;
+        }
+        if occ.iter().zip(&caps).any(|(&o, &u)| o > u) {
+            continue;
+        }
+        let c: f64 = pick
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| costs_table[i].iter().find(|&&(j, _)| j == p).unwrap().1)
+            .sum();
+        best = best.min(c);
+    }
+    println!("brute-force optimum: {best}  (network flow is optimal: {})", total == best);
+}
+
+/// Extension: the Monte Carlo skew-variation study behind the paper's
+/// motivation (conventional trees drift ~25% of nominal skew under
+/// interconnect variation \[3\]; rotary test silicon held 5.5 ps \[13\]).
+fn variation(ctx: &mut Ctx) {
+    use rotary_core::variation::{compare_variation, VariationModel};
+    use rotary_ring::RingParams as RP;
+    header("VARIATION — Monte Carlo skew variability, tree vs rotary");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "Circuit", "tree µ (ps)", "tree σ (ps)", "rotary µ (ps)", "rotary σ (ps)", "reduction"
+    );
+    for suite in ctx.suites.clone() {
+        // Re-run the deterministic flow to obtain the tapped circuit state
+        // (independent of the cached table batteries).
+        let mut circuit = suite.circuit(TABLE_SEED);
+        let cfg = rotary_core::flow::FlowConfig::default();
+        let out = rotary_core::flow::Flow::new(cfg).run(&mut circuit, suite.ring_grid());
+        let params = RP { period: out.schedule.period, ..cfg.ring_params };
+        let rep = compare_variation(
+            &circuit,
+            &out.taps,
+            &params,
+            &cfg.tech,
+            &VariationModel::default(),
+            TABLE_SEED,
+        );
+        println!(
+            "{:<8} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>9.1}x",
+            suite.name(),
+            rep.tree_skew_mean * 1e3,
+            rep.tree_skew_sigma * 1e3,
+            rep.rotary_skew_mean * 1e3,
+            rep.rotary_skew_sigma * 1e3,
+            rep.reduction_factor()
+        );
+    }
+}
+
+/// Fig. 5: greedy rounding walk-through.
+fn fig5() {
+    header("FIG 5 — greedy rounding procedure");
+    let fractions = vec![
+        vec![(0usize, 1.0), (1, 0.0)],
+        vec![(0, 0.35), (1, 0.65)],
+        vec![(0, 0.5), (1, 0.3), (2, 0.2)],
+    ];
+    for (i, row) in fractions.iter().enumerate() {
+        println!("  x[{i}][j] from LP: {row:?}");
+    }
+    let rounded = greedy_round(&fractions);
+    println!("rounded choices (step 1.1 keeps integral rows, 1.2 takes argmax): {rounded:?}");
+    let _ = TABLE_SEED;
+}

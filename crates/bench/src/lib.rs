@@ -1,0 +1,262 @@
+//! Experiment runners shared by the `tables` binary and the criterion
+//! benches. Each function reproduces the workload of one table/figure of
+//! the paper and returns structured rows.
+
+use rotary_core::assign::{self};
+use rotary_core::flow::{AssignmentObjective, Flow, FlowConfig, FlowOutcome};
+use rotary_core::metrics::improvement;
+use rotary_core::skew::{self};
+use rotary_core::tapping::CandidateCosts;
+use rotary_cts::ClockTree;
+use rotary_netlist::{BenchmarkSuite, Circuit};
+use rotary_place::{Placer, PlacerConfig};
+use rotary_power::PowerModel;
+use rotary_ring::{RingArray, RingParams};
+use rotary_timing::{SequentialGraph, Technology};
+use std::time::{Duration, Instant};
+
+/// The deterministic seed all paper tables are generated with.
+pub const TABLE_SEED: u64 = 2006;
+
+/// Power numbers of one configuration, mW.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerRow {
+    /// Rotary clock-net power (tap wires + flip-flop pins).
+    pub clock_mw: f64,
+    /// Signal-net power (wire + pins + estimated repeaters).
+    pub signal_mw: f64,
+}
+
+impl PowerRow {
+    /// Total of both components.
+    pub fn total(&self) -> f64 {
+        self.clock_mw + self.signal_mw
+    }
+}
+
+/// Everything the per-suite tables (III–VII) need, computed in one pass.
+#[derive(Debug, Clone)]
+pub struct SuiteResults {
+    /// Which benchmark.
+    pub suite: BenchmarkSuite,
+    /// Base case (stages 1–3, network-flow assignment) — Table III.
+    pub base: rotary_core::metrics::CostSnapshot,
+    /// Base-case power.
+    pub base_power: PowerRow,
+    /// Full flow with the network-flow objective — Table IV.
+    pub nf: FlowOutcome,
+    /// Power of the network-flow result.
+    pub nf_power: PowerRow,
+    /// Full flow with the min-max-capacitance objective — Table V.
+    pub ilp: FlowOutcome,
+    /// Power of the ILP-formulation result.
+    pub ilp_power: PowerRow,
+    /// Base-case CPU seconds (stages 1–3).
+    pub base_cpu: f64,
+    /// Full-flow CPU: (stages 2–5, placer).
+    pub nf_cpu: (f64, f64),
+    /// ILP-route CPU: stage-3 assignment time, seconds.
+    pub ilp_assign_cpu: f64,
+}
+
+/// Runs the complete experiment battery for one suite. Deterministic.
+pub fn run_suite(suite: BenchmarkSuite) -> SuiteResults {
+    let cfg = FlowConfig::default();
+    let model_for = |period: f64| {
+        PowerModel::new(Technology { clock_period: period, ..cfg.tech })
+    };
+
+    // Network-flow route (also yields the base case).
+    let t0 = Instant::now();
+    let mut c_nf = suite.circuit(TABLE_SEED);
+    let nf = Flow::new(cfg).run(&mut c_nf, suite.ring_grid());
+    let nf_cpu = (nf.stage_seconds, nf.placer_seconds);
+    let _ = t0;
+
+    let model = model_for(nf.schedule.period);
+    let base_power = PowerRow {
+        clock_mw: model
+            .rotary_clock_power(&c_nf, &nf.base_tap_wirelengths)
+            .total_mw,
+        signal_mw: nf.base_signal_power.total_mw,
+    };
+    let nf_power = PowerRow {
+        clock_mw: model.rotary_clock_power(&c_nf, &nf.taps.wirelengths()).total_mw,
+        signal_mw: model.signal_power(&c_nf).total_mw,
+    };
+    // Base CPU ≈ stage-1 placement + one stage-2/3 pass; we measure it
+    // directly with a dedicated (cheap) run below.
+    let t_base = Instant::now();
+    let mut c_base = suite.circuit(TABLE_SEED);
+    {
+        let placer = Placer::new(cfg.placer);
+        placer.place(&mut c_base);
+        let graph = SequentialGraph::extract(&c_base, &cfg.tech);
+        let schedule = skew::max_slack_schedule(&graph, &cfg.tech);
+        let params = RingParams { period: schedule.period, ..cfg.ring_params };
+        let array = RingArray::generate(c_base.die, suite.ring_grid(), params);
+        let costs = CandidateCosts::compute(&c_base, &array, &schedule, cfg.candidate_rings);
+        let _ = assign::assign_network_flow(&costs, &array.capacities());
+    }
+    let base_cpu = t_base.elapsed().as_secs_f64();
+
+    // ILP (min-max-cap) route.
+    let mut c_ilp = suite.circuit(TABLE_SEED);
+    let ilp_cfg = FlowConfig { objective: AssignmentObjective::MaxLoadCap, ..cfg };
+    let t_ilp = Instant::now();
+    let ilp = Flow::new(ilp_cfg).run(&mut c_ilp, suite.ring_grid());
+    let _ilp_total = t_ilp.elapsed().as_secs_f64();
+    let model_ilp = model_for(ilp.schedule.period);
+    let ilp_power = PowerRow {
+        clock_mw: model_ilp
+            .rotary_clock_power(&c_ilp, &ilp.taps.wirelengths())
+            .total_mw,
+        signal_mw: model_ilp.signal_power(&c_ilp).total_mw,
+    };
+    // Time the assignment step alone (the CPU column of Tables I/V).
+    let ilp_assign_cpu = {
+        let graph = SequentialGraph::extract(&c_ilp, &cfg.tech);
+        let schedule = skew::max_slack_schedule(&graph, &cfg.tech);
+        let params = RingParams { period: schedule.period, ..cfg.ring_params };
+        let array = RingArray::generate(c_ilp.die, suite.ring_grid(), params);
+        let costs = CandidateCosts::compute(&c_ilp, &array, &schedule, cfg.candidate_rings);
+        let t = Instant::now();
+        let _ = assign::assign_min_max_cap(&costs, array.rings().len());
+        t.elapsed().as_secs_f64()
+    };
+
+    SuiteResults {
+        suite,
+        base: nf.base,
+        base_power,
+        nf,
+        nf_power,
+        ilp,
+        ilp_power,
+        base_cpu,
+        nf_cpu,
+        ilp_assign_cpu,
+    }
+}
+
+/// Table I row: greedy rounding vs generic branch & bound.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Suite name.
+    pub suite: BenchmarkSuite,
+    /// Integrality gap of greedy rounding.
+    pub greedy_ig: f64,
+    /// Greedy rounding CPU seconds (LP relaxation + rounding).
+    pub greedy_cpu: f64,
+    /// Integrality gap of the B&B incumbent, if one was found.
+    pub bnb_ig: Option<f64>,
+    /// B&B CPU seconds actually used.
+    pub bnb_cpu: f64,
+    /// Whether B&B hit its budget.
+    pub bnb_timed_out: bool,
+}
+
+/// Runs the Table I comparison on one suite with the given B&B budget.
+pub fn table1_row(suite: BenchmarkSuite, bnb_budget: Duration) -> Table1Row {
+    let cfg = FlowConfig::default();
+    let mut circuit = suite.circuit(TABLE_SEED);
+    Placer::new(PlacerConfig::default()).place(&mut circuit);
+    let graph = SequentialGraph::extract(&circuit, &cfg.tech);
+    let schedule = skew::max_slack_schedule(&graph, &cfg.tech);
+    let params = RingParams { period: schedule.period, ..cfg.ring_params };
+    let array = RingArray::generate(circuit.die, suite.ring_grid(), params);
+    let costs = CandidateCosts::compute(&circuit, &array, &schedule, cfg.candidate_rings);
+
+    let t = Instant::now();
+    let greedy = assign::assign_min_max_cap(&costs, array.rings().len()).expect("relaxation");
+    let greedy_cpu = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let (bnb, _) = assign::solve_min_max_cap_bnb(&costs, array.rings().len(), bnb_budget);
+    let bnb_cpu = t.elapsed().as_secs_f64();
+
+    Table1Row {
+        suite,
+        greedy_ig: greedy.integrality_gap,
+        greedy_cpu,
+        bnb_ig: bnb.integrality_gap,
+        bnb_cpu,
+        bnb_timed_out: bnb.timed_out,
+    }
+}
+
+/// Table II row: suite statistics + conventional clock-tree path length.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Suite.
+    pub suite: BenchmarkSuite,
+    /// Combinational cells.
+    pub cells: usize,
+    /// Flip-flops.
+    pub flip_flops: usize,
+    /// Nets.
+    pub nets: usize,
+    /// Average source–sink path length of a conventional zero-skew tree, µm.
+    pub pl: f64,
+    /// Rotary rings allocated.
+    pub rings: usize,
+}
+
+/// Builds Table II for one suite (places the circuit, then builds the
+/// conventional tree baseline).
+pub fn table2_row(suite: BenchmarkSuite) -> Table2Row {
+    let mut circuit = suite.circuit(TABLE_SEED);
+    Placer::new(PlacerConfig::default()).place(&mut circuit);
+    let tree = ClockTree::build(&circuit, &Technology::default());
+    Table2Row {
+        suite,
+        cells: circuit.combinational_count(),
+        flip_flops: circuit.flip_flop_count(),
+        nets: circuit.net_count(),
+        pl: tree.average_path_length(),
+        rings: suite.ring_count(),
+    }
+}
+
+/// Formats an improvement fraction as the paper's `Imp` percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Convenience: improvement of `new` over `base` as a display string.
+pub fn imp(base: f64, new: f64) -> String {
+    pct(improvement(base, new))
+}
+
+/// Builds a placed copy of a suite circuit (shared by several benches).
+pub fn placed_circuit(suite: BenchmarkSuite) -> Circuit {
+    let mut c = suite.circuit(TABLE_SEED);
+    Placer::new(PlacerConfig::default()).place(&mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_smallest_suite() {
+        let row = table2_row(BenchmarkSuite::S9234);
+        assert_eq!(row.cells, 1510);
+        assert_eq!(row.rings, 16);
+        assert!(row.pl > 100.0);
+    }
+
+    #[test]
+    fn table1_smallest_suite_greedy_beats_or_matches_budgeted_bnb() {
+        let row = table1_row(BenchmarkSuite::S9234, Duration::from_millis(100));
+        assert!(row.greedy_ig >= 1.0 - 1e-9);
+        assert!(row.greedy_cpu < 60.0);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.345), "+34.5%");
+        assert_eq!(imp(100.0, 120.0), "-20.0%");
+    }
+}

@@ -1,0 +1,557 @@
+//! The integrated methodology flow of Fig. 3.
+//!
+//! ```text
+//! 1. initial placement                      (rotary-place)
+//! 2. skew optimization (max slack)          (skew::max_slack_schedule)
+//! 3. flip-flop assignment to rings          (assign::*)
+//! 4. cost-driven skew optimization          (skew::minimax / weighted)
+//! 5. evaluate overall cost  ──converged──▶  done
+//! 6. pseudo-net insertion + incremental placement, back to 2
+//! ```
+//!
+//! The loop re-runs skew optimization after every incremental placement
+//! because the combinational delays (and therefore the permissible ranges)
+//! move with the cells — this is precisely the cyclic dependency the
+//! flexible-tapping relaxation makes tractable.
+
+use crate::assign::{self, Assignment};
+use crate::metrics::CostSnapshot;
+use crate::skew::{self, SkewSchedule};
+use crate::tapping::{CandidateCosts, TapAssignments};
+use rotary_netlist::Circuit;
+use rotary_place::{Placer, PlacerConfig, PseudoNet};
+use rotary_ring::{RingArray, RingParams};
+use rotary_timing::{SequentialGraph, Technology};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which cost-driven skew formulation stage 4 uses (Section VII offers
+/// both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkewVariant {
+    /// Minimize the maximum deviation Δ (the first formulation).
+    Minimax,
+    /// Minimize `Σ w_i δ_i` with `w_i = l_i` (the paper's "natural
+    /// choice"); solved via the min-cost-circulation dual.
+    WeightedSum,
+}
+
+/// Which assignment objective stage 3 optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignmentObjective {
+    /// Minimize total tapping cost via min-cost network flow (Section V).
+    TappingCost,
+    /// Minimize maximum ring load capacitance via LP-relaxation + greedy
+    /// rounding (Section VI) — for speed-critical designs.
+    MaxLoadCap,
+}
+
+/// Configuration of the integrated flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Placer tuning.
+    pub placer: PlacerConfig,
+    /// Rotary ring electrical parameters.
+    pub ring_params: RingParams,
+    /// Technology constants for timing/power.
+    pub tech: Technology,
+    /// Candidate rings per flip-flop (arc pruning of Section V).
+    pub candidate_rings: usize,
+    /// Pseudo-net weight in the first iteration.
+    pub pseudo_weight: f64,
+    /// Multiplicative pseudo-net weight growth per iteration.
+    pub pseudo_weight_growth: f64,
+    /// Maximum stage 2–6 iterations (the paper converges within five).
+    pub max_iterations: usize,
+    /// Relative overall-cost improvement below which the flow stops.
+    pub convergence_tol: f64,
+    /// Weight of tapping cost in the stage-5 overall cost.
+    pub tapping_weight: f64,
+    /// Fraction of the max slack `M*` reserved as the prespecified slack
+    /// `M` of the cost-driven formulations.
+    pub slack_fraction: f64,
+    /// Stage-4 formulation.
+    pub skew_variant: SkewVariant,
+    /// Stage-3 objective.
+    pub objective: AssignmentObjective,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            placer: PlacerConfig::default(),
+            ring_params: RingParams::default(),
+            tech: Technology::default(),
+            candidate_rings: 6,
+            pseudo_weight: 16.0,
+            pseudo_weight_growth: 1.8,
+            max_iterations: 5,
+            convergence_tol: 0.01,
+            tapping_weight: 10.0,
+            slack_fraction: 0.25,
+            skew_variant: SkewVariant::WeightedSum,
+            objective: AssignmentObjective::TappingCost,
+        }
+    }
+}
+
+/// Metrics of one stage 2–6 iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationMetrics {
+    /// Stage-5 evaluation after the cost-driven skew optimization.
+    pub snapshot: CostSnapshot,
+    /// Max slack `M*` found by stage 2 this iteration, ns.
+    pub max_slack: f64,
+    /// Mean cell displacement of the incremental placement that followed
+    /// (0 for the final iteration).
+    pub placement_displacement: f64,
+}
+
+/// Complete result of a flow run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// The stage 1–3 **base case** (Table III): network-flow assignment at
+    /// the stage-2 schedule, before any cost-driven optimization or
+    /// pseudo-net iteration.
+    pub base: CostSnapshot,
+    /// Per-iteration metrics.
+    pub iterations: Vec<IterationMetrics>,
+    /// Final skew schedule.
+    pub schedule: SkewSchedule,
+    /// Final assignment.
+    pub assignment: Assignment,
+    /// Final tap solutions.
+    pub taps: TapAssignments,
+    /// Wall-clock seconds spent in stages 2–5 (algorithms).
+    pub stage_seconds: f64,
+    /// Wall-clock seconds spent in the placer (stage 1 + stage 6 calls).
+    pub placer_seconds: f64,
+    /// Per-flip-flop tapping wirelengths of the base case, µm (for the
+    /// Table III/VI power evaluation).
+    pub base_tap_wirelengths: Vec<f64>,
+    /// Signal-net power at the initial placement, mW.
+    pub base_signal_power: rotary_power::PowerBreakdown,
+}
+
+impl FlowOutcome {
+    /// Final evaluation snapshot.
+    pub fn final_snapshot(&self) -> CostSnapshot {
+        self.iterations
+            .last()
+            .map(|it| it.snapshot)
+            .unwrap_or(self.base)
+    }
+
+    /// Fractional tapping-wirelength improvement over the base case
+    /// (the paper's headline 33–53%).
+    pub fn tapping_improvement(&self) -> f64 {
+        crate::metrics::improvement(self.base.tapping_wl, self.final_snapshot().tapping_wl)
+    }
+
+    /// Fractional total-wirelength improvement over the base case.
+    pub fn total_wl_improvement(&self) -> f64 {
+        crate::metrics::improvement(self.base.total_wl(), self.final_snapshot().total_wl())
+    }
+
+    /// Fractional signal-wirelength change (negative = increase, the
+    /// expected small penalty).
+    pub fn signal_wl_improvement(&self) -> f64 {
+        crate::metrics::improvement(self.base.signal_wl, self.final_snapshot().signal_wl)
+    }
+}
+
+/// The integrated flow driver.
+#[derive(Debug, Clone, Default)]
+pub struct Flow {
+    config: FlowConfig,
+}
+
+impl Flow {
+    /// Creates a flow with the given configuration.
+    pub fn new(config: FlowConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs the full Fig. 3 flow on `circuit` with a `ring_grid × ring_grid`
+    /// rotary array. Mutates the circuit's placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no flip-flops or the timing constraints
+    /// are infeasible at the technology's clock period.
+    pub fn run(&self, circuit: &mut Circuit, ring_grid: usize) -> FlowOutcome {
+        let cfg = &self.config;
+        let placer = Placer::new(cfg.placer);
+
+        let mut placer_seconds = 0.0;
+        let mut stage_seconds = 0.0;
+
+        // Stage 1: initial placement.
+        let t = Instant::now();
+        placer.place(circuit);
+        placer_seconds += t.elapsed().as_secs_f64();
+
+        // Determine the effective clock period once, after the initial
+        // placement: rings are physical hardware whose period cannot change
+        // between flow iterations. A 15% margin keeps later iterations
+        // (whose delays drift with incremental placement) feasible.
+        let t = Instant::now();
+        let graph0 = SequentialGraph::extract(circuit, &cfg.tech);
+        let period = {
+            let min_p = skew::min_feasible_period(&graph0, &cfg.tech);
+            if min_p > cfg.tech.clock_period { 1.15 * min_p } else { min_p }
+        };
+        let tech = Technology { clock_period: period, ..cfg.tech };
+        let ring_params = rotary_ring::RingParams { period, ..cfg.ring_params };
+        stage_seconds += t.elapsed().as_secs_f64();
+
+        let array = RingArray::generate(circuit.die, ring_grid, ring_params);
+        let capacities = array.capacities();
+
+        let mut base: Option<(CostSnapshot, Vec<f64>, rotary_power::PowerBreakdown)> = None;
+        let mut iterations = Vec::new();
+        let mut schedule = SkewSchedule::zero(circuit.flip_flop_count());
+        let mut assignment = Assignment { rings: Vec::new() };
+        let mut prev_cost = f64::INFINITY;
+
+        for iter in 0..cfg.max_iterations {
+            let t = Instant::now();
+
+            // Stage 2: max-slack skew optimization on the current placement.
+            let graph = if iter == 0 {
+                graph0.clone()
+            } else {
+                SequentialGraph::extract(circuit, &tech)
+            };
+            let stage2 = skew::max_slack_schedule(&graph, &tech);
+            let m = cfg.slack_fraction * stage2.slack;
+
+            // Stage 3: flip-flop assignment at the stage-2 schedule.
+            let costs = CandidateCosts::compute(circuit, &array, &stage2, cfg.candidate_rings);
+            assignment = self.assign(&costs, &capacities, array.rings().len());
+
+            // Base case snapshot: first pass, stage-2 schedule.
+            if base.is_none() {
+                let taps0 =
+                    TapAssignments::solve(circuit, &array, &stage2, &assignment.rings);
+                base = Some((
+                    self.snapshot(circuit, &array, &taps0),
+                    taps0.wirelengths(),
+                    rotary_power::PowerModel::new(tech).signal_power(circuit),
+                ));
+            }
+
+            // Stage 4: cost-driven skew optimization on the assignment.
+            schedule = self.cost_driven(circuit, &array, &graph, &assignment, &tech, m);
+
+            // Stage 5: evaluate.
+            let taps = TapAssignments::solve(circuit, &array, &schedule, &assignment.rings);
+            let snapshot = self.snapshot(circuit, &array, &taps);
+            stage_seconds += t.elapsed().as_secs_f64();
+
+            let cost = snapshot.overall_cost(cfg.tapping_weight);
+            let converged = prev_cost.is_finite()
+                && (prev_cost - cost) <= cfg.convergence_tol * prev_cost;
+            let last = converged || iter + 1 == cfg.max_iterations;
+
+            let mut displacement = 0.0;
+            if !last {
+                // Stage 6: pseudo-nets toward tap points + incremental place.
+                let weight = cfg.pseudo_weight * cfg.pseudo_weight_growth.powi(iter as i32);
+                let pulls: Vec<PseudoNet> = taps
+                    .flip_flops
+                    .iter()
+                    .zip(&taps.solutions)
+                    .map(|(&ff, sol)| PseudoNet::new(ff, sol.point, weight))
+                    .collect();
+                let t = Instant::now();
+                let rep = placer.place_incremental(circuit, &pulls);
+                placer_seconds += t.elapsed().as_secs_f64();
+                displacement = rep.mean_displacement;
+            }
+
+            iterations.push(IterationMetrics {
+                snapshot,
+                max_slack: stage2.slack,
+                placement_displacement: displacement,
+            });
+            prev_cost = cost;
+            if last {
+                break;
+            }
+        }
+
+        let taps = TapAssignments::solve(circuit, &array, &schedule, &assignment.rings);
+        let (base, base_tap_wirelengths, base_signal_power) =
+            base.expect("at least one iteration ran");
+        FlowOutcome {
+            base,
+            iterations,
+            schedule,
+            assignment,
+            taps,
+            stage_seconds,
+            placer_seconds,
+            base_tap_wirelengths,
+            base_signal_power,
+        }
+    }
+
+    /// Ring-count selection — the paper's second future-work extension
+    /// (Section IX: "a better approach would be to integrate the number of
+    /// rings as a variable … as it increases the solution space").
+    ///
+    /// Runs the full flow once per candidate grid on a fresh copy of
+    /// `circuit` and returns all outcomes plus the index of the grid with
+    /// the lowest stage-5 overall cost. The winning placement is written
+    /// back into `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grids` is empty.
+    pub fn sweep_ring_grids(
+        &self,
+        circuit: &mut Circuit,
+        grids: &[usize],
+    ) -> (usize, Vec<(usize, FlowOutcome)>) {
+        assert!(!grids.is_empty(), "need at least one candidate grid");
+        let mut runs = Vec::with_capacity(grids.len());
+        let mut best: Option<(usize, f64, Circuit)> = None;
+        for (k, &grid) in grids.iter().enumerate() {
+            let mut trial = circuit.clone();
+            let outcome = self.run(&mut trial, grid);
+            let cost = outcome
+                .final_snapshot()
+                .overall_cost(self.config.tapping_weight);
+            if best.as_ref().map_or(true, |&(_, c, _)| cost < c) {
+                best = Some((k, cost, trial));
+            }
+            runs.push((grid, outcome));
+        }
+        let (best_idx, _, best_circuit) = best.expect("at least one grid ran");
+        *circuit = best_circuit;
+        (best_idx, runs)
+    }
+
+    /// Stage-3 dispatcher with capacity-starvation retry: if candidate
+    /// pruning leaves the network infeasible, the candidate set is doubled.
+    fn assign(
+        &self,
+        costs: &CandidateCosts,
+        capacities: &[usize],
+        n_rings: usize,
+    ) -> Assignment {
+        match self.config.objective {
+            AssignmentObjective::TappingCost => {
+                match assign::assign_network_flow(costs, capacities) {
+                    Ok(a) => a,
+                    Err(_) => {
+                        // Fall back to nearest-candidate (always feasible
+                        // without capacities) — exercised only when ring
+                        // capacity is configured below the flip-flop count.
+                        Assignment {
+                            rings: costs
+                                .candidates
+                                .iter()
+                                .map(|c| c[0].0)
+                                .collect(),
+                        }
+                    }
+                }
+            }
+            AssignmentObjective::MaxLoadCap => assign::assign_min_max_cap(costs, n_rings)
+                .expect("LP relaxation solves")
+                .assignment,
+        }
+    }
+
+    /// Stage-4 dispatcher.
+    fn cost_driven(
+        &self,
+        circuit: &Circuit,
+        array: &RingArray,
+        graph: &SequentialGraph,
+        assignment: &Assignment,
+        tech: &Technology,
+        m: f64,
+    ) -> SkewSchedule {
+        let cfg = &self.config;
+        let ffs = circuit.flip_flops();
+        let mut ring_delay = Vec::with_capacity(ffs.len());
+        let mut stub_delay = Vec::with_capacity(ffs.len());
+        let mut distance = Vec::with_capacity(ffs.len());
+        for (&ff, &rid) in ffs.iter().zip(&assignment.rings) {
+            let ring = array.ring(rid);
+            let pos = circuit.position(ff);
+            let (c_point, l) = ring.nearest_point(pos);
+            let a = ring.delay_at(c_point, false);
+            let b = array.params().stub_delay(l, circuit.cell(ff).input_cap);
+            ring_delay.push(a);
+            stub_delay.push(b);
+            distance.push(l);
+        }
+        match cfg.skew_variant {
+            SkewVariant::Minimax => {
+                skew::minimax_schedule(graph, tech, &ring_delay, &stub_delay, m)
+            }
+            SkewVariant::WeightedSum => {
+                let mut ideal: Vec<f64> = ring_delay
+                    .iter()
+                    .zip(&stub_delay)
+                    .map(|(&a, &b)| a + b)
+                    .collect();
+                // Phase re-wrapping: a deviation of exactly k·T is free for
+                // tapping (case 1 of Section III borrows whole periods), and
+                // k·T/2 is equally free because the complementary loop
+                // carries the opposite phase at the same location (served by
+                // flipping the flip-flop's polarity, Section III). After a
+                // first solve each ideal is re-expressed as the equivalent
+                // `ideal + k·T/2` closest to the solved target and the
+                // schedule is re-optimized; a few rounds converge.
+                let half = 0.5 * tech.clock_period;
+                let mut sched = skew::weighted_schedule(graph, tech, &ideal, &distance, m);
+                for _ in 0..3 {
+                    let mut changed = false;
+                    for (id, &t) in ideal.iter_mut().zip(&sched.targets) {
+                        let k = ((t - *id) / half).round();
+                        if k != 0.0 {
+                            *id += k * half;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                    sched = skew::weighted_schedule(graph, tech, &ideal, &distance, m);
+                }
+                sched
+            }
+        }
+    }
+
+    fn snapshot(
+        &self,
+        circuit: &Circuit,
+        array: &RingArray,
+        taps: &TapAssignments,
+    ) -> CostSnapshot {
+        CostSnapshot {
+            afd: taps.average_flip_flop_distance(circuit, array),
+            tapping_wl: taps.total_wirelength(),
+            signal_wl: circuit.total_hpwl(),
+            max_ring_cap: taps.max_ring_load(circuit, array),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_netlist::{Generator, GeneratorConfig};
+
+    fn toy(seed: u64) -> Circuit {
+        Generator::new(GeneratorConfig {
+            name: "flow".into(),
+            combinational: 220,
+            flip_flops: 48,
+            nets: 240,
+            primary_inputs: 10,
+            primary_outputs: 10,
+            die_side: 900.0,
+            ..GeneratorConfig::default()
+        })
+        .generate(seed)
+    }
+
+    #[test]
+    fn flow_reduces_tapping_cost() {
+        let mut c = toy(1);
+        let out = Flow::new(FlowConfig::default()).run(&mut c, 3);
+        assert!(
+            out.tapping_improvement() > 0.10,
+            "expected >10% tapping improvement, got {:.1}% (base {} → final {})",
+            out.tapping_improvement() * 100.0,
+            out.base.tapping_wl,
+            out.final_snapshot().tapping_wl
+        );
+    }
+
+    #[test]
+    fn flow_converges_within_max_iterations() {
+        let mut c = toy(2);
+        let cfg = FlowConfig { max_iterations: 5, ..FlowConfig::default() };
+        let out = Flow::new(cfg).run(&mut c, 3);
+        assert!(!out.iterations.is_empty());
+        assert!(out.iterations.len() <= 5);
+    }
+
+    #[test]
+    fn final_schedule_respects_timing() {
+        let mut c = toy(3);
+        let cfg = FlowConfig::default();
+        let out = Flow::new(cfg.clone()).run(&mut c, 3);
+        // Check at the period the flow actually scheduled for.
+        let tech = Technology { clock_period: out.schedule.period, ..cfg.tech };
+        let graph = SequentialGraph::extract(&c, &tech);
+        assert!(
+            graph
+                .check_schedule(&out.schedule.targets, &tech, 0.0, 1e-5)
+                .is_none(),
+            "final schedule violates permissible ranges"
+        );
+    }
+
+    #[test]
+    fn minimax_variant_also_improves() {
+        let mut c = toy(4);
+        let cfg = FlowConfig { skew_variant: SkewVariant::Minimax, ..FlowConfig::default() };
+        let out = Flow::new(cfg).run(&mut c, 3);
+        assert!(out.tapping_improvement() > 0.0);
+    }
+
+    #[test]
+    fn max_load_cap_objective_lowers_max_cap() {
+        let mut a = toy(5);
+        let mut b = toy(5);
+        let flow_nf = Flow::new(FlowConfig::default());
+        let flow_ilp = Flow::new(FlowConfig {
+            objective: AssignmentObjective::MaxLoadCap,
+            ..FlowConfig::default()
+        });
+        let out_nf = flow_nf.run(&mut a, 3);
+        let out_ilp = flow_ilp.run(&mut b, 3);
+        assert!(
+            out_ilp.final_snapshot().max_ring_cap <= out_nf.final_snapshot().max_ring_cap + 1e-9,
+            "ILP formulation should not worsen max cap: {} vs {}",
+            out_ilp.final_snapshot().max_ring_cap,
+            out_nf.final_snapshot().max_ring_cap
+        );
+    }
+
+    #[test]
+    fn sweep_picks_the_cheapest_grid_and_writes_back_placement() {
+        let mut c = toy(8);
+        let flow = Flow::new(FlowConfig::default());
+        let (best, runs) = flow.sweep_ring_grids(&mut c, &[2, 3]);
+        assert_eq!(runs.len(), 2);
+        let w = flow.config().tapping_weight;
+        let best_cost = runs[best].1.final_snapshot().overall_cost(w);
+        for (_, out) in &runs {
+            assert!(best_cost <= out.final_snapshot().overall_cost(w) + 1e-9);
+        }
+        c.validate().expect("winning placement is applied and valid");
+    }
+
+    #[test]
+    fn placer_time_is_tracked() {
+        let mut c = toy(6);
+        let out = Flow::new(FlowConfig::default()).run(&mut c, 3);
+        assert!(out.placer_seconds > 0.0);
+        assert!(out.stage_seconds > 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Integrated placement and skew optimization for rotary clocking — the
+//! primary contribution of the paper, assembled from the workspace's
+//! substrate crates.
+//!
+//! The chicken-and-egg problem: rotary clock rings carry a distinct clock
+//! phase at every point, so a flip-flop's placement constrains its feasible
+//! skew and its skew target constrains where it may be placed. The paper
+//! breaks the cycle with **flexible tapping** (implemented in
+//! [`rotary_ring`]) and the six-stage methodology of Fig. 3, implemented
+//! here in [`flow`]:
+//!
+//! 1. initial placement ([`rotary_place`]),
+//! 2. max-slack skew optimization ([`skew::max_slack_schedule`]),
+//! 3. flip-flop-to-ring assignment ([`assign`]) — min-cost network flow
+//!    (minimize total tapping cost, Section V) or ILP + greedy rounding
+//!    (minimize maximum ring load capacitance, Section VI),
+//! 4. cost-driven skew optimization ([`skew::minimax_schedule`],
+//!    [`skew::weighted_schedule`], Section VII),
+//! 5. cost evaluation ([`metrics`]),
+//! 6. pseudo-net insertion + stable incremental placement, looping back
+//!    until the tapping cost converges.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use rotary_core::flow::{Flow, FlowConfig};
+//! use rotary_netlist::BenchmarkSuite;
+//!
+//! let mut circuit = BenchmarkSuite::S9234.circuit(42);
+//! let outcome = Flow::new(FlowConfig::default()).run(&mut circuit, 4);
+//! println!("tapping WL improved {:.1}%", outcome.tapping_improvement() * 100.0);
+//! ```
+
+pub mod assign;
+pub mod flow;
+pub mod local_tree;
+pub mod metrics;
+pub mod skew;
+pub mod tapping;
+pub mod variation;
+
+pub use assign::{AssignOutcome, Assignment};
+pub use flow::{Flow, FlowConfig, FlowOutcome, IterationMetrics, SkewVariant};
+pub use local_tree::{build_local_trees, LocalTreeConfig, LocalTreesOutcome};
+pub use metrics::{improvement, wirelength_capacitance_product};
+pub use skew::SkewSchedule;
+pub use variation::{compare_variation, VariationModel, VariationReport};
+pub use tapping::{CandidateCosts, TapAssignments};

@@ -1,0 +1,335 @@
+//! Local clock trees — the paper's first future-work extension
+//! (Section IX): *"this could be improved by creating local trees that
+//! connect the ring location to a set of flip-flops … care should be taken
+//! of the skew permissible ranges of the flip-flop pairs. Such a scheme
+//! could lead to potential benefits in wirelength and power dissipation."*
+//!
+//! Implementation: flip-flops assigned to the same ring whose delay
+//! targets agree within a tolerance are clustered (greedy, radius-bounded);
+//! each cluster of two or more is served by **one** tapping point feeding a
+//! zero-skew subtree (built with the [`rotary_cts`] merge engine) instead
+//! of per-flip-flop tap stubs. A cluster is kept only when it actually
+//! shortens the wire.
+
+use crate::skew::SkewSchedule;
+use crate::tapping::TapAssignments;
+use rotary_cts::ClockTree;
+use rotary_netlist::geom::Point;
+use rotary_netlist::{CellId, Circuit};
+use rotary_ring::{RingArray, RingId};
+use rotary_timing::Technology;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for [`build_local_trees`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalTreeConfig {
+    /// Max delay-target spread within a cluster, ns. Must not exceed the
+    /// schedule's guaranteed slack or the shared tap would violate
+    /// permissible ranges.
+    pub target_tolerance: f64,
+    /// Max Manhattan distance between cluster members, µm.
+    pub cluster_radius: f64,
+    /// Max flip-flops per cluster.
+    pub max_cluster_size: usize,
+}
+
+impl Default for LocalTreeConfig {
+    fn default() -> Self {
+        Self { target_tolerance: 0.01, cluster_radius: 120.0, max_cluster_size: 6 }
+    }
+}
+
+/// One shared-tap cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalTreeCluster {
+    /// Ring the cluster taps.
+    pub ring: RingId,
+    /// Member flip-flops (≥ 2).
+    pub members: Vec<CellId>,
+    /// Shared tapping point on the ring.
+    pub tap: Point,
+    /// Total wirelength of the subtree + tap stub, µm.
+    pub wirelength: f64,
+    /// Wirelength the same members would need with individual taps, µm.
+    pub direct_wirelength: f64,
+}
+
+impl LocalTreeCluster {
+    /// Wire saved by sharing the tap, µm.
+    pub fn saving(&self) -> f64 {
+        self.direct_wirelength - self.wirelength
+    }
+}
+
+/// Result of the local-tree post-pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalTreesOutcome {
+    /// Accepted clusters.
+    pub clusters: Vec<LocalTreeCluster>,
+    /// Total tapping wirelength after the pass, µm (clustered members use
+    /// their tree, the rest keep their individual taps).
+    pub total_wirelength: f64,
+    /// Total tapping wirelength before the pass, µm.
+    pub direct_wirelength: f64,
+}
+
+impl LocalTreesOutcome {
+    /// Fractional wirelength improvement of the pass.
+    pub fn improvement(&self) -> f64 {
+        crate::metrics::improvement(self.direct_wirelength, self.total_wirelength)
+    }
+}
+
+/// Runs the local-tree post-pass over finished tap assignments.
+///
+/// # Panics
+///
+/// Panics if `taps` and `schedule` disagree in length, or if
+/// `config.target_tolerance` is not positive.
+pub fn build_local_trees(
+    circuit: &Circuit,
+    array: &RingArray,
+    schedule: &SkewSchedule,
+    taps: &TapAssignments,
+    tech: &Technology,
+    config: &LocalTreeConfig,
+) -> LocalTreesOutcome {
+    assert!(config.target_tolerance > 0.0, "tolerance must be positive");
+    assert_eq!(taps.flip_flops.len(), schedule.targets.len());
+    let n = taps.flip_flops.len();
+    let direct_wirelength = taps.total_wirelength();
+
+    // Greedy clustering per ring: walk members in target order, open a new
+    // cluster when tolerance/radius/size would be violated.
+    let mut by_ring: Vec<Vec<usize>> = vec![Vec::new(); array.rings().len()];
+    for i in 0..n {
+        by_ring[taps.rings[i].index()].push(i);
+    }
+    let mut clusters = Vec::new();
+    let mut clustered = vec![false; n];
+
+    for (ring_idx, members) in by_ring.iter().enumerate() {
+        if members.len() < 2 {
+            continue;
+        }
+        let mut sorted = members.clone();
+        sorted.sort_by(|&a, &b| {
+            schedule.targets[a]
+                .partial_cmp(&schedule.targets[b])
+                .expect("finite targets")
+        });
+        let mut current: Vec<usize> = Vec::new();
+        let flush = |group: &mut Vec<usize>,
+                         clusters: &mut Vec<LocalTreeCluster>,
+                         clustered: &mut Vec<bool>| {
+            if group.len() >= 2 {
+                if let Some(cl) = try_cluster(
+                    circuit,
+                    array,
+                    RingId(ring_idx as u32),
+                    group,
+                    schedule,
+                    taps,
+                    tech,
+                ) {
+                    for &i in group.iter() {
+                        clustered[i] = true;
+                    }
+                    clusters.push(cl);
+                }
+            }
+            group.clear();
+        };
+        for &i in &sorted {
+            let fits = current.len() < config.max_cluster_size
+                && current.iter().all(|&j| {
+                    (schedule.targets[i] - schedule.targets[j]).abs()
+                        <= config.target_tolerance
+                        && circuit
+                            .position(taps.flip_flops[i])
+                            .manhattan(circuit.position(taps.flip_flops[j]))
+                            <= config.cluster_radius
+                });
+            if fits {
+                current.push(i);
+            } else {
+                flush(&mut current, &mut clusters, &mut clustered);
+                current.push(i);
+            }
+        }
+        flush(&mut current, &mut clusters, &mut clustered);
+    }
+
+    let mut total = 0.0;
+    for cl in &clusters {
+        total += cl.wirelength;
+    }
+    for i in 0..n {
+        if !clustered[i] {
+            total += taps.solutions[i].wirelength;
+        }
+    }
+    LocalTreesOutcome { clusters, total_wirelength: total, direct_wirelength }
+}
+
+/// Builds the shared-tap subtree for one candidate group; `None` when the
+/// tree would not beat individual taps.
+fn try_cluster(
+    circuit: &Circuit,
+    array: &RingArray,
+    ring: RingId,
+    group: &[usize],
+    schedule: &SkewSchedule,
+    taps: &TapAssignments,
+    tech: &Technology,
+) -> Option<LocalTreeCluster> {
+    let members: Vec<CellId> = group.iter().map(|&i| taps.flip_flops[i]).collect();
+    let sinks: Vec<(Point, f64)> = members
+        .iter()
+        .map(|&ff| (circuit.position(ff), circuit.cell(ff).input_cap))
+        .collect();
+    let direct: f64 = group.iter().map(|&i| taps.solutions[i].wirelength).sum();
+
+    // Zero-skew subtree over the members, then one tap for its root with
+    // the mean target (all members agree within the tolerance).
+    let tree = ClockTree::build_over(&sinks, tech);
+    let mean_target =
+        group.iter().map(|&i| schedule.targets[i]).sum::<f64>() / group.len() as f64;
+    let centroid = Point::new(
+        sinks.iter().map(|s| s.0.x).sum::<f64>() / sinks.len() as f64,
+        sinks.iter().map(|s| s.0.y).sum::<f64>() / sinks.len() as f64,
+    );
+    // The subtree presents its total capacitance at its root; tap for it
+    // as a single "super sink" at the centroid.
+    let sol = array
+        .ring(ring)
+        .tap_for_target(centroid, tree.total_cap(), mean_target);
+    let wirelength = tree.total_wirelength() + sol.wirelength;
+    if wirelength < direct {
+        Some(LocalTreeCluster {
+            ring,
+            members,
+            tap: sol.point,
+            wirelength,
+            direct_wirelength: direct,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skew::SkewSchedule;
+    use rotary_netlist::geom::Rect;
+    use rotary_netlist::{Cell, CellKind, Circuit};
+    use rotary_ring::{RingArray, RingParams};
+
+    fn ff_cell() -> Cell {
+        Cell {
+            kind: CellKind::FlipFlop,
+            width: 4.0,
+            height: 10.0,
+            input_cap: 0.01,
+            drive_resistance: 0.5,
+            intrinsic_delay: 0.03,
+        }
+    }
+
+    /// Four flip-flops bunched together + one far away, all on ring 0 with
+    /// identical targets: the bunch should cluster, the loner should not.
+    fn setup() -> (Circuit, RingArray, SkewSchedule, TapAssignments) {
+        let mut c = Circuit::new("lt", Rect::from_size(500.0, 500.0));
+        let spots = [
+            Point::new(240.0, 300.0),
+            Point::new(260.0, 300.0),
+            Point::new(250.0, 320.0),
+            Point::new(255.0, 310.0),
+            Point::new(60.0, 60.0),
+        ];
+        for p in spots {
+            c.add_cell(ff_cell(), p);
+        }
+        let array = RingArray::generate(c.die, 1, RingParams::default());
+        let schedule = SkewSchedule {
+            targets: vec![0.30, 0.30, 0.30, 0.30, 0.30],
+            slack: 0.05,
+            period: 1.0,
+        };
+        let rings = vec![rotary_ring::RingId(0); 5];
+        let taps = TapAssignments::solve(&c, &array, &schedule, &rings);
+        (c, array, schedule, taps)
+    }
+
+    #[test]
+    fn clusters_nearby_same_target_flip_flops() {
+        let (c, array, schedule, taps) = setup();
+        let tech = Technology::default();
+        let out = build_local_trees(
+            &c,
+            &array,
+            &schedule,
+            &taps,
+            &tech,
+            &LocalTreeConfig::default(),
+        );
+        assert!(!out.clusters.is_empty(), "expected at least one cluster");
+        let cl = &out.clusters[0];
+        assert!(cl.members.len() >= 2);
+        assert!(cl.saving() > 0.0, "clusters are only kept when they save wire");
+    }
+
+    #[test]
+    fn pass_never_increases_total_wirelength() {
+        let (c, array, schedule, taps) = setup();
+        let tech = Technology::default();
+        let out = build_local_trees(
+            &c,
+            &array,
+            &schedule,
+            &taps,
+            &tech,
+            &LocalTreeConfig::default(),
+        );
+        assert!(out.total_wirelength <= out.direct_wirelength + 1e-9);
+        assert!(out.improvement() >= 0.0);
+    }
+
+    #[test]
+    fn tolerance_zero_like_forbids_mixed_targets() {
+        let (c, array, mut schedule, _) = setup();
+        // Give everyone wildly different targets: nothing may cluster.
+        schedule.targets = vec![0.0, 0.2, 0.4, 0.6, 0.8];
+        let rings = vec![rotary_ring::RingId(0); 5];
+        let taps = TapAssignments::solve(&c, &array, &schedule, &rings);
+        let tech = Technology::default();
+        let cfg = LocalTreeConfig { target_tolerance: 0.001, ..Default::default() };
+        let out = build_local_trees(&c, &array, &schedule, &taps, &tech, &cfg);
+        assert!(out.clusters.is_empty());
+        assert!((out.total_wirelength - out.direct_wirelength).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radius_limits_cluster_membership() {
+        let (c, array, schedule, taps) = setup();
+        let tech = Technology::default();
+        let cfg = LocalTreeConfig { cluster_radius: 5.0, ..Default::default() };
+        let out = build_local_trees(&c, &array, &schedule, &taps, &tech, &cfg);
+        for cl in &out.clusters {
+            for a in &cl.members {
+                for b in &cl.members {
+                    assert!(c.position(*a).manhattan(c.position(*b)) <= 5.0 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn rejects_nonpositive_tolerance() {
+        let (c, array, schedule, taps) = setup();
+        let cfg = LocalTreeConfig { target_tolerance: 0.0, ..Default::default() };
+        let _ = build_local_trees(&c, &array, &schedule, &taps, &Technology::default(), &cfg);
+    }
+}

@@ -1,0 +1,72 @@
+//! Evaluation metrics used across the paper's tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Wirelength–capacitance product (Table VII): `WCP = total WL × max cap`,
+/// in µm·pF. The paper introduces it (by analogy with the power-delay
+/// product) to compare the two assignment formulations, which trade
+/// wirelength against maximum ring load.
+pub fn wirelength_capacitance_product(total_wirelength: f64, max_cap: f64) -> f64 {
+    total_wirelength * max_cap
+}
+
+/// Relative improvement of `new` over `base` as a fraction
+/// (`0.37` = 37% better; negative = degradation). The paper reports this
+/// as the `Imp` columns.
+pub fn improvement(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (base - new) / base
+    }
+}
+
+/// Metrics snapshot of one flow evaluation (stage 5 of Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostSnapshot {
+    /// Average flip-flop distance to the assigned ring, µm.
+    pub afd: f64,
+    /// Total tapping wirelength, µm.
+    pub tapping_wl: f64,
+    /// Total signal wirelength (HPWL), µm.
+    pub signal_wl: f64,
+    /// Maximum ring load capacitance, pF.
+    pub max_ring_cap: f64,
+}
+
+impl CostSnapshot {
+    /// Total wirelength: tapping + signal (the paper's `Tot. WL`).
+    pub fn total_wl(&self) -> f64 {
+        self.tapping_wl + self.signal_wl
+    }
+
+    /// Overall cost as a weighted sum of tapping and signal wirelength —
+    /// the stage-5 convergence criterion of Fig. 3.
+    pub fn overall_cost(&self, tapping_weight: f64) -> f64 {
+        tapping_weight * self.tapping_wl + self.signal_wl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wcp_is_product() {
+        assert_eq!(wirelength_capacitance_product(1000.0, 0.5), 500.0);
+    }
+
+    #[test]
+    fn improvement_signs() {
+        assert!((improvement(100.0, 50.0) - 0.5).abs() < 1e-12);
+        assert!(improvement(100.0, 120.0) < 0.0);
+        assert_eq!(improvement(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn snapshot_totals() {
+        let s = CostSnapshot { afd: 1.0, tapping_wl: 10.0, signal_wl: 90.0, max_ring_cap: 0.2 };
+        assert_eq!(s.total_wl(), 100.0);
+        assert_eq!(s.overall_cost(2.0), 110.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Skew scheduling (paper Section VII).
+//!
+//! Three schedulers, all over the sequential-adjacency constraint graph:
+//!
+//! * [`max_slack_schedule`] — the classic Fishburn max-slack formulation
+//!   (eqs. 5–7), solved by binary search on the slack `M` with
+//!   Bellman–Ford feasibility (the graph-based route of \[23\], \[24\]).
+//! * [`minimax_schedule`] — cost-driven: minimize the maximum deviation `Δ`
+//!   between each flip-flop's delay target and the delay achievable through
+//!   the *closest* point of its ring, subject to the timing constraints at
+//!   a prespecified slack `M`.
+//! * [`weighted_schedule`] — cost-driven: minimize `Σ w_i·δ_i` with
+//!   `δ_i ≥ |t̂_i − t_i|`; solved exactly through the min-cost-circulation
+//!   dual (the LP's network structure), with `w_i = l_i` as the paper
+//!   suggests.
+
+use rotary_solver::mcmf::FlowNetwork;
+use rotary_solver::DifferenceSystem;
+use rotary_timing::{SequentialGraph, Technology};
+use serde::{Deserialize, Serialize};
+
+/// A clock-delay target per flip-flop, indexed like
+/// [`SequentialGraph::flip_flops`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkewSchedule {
+    /// Delay target `t̂_i` per flip-flop, ns.
+    pub targets: Vec<f64>,
+    /// The timing slack `M` this schedule guarantees, ns.
+    pub slack: f64,
+    /// The clock period the schedule was computed for, ns. Equals the
+    /// technology period when the circuit meets it; otherwise the minimum
+    /// feasible period (the paper notes that high skew uncertainty "might
+    /// need to run the clock at a lower speed").
+    pub period: f64,
+}
+
+impl SkewSchedule {
+    /// A zero-skew schedule over `n` flip-flops (all targets 0) at a
+    /// 1 ns period.
+    pub fn zero(n: usize) -> Self {
+        Self { targets: vec![0.0; n], slack: 0.0, period: 1.0 }
+    }
+}
+
+/// The smallest clock period at which the skew constraints admit any
+/// schedule, found by doubling + bisection over Bellman–Ford feasibility.
+/// Never smaller than `tech.clock_period`.
+pub fn min_feasible_period(graph: &SequentialGraph, tech: &Technology) -> f64 {
+    if graph.pairs().is_empty() {
+        return tech.clock_period;
+    }
+    let feasible = |period: f64| -> bool {
+        let t = Technology { clock_period: period, ..*tech };
+        timing_system(graph, &t, 0.0, 0).0.is_feasible()
+    };
+    let mut lo = tech.clock_period;
+    if feasible(lo) {
+        return lo;
+    }
+    let mut hi = lo * 2.0;
+    while !feasible(hi) {
+        lo = hi;
+        hi *= 2.0;
+        assert!(hi < 1e6, "timing constraints infeasible at any period");
+    }
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Builds the timing difference-constraint system at slack `m`:
+/// long path `t̂_i − t̂_j ≤ T − D_max − t_setup − m` and short path
+/// `t̂_j − t̂_i ≤ D_min − t_hold − m` for every `i ↦ j`, over
+/// `n_extra` additional variables appended after the flip-flops.
+fn timing_system(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    m: f64,
+    n_extra: usize,
+) -> (DifferenceSystem, Vec<usize>) {
+    let ffs = graph.flip_flops();
+    let index_of = |id| ffs.binary_search(&id).expect("flip-flop in graph");
+    let mut sys = DifferenceSystem::new(ffs.len() + n_extra);
+    let mut timing_rows = Vec::new();
+    for p in graph.pairs() {
+        let (i, j) = (index_of(p.from), index_of(p.to));
+        timing_rows.push(sys.constraints().len());
+        sys.add(i, j, p.skew_upper(tech) - m);
+        timing_rows.push(sys.constraints().len());
+        sys.add(j, i, -(p.skew_lower(tech) + m));
+    }
+    (sys, timing_rows)
+}
+
+/// Stage-2 skew optimization: maximize the slack `M` (eqs. 5–7).
+///
+/// Returns the schedule anchored so that the minimum target is 0.
+///
+/// # Panics
+///
+/// Panics if even `M = 0` is infeasible (the circuit cannot run at the
+/// technology's clock period).
+pub fn max_slack_schedule(graph: &SequentialGraph, tech: &Technology) -> SkewSchedule {
+    let n = graph.flip_flops().len();
+    if graph.pairs().is_empty() {
+        return SkewSchedule {
+            period: tech.clock_period,
+            ..SkewSchedule::zero(n)
+        };
+    }
+    // If the circuit cannot run at the nominal period, schedule at the
+    // minimum feasible period (with a small margin so the cost-driven
+    // stage keeps room to move).
+    let period = min_feasible_period(graph, tech);
+    let period = if period > tech.clock_period { 1.05 * period } else { period };
+    let tech_eff = Technology { clock_period: period, ..*tech };
+    let (sys, _) = timing_system(graph, &tech_eff, 0.0, 0);
+    let tighten = vec![1.0; sys.constraints().len()];
+    let (slack, mut targets) = sys.maximize_slack(&tighten, period, 1e-6);
+    normalize(&mut targets);
+    SkewSchedule { targets, slack, period }
+}
+
+/// Stage-4 cost-driven skew optimization, minimax form: minimize `Δ` s.t.
+///
+/// ```text
+/// t_ref + t_ref,c + 2·t_c,i − t̂_i ≤ Δ       (∀ i)
+/// t̂_i − t_ref − t_ref,c ≤ Δ                 (∀ i)
+/// ```
+///
+/// plus the timing constraints at slack `m`. `ring_delay[i]` is
+/// `t_ref + t_ref,c` (the clock delay at the closest ring point `c` of
+/// flip-flop `i`) and `stub_delay[i]` is `t_c,i`.
+///
+/// # Panics
+///
+/// Panics if the timing system at slack `m` is infeasible, or if input
+/// slices disagree in length with the graph.
+pub fn minimax_schedule(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ring_delay: &[f64],
+    stub_delay: &[f64],
+    m: f64,
+) -> SkewSchedule {
+    let n = graph.flip_flops().len();
+    assert_eq!(ring_delay.len(), n);
+    assert_eq!(stub_delay.len(), n);
+    // Variable n is the reference (pinned to 0 implicitly: all window
+    // constraints are expressed against it; the solution is later shifted
+    // so that the reference variable reads 0).
+    let (mut sys, _) = timing_system(graph, tech, m, 1);
+    let reference = n;
+    // Upper bound on Δ: every target can always sit within one period of
+    // its ring point.
+    let delta_max: f64 = ring_delay
+        .iter()
+        .zip(stub_delay)
+        .map(|(&a, &b)| a.abs() + 2.0 * b + tech.clock_period)
+        .fold(tech.clock_period, f64::max);
+    let mut tighten = vec![0.0; sys.constraints().len()];
+    for i in 0..n {
+        // t̂_i − ref ≤ a_i + Δ   where Δ = delta_max − s
+        sys.add(i, reference, ring_delay[i] + delta_max);
+        tighten.push(1.0);
+        // ref − t̂_i ≤ Δ − a_i − 2 b_i
+        sys.add(reference, i, delta_max - ring_delay[i] - 2.0 * stub_delay[i]);
+        tighten.push(1.0);
+    }
+    let (s, mut sol) = sys.maximize_slack(&tighten, delta_max, 1e-6);
+    let _delta = delta_max - s;
+    // Shift so the reference variable is exactly 0.
+    let r = sol[reference];
+    sol.truncate(n);
+    for v in &mut sol {
+        *v -= r;
+    }
+    SkewSchedule { targets: sol, slack: m, period: tech.clock_period }
+}
+
+/// Stage-4 cost-driven skew optimization, weighted-sum form:
+/// minimize `Σ_i w_i·|t̂_i − ideal_i|` subject to the timing constraints at
+/// slack `m`, solved exactly via the min-cost-circulation dual of the LP.
+///
+/// `ideal[i]` is the delay `t_i` through the closest ring point
+/// (`t_c + t_{c,i}`), and `weight[i] ≥ 0` its priority (the paper uses the
+/// flip-flop-to-ring distance `l_i`).
+///
+/// # Panics
+///
+/// Panics if the timing system at slack `m` is infeasible or slice lengths
+/// disagree.
+pub fn weighted_schedule(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ideal: &[f64],
+    weight: &[f64],
+    m: f64,
+) -> SkewSchedule {
+    let n = graph.flip_flops().len();
+    assert_eq!(ideal.len(), n);
+    assert_eq!(weight.len(), n);
+    let (sys, _) = timing_system(graph, tech, m, 0);
+    assert!(
+        sys.is_feasible(),
+        "timing constraints infeasible at slack {m}"
+    );
+
+    // Dual network: node per flip-flop + reference node R = n.
+    // Constraint y_i − y_j ≤ b  ⇒ arc i → j, cost b, cap ∞.
+    // Objective term w_i·|y_i − t_i| ⇒ arcs i → R and R → i with
+    // cost −t_i / +t_i and capacity w_i (scaled to integers).
+    //
+    // With flows f on those arcs, LP duality gives
+    //   min Σ w|y−t| = −min-cost circulation,
+    // and an optimal y is recovered from the circulation's potentials:
+    //   y_i = −π_i (up to a common shift), where π are shortest distances
+    // in the optimal residual network.
+    const W_SCALE: f64 = 64.0;
+    let mut net = FlowNetwork::new(n + 1);
+    let reference = net.node(n);
+    for c in sys.constraints() {
+        net.add_arc(net.node(c.i), net.node(c.j), i64::MAX / 4, c.bound);
+    }
+    for i in 0..n {
+        let cap = (weight[i] * W_SCALE).round() as i64;
+        if cap <= 0 {
+            continue;
+        }
+        net.add_arc(net.node(i), reference, cap, ideal[i]);
+        net.add_arc(reference, net.node(i), cap, -ideal[i]);
+    }
+    net.min_cost_circulation();
+    let pi = net.optimal_potentials();
+    let mut targets: Vec<f64> = (0..n).map(|i| -pi[i]).collect();
+    // Shift so the reference potential maps to 0 (pure normalization; all
+    // constraints are differences).
+    let shift = -pi[n];
+    for t in &mut targets {
+        *t -= shift;
+    }
+    debug_assert!(sys.check(&targets, 1e-6), "dual recovery violated timing");
+    SkewSchedule { targets, slack: m, period: tech.clock_period }
+}
+
+/// Shifts targets so their minimum is 0.
+fn normalize(targets: &mut [f64]) {
+    if let Some(min) = targets.iter().cloned().reduce(f64::min) {
+        for t in targets.iter_mut() {
+            *t -= min;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_netlist::geom::{Point, Rect};
+    use rotary_netlist::{Cell, CellKind, Circuit, Net};
+    use rotary_solver::lp::{LpProblem, LpStatus, RowKind};
+
+    fn cell(kind: CellKind) -> Cell {
+        Cell {
+            kind,
+            width: 2.0,
+            height: 8.0,
+            input_cap: 0.005,
+            drive_resistance: 2.0,
+            intrinsic_delay: 0.05,
+        }
+    }
+
+    /// A 4-stage ring pipeline of flip-flops with gates in between.
+    fn pipeline(n: usize) -> Circuit {
+        let mut c = Circuit::new("pipe", Rect::from_size(2000.0, 2000.0));
+        let mut ffs = Vec::new();
+        for k in 0..n {
+            ffs.push(c.add_cell(cell(CellKind::FlipFlop), Point::new(100.0 + 150.0 * k as f64, 100.0)));
+        }
+        for k in 0..n {
+            let g = c.add_cell(
+                cell(CellKind::Combinational),
+                Point::new(150.0 + 150.0 * k as f64, 120.0),
+            );
+            c.add_net(Net { driver: ffs[k], sinks: vec![g] });
+            c.add_net(Net { driver: g, sinks: vec![ffs[(k + 1) % n]] });
+        }
+        c
+    }
+
+    fn graph(c: &Circuit) -> SequentialGraph {
+        SequentialGraph::extract(c, &Technology::default())
+    }
+
+    #[test]
+    fn max_slack_schedule_is_feasible_and_positive() {
+        let c = pipeline(5);
+        let tech = Technology::default();
+        let g = graph(&c);
+        let s = max_slack_schedule(&g, &tech);
+        assert!(s.slack > 0.0, "pipeline at 1 GHz must have slack");
+        assert!(g.check_schedule(&s.targets, &tech, s.slack - 1e-4, 1e-6).is_none());
+    }
+
+    #[test]
+    fn max_slack_matches_lp_solution() {
+        // Cross-check the graph-based search against the explicit LP
+        // (maximize M ⇔ minimize −M).
+        let c = pipeline(4);
+        let tech = Technology::default();
+        let g = graph(&c);
+        let s = max_slack_schedule(&g, &tech);
+
+        let n = g.flip_flops().len();
+        let mut lp = LpProblem::minimize(
+            (0..=n).map(|k| if k == n { -1.0 } else { 0.0 }).collect(),
+        );
+        for j in 0..n {
+            lp.set_free(j);
+        }
+        let idx = |id| g.flip_flops().binary_search(&id).unwrap();
+        for p in g.pairs() {
+            let (i, j) = (idx(p.from), idx(p.to));
+            // t_i − t_j + M ≤ upper
+            lp.add_row(RowKind::Le, p.skew_upper(&tech), &[(i, 1.0), (j, -1.0), (n, 1.0)]);
+            // t_i − t_j − ... ≥ lower + M  ⇔  −t_i + t_j + M ≤ −lower
+            lp.add_row(RowKind::Le, -p.skew_lower(&tech), &[(i, -1.0), (j, 1.0), (n, 1.0)]);
+        }
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        let lp_slack = -sol.objective;
+        assert!(
+            (lp_slack - s.slack).abs() < 1e-3,
+            "graph {} vs LP {}",
+            s.slack,
+            lp_slack
+        );
+    }
+
+    #[test]
+    fn minimax_schedule_respects_timing() {
+        let c = pipeline(6);
+        let tech = Technology::default();
+        let g = graph(&c);
+        let n = g.flip_flops().len();
+        let ring_delay: Vec<f64> = (0..n).map(|i| 0.1 * i as f64).collect();
+        let stub = vec![0.01; n];
+        let s = minimax_schedule(&g, &tech, &ring_delay, &stub, 0.02);
+        assert!(g.check_schedule(&s.targets, &tech, 0.02 - 1e-6, 1e-6).is_none());
+    }
+
+    #[test]
+    fn minimax_pulls_targets_toward_ring_delays() {
+        let c = pipeline(6);
+        let tech = Technology::default();
+        let g = graph(&c);
+        let n = g.flip_flops().len();
+        // All rings want delay 0.4; unconstrained pipeline can satisfy all.
+        let ring_delay = vec![0.4; n];
+        let stub = vec![0.0; n];
+        let s = minimax_schedule(&g, &tech, &ring_delay, &stub, 0.0);
+        for &t in &s.targets {
+            assert!((t - 0.4).abs() < 0.05, "target {t} should be near 0.4");
+        }
+    }
+
+    #[test]
+    fn weighted_schedule_matches_lp_on_small_instance() {
+        let c = pipeline(5);
+        let tech = Technology::default();
+        let g = graph(&c);
+        let n = g.flip_flops().len();
+        let ideal: Vec<f64> = (0..n).map(|i| 0.05 + 0.13 * i as f64).collect();
+        let weight: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let m = 0.01;
+        let s = weighted_schedule(&g, &tech, &ideal, &weight, m);
+        assert!(g.check_schedule(&s.targets, &tech, m - 1e-6, 1e-5).is_none());
+        let dual_obj: f64 = s
+            .targets
+            .iter()
+            .zip(&ideal)
+            .zip(&weight)
+            .map(|((t, i), w)| w * (t - i).abs())
+            .sum();
+
+        // Reference LP: min Σ w δ, δ ≥ ±(t̂ − ideal), timing constraints.
+        let mut obj = vec![0.0; n];
+        obj.extend(weight.iter().cloned());
+        let mut lp = LpProblem::minimize(obj);
+        for j in 0..n {
+            lp.set_free(j);
+        }
+        let idx = |id| g.flip_flops().binary_search(&id).unwrap();
+        for p in g.pairs() {
+            let (i, j) = (idx(p.from), idx(p.to));
+            lp.add_row(RowKind::Le, p.skew_upper(&tech) - m, &[(i, 1.0), (j, -1.0)]);
+            lp.add_row(RowKind::Le, -(p.skew_lower(&tech) + m), &[(i, -1.0), (j, 1.0)]);
+        }
+        for i in 0..n {
+            // t̂_i − δ_i ≤ ideal_i and −t̂_i − δ_i ≤ −ideal_i
+            lp.add_row(RowKind::Le, ideal[i], &[(i, 1.0), (n + i, -1.0)]);
+            lp.add_row(RowKind::Le, -ideal[i], &[(i, -1.0), (n + i, -1.0)]);
+        }
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(
+            (dual_obj - sol.objective).abs() < 0.05 * sol.objective.abs().max(0.1),
+            "dual {} vs LP {}",
+            dual_obj,
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn weighted_schedule_with_zero_weights_is_still_feasible() {
+        let c = pipeline(4);
+        let tech = Technology::default();
+        let g = graph(&c);
+        let n = g.flip_flops().len();
+        let s = weighted_schedule(&g, &tech, &vec![0.3; n], &vec![0.0; n], 0.0);
+        assert!(g.check_schedule(&s.targets, &tech, 0.0, 1e-5).is_none());
+    }
+
+    #[test]
+    fn empty_graph_yields_zero_schedule() {
+        let mut c = Circuit::new("lonely", Rect::from_size(100.0, 100.0));
+        c.add_cell(cell(CellKind::FlipFlop), Point::new(10.0, 10.0));
+        let tech = Technology::default();
+        let g = graph(&c);
+        let s = max_slack_schedule(&g, &tech);
+        assert_eq!(s.targets, vec![0.0]);
+    }
+}

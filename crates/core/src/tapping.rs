@@ -1,0 +1,304 @@
+//! Tapping-cost computation: the bridge between skew targets and ring
+//! geometry.
+//!
+//! For every flip-flop and every candidate ring, the tapping cost `c_ij`
+//! is the wirelength of the flexible-tapping solution (Section III) that
+//! realizes the flip-flop's delay target on that ring. These costs feed
+//! both assignment formulations; the chosen ring's solution also yields the
+//! load capacitance `C_p^ij = c·l + C_ff` of Section VI.
+
+use crate::skew::SkewSchedule;
+use rotary_netlist::{CellId, Circuit};
+use rotary_ring::{RingArray, RingId, TapSolution};
+use serde::{Deserialize, Serialize};
+
+/// Per-flip-flop candidate rings with tapping costs and load capacitances.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateCosts {
+    /// Flip-flops in circuit order (parallel to the outer index).
+    pub flip_flops: Vec<CellId>,
+    /// For each flip-flop: `(ring, tapping wirelength µm, load cap pF)`.
+    pub candidates: Vec<Vec<(RingId, f64, f64)>>,
+}
+
+impl CandidateCosts {
+    /// Computes tapping costs for the `k` nearest rings of every flip-flop
+    /// at the given skew schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule.targets` is not parallel to the circuit's
+    /// flip-flop list.
+    pub fn compute(
+        circuit: &Circuit,
+        array: &RingArray,
+        schedule: &SkewSchedule,
+        k: usize,
+    ) -> Self {
+        let flip_flops = circuit.flip_flops();
+        assert_eq!(
+            flip_flops.len(),
+            schedule.targets.len(),
+            "one skew target per flip-flop"
+        );
+        let wire_cap = array.params().wire_cap;
+        let candidates = flip_flops
+            .iter()
+            .zip(&schedule.targets)
+            .map(|(&ff, &target)| {
+                let pos = circuit.position(ff);
+                let cap = circuit.cell(ff).input_cap;
+                array
+                    .candidate_rings(pos, k)
+                    .into_iter()
+                    .map(|rid| {
+                        let sol = array.ring(rid).tap_for_target(pos, cap, target);
+                        let load = wire_cap * sol.wirelength + cap;
+                        (rid, sol.wirelength, load)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { flip_flops, candidates }
+    }
+
+    /// Number of flip-flops covered.
+    pub fn len(&self) -> usize {
+        self.flip_flops.len()
+    }
+
+    /// Whether there are no flip-flops.
+    pub fn is_empty(&self) -> bool {
+        self.flip_flops.is_empty()
+    }
+
+    /// The tapping cost of assigning flip-flop `i` (by index) to `ring`,
+    /// if `ring` is among its candidates.
+    pub fn cost(&self, i: usize, ring: RingId) -> Option<f64> {
+        self.candidates[i]
+            .iter()
+            .find(|&&(r, _, _)| r == ring)
+            .map(|&(_, wl, _)| wl)
+    }
+}
+
+/// Finalized tap solutions for an assignment: one per flip-flop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TapAssignments {
+    /// Flip-flops in circuit order.
+    pub flip_flops: Vec<CellId>,
+    /// Assigned ring per flip-flop.
+    pub rings: Vec<RingId>,
+    /// Tap solution per flip-flop.
+    pub solutions: Vec<TapSolution>,
+}
+
+impl TapAssignments {
+    /// Solves the tapping equation for every flip-flop on its assigned
+    /// ring at the given schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree.
+    pub fn solve(
+        circuit: &Circuit,
+        array: &RingArray,
+        schedule: &SkewSchedule,
+        rings: &[RingId],
+    ) -> Self {
+        let flip_flops = circuit.flip_flops();
+        assert_eq!(flip_flops.len(), rings.len());
+        assert_eq!(flip_flops.len(), schedule.targets.len());
+        let solutions = flip_flops
+            .iter()
+            .zip(rings)
+            .zip(&schedule.targets)
+            .map(|((&ff, &rid), &t)| {
+                array
+                    .ring(rid)
+                    .tap_for_target(circuit.position(ff), circuit.cell(ff).input_cap, t)
+            })
+            .collect();
+        Self { flip_flops, rings: rings.to_vec(), solutions }
+    }
+
+    /// Total tapping wirelength (the paper's **tapping cost**), µm.
+    pub fn total_wirelength(&self) -> f64 {
+        self.solutions.iter().map(|s| s.wirelength).sum()
+    }
+
+    /// Per-flip-flop tapping wirelengths, µm.
+    pub fn wirelengths(&self) -> Vec<f64> {
+        self.solutions.iter().map(|s| s.wirelength).collect()
+    }
+
+    /// Average flip-flop distance (**AFD**): the mean tap-wire length per
+    /// flip-flop. This matches the paper's tables, where AFD is exactly
+    /// `Tap.WL / #flip-flops` (e.g. Table III s9234: 38550/135 = 285.6);
+    /// it measures how far each flip-flop effectively sits from its clock
+    /// source, the quantity compared against the conventional tree's
+    /// source–sink path length `PL`.
+    pub fn average_flip_flop_distance(&self, _circuit: &Circuit, _array: &RingArray) -> f64 {
+        if self.flip_flops.is_empty() {
+            return 0.0;
+        }
+        self.total_wirelength() / self.flip_flops.len() as f64
+    }
+
+    /// Mean *geometric* Manhattan distance from each flip-flop to the
+    /// nearest point of its assigned ring (a lower bound on AFD; the gap
+    /// between the two is the phase-matching wander the cost-driven skew
+    /// optimization removes).
+    pub fn mean_ring_distance(&self, circuit: &Circuit, array: &RingArray) -> f64 {
+        if self.flip_flops.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .flip_flops
+            .iter()
+            .zip(&self.rings)
+            .map(|(&ff, &rid)| array.ring(rid).nearest_point(circuit.position(ff)).1)
+            .sum();
+        sum / self.flip_flops.len() as f64
+    }
+
+    /// Load capacitance per ring: `Σ_i (c·l_i + C_ff,i)` over assigned
+    /// flip-flops, pF. Indexed by ring id.
+    pub fn ring_loads(&self, circuit: &Circuit, array: &RingArray) -> Vec<f64> {
+        let mut loads = vec![0.0; array.rings().len()];
+        let c = array.params().wire_cap;
+        for ((&ff, &rid), sol) in self.flip_flops.iter().zip(&self.rings).zip(&self.solutions) {
+            loads[rid.index()] += c * sol.wirelength + circuit.cell(ff).input_cap;
+        }
+        loads
+    }
+
+    /// Maximum ring load capacitance, pF (Section VI objective).
+    pub fn max_ring_load(&self, circuit: &Circuit, array: &RingArray) -> f64 {
+        self.ring_loads(circuit, array)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_netlist::{Generator, GeneratorConfig};
+    use rotary_ring::RingParams;
+
+    fn setup() -> (Circuit, RingArray, SkewSchedule) {
+        let c = Generator::new(GeneratorConfig {
+            name: "tap".into(),
+            combinational: 100,
+            flip_flops: 20,
+            nets: 110,
+            primary_inputs: 6,
+            primary_outputs: 6,
+            die_side: 800.0,
+            ..GeneratorConfig::default()
+        })
+        .generate(5);
+        let array = RingArray::generate(c.die, 3, RingParams::default());
+        let n = c.flip_flop_count();
+        let schedule = SkewSchedule {
+            targets: (0..n).map(|i| 0.07 * i as f64).collect(),
+            slack: 0.0,
+            period: 1.0,
+        };
+        (c, array, schedule)
+    }
+
+    #[test]
+    fn candidates_are_sorted_by_distance_and_costed() {
+        let (c, array, s) = setup();
+        let cc = CandidateCosts::compute(&c, &array, &s, 4);
+        assert_eq!(cc.len(), 20);
+        for cands in &cc.candidates {
+            assert_eq!(cands.len(), 4);
+            for &(_, wl, load) in cands {
+                assert!(wl >= 0.0);
+                assert!(load > 0.0, "load includes the FF pin cap");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_lookup_roundtrip() {
+        let (c, array, s) = setup();
+        let cc = CandidateCosts::compute(&c, &array, &s, 3);
+        let (rid, wl, _) = cc.candidates[0][1];
+        assert_eq!(cc.cost(0, rid), Some(wl));
+        // A ring not in the candidate set yields None.
+        let absent = (0..array.rings().len())
+            .map(|i| RingId(i as u32))
+            .find(|r| !cc.candidates[0].iter().any(|&(cr, _, _)| cr == *r));
+        if let Some(r) = absent {
+            assert_eq!(cc.cost(0, r), None);
+        }
+    }
+
+    #[test]
+    fn nearest_ring_assignment_meets_targets() {
+        let (c, array, s) = setup();
+        let rings: Vec<RingId> = c
+            .flip_flops()
+            .iter()
+            .map(|&ff| array.nearest_ring(c.position(ff)))
+            .collect();
+        let taps = TapAssignments::solve(&c, &array, &s, &rings);
+        let period = array.params().period;
+        for ((&ff, sol), (&rid, &target)) in taps
+            .flip_flops
+            .iter()
+            .zip(&taps.solutions)
+            .zip(taps.rings.iter().zip(&s.targets))
+        {
+            let got = array
+                .ring(rid)
+                .delay_through_tap(sol, c.cell(ff).input_cap);
+            let tau = target.rem_euclid(period);
+            let err = (got - tau).abs().min(period - (got - tau).abs());
+            assert!(err < 1e-6, "ff {ff}: target {tau} got {got}");
+        }
+    }
+
+    #[test]
+    fn ring_loads_sum_to_total_load() {
+        let (c, array, s) = setup();
+        let rings: Vec<RingId> = c
+            .flip_flops()
+            .iter()
+            .map(|&ff| array.nearest_ring(c.position(ff)))
+            .collect();
+        let taps = TapAssignments::solve(&c, &array, &s, &rings);
+        let loads = taps.ring_loads(&c, &array);
+        let total: f64 = loads.iter().sum();
+        let expect: f64 = taps
+            .flip_flops
+            .iter()
+            .zip(&taps.solutions)
+            .map(|(&ff, sol)| array.params().wire_cap * sol.wirelength + c.cell(ff).input_cap)
+            .sum();
+        assert!((total - expect).abs() < 1e-9);
+        assert!(taps.max_ring_load(&c, &array) <= total);
+    }
+
+    #[test]
+    fn afd_uses_assigned_ring_not_nearest() {
+        let (c, array, s) = setup();
+        let nearest: Vec<RingId> = c
+            .flip_flops()
+            .iter()
+            .map(|&ff| array.nearest_ring(c.position(ff)))
+            .collect();
+        // Deliberately bad assignment: everything to ring 0.
+        let all_zero = vec![RingId(0); nearest.len()];
+        let good = TapAssignments::solve(&c, &array, &s, &nearest);
+        let bad = TapAssignments::solve(&c, &array, &s, &all_zero);
+        assert!(
+            bad.average_flip_flop_distance(&c, &array)
+                > good.average_flip_flop_distance(&c, &array)
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! Conventional zero-skew clock-tree synthesis — the baseline the paper
+//! compares against.
+//!
+//! Table II of the paper reports `PL`, the **average source–sink path
+//! length** in conventional clock trees built with the classic zero-skew
+//! methods \[5\], \[7\]; the rotary flow's average flip-flop distance (AFD) is
+//! then shown to be far smaller. This crate builds such a tree:
+//! a recursive-bisection topology (Edahiro-style clustering) with
+//! Elmore-balanced merge points (the deferred-merge idea of \[6\]), including
+//! wire snaking when one subtree is intrinsically faster.
+//!
+//! The tree also provides the conventional-clock capacitance used as a
+//! power reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use rotary_netlist::BenchmarkSuite;
+//! use rotary_cts::ClockTree;
+//! use rotary_timing::Technology;
+//!
+//! let circuit = BenchmarkSuite::S9234.circuit(1);
+//! let tree = ClockTree::build(&circuit, &Technology::default());
+//! assert!(tree.average_path_length() > 0.0);
+//! assert!(tree.skew() < 1e-6, "zero-skew by construction");
+//! ```
+
+use rotary_netlist::geom::Point;
+use rotary_netlist::{CellKind, Circuit};
+use rotary_timing::Technology;
+use serde::{Deserialize, Serialize};
+
+/// A node of the clock tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TreeNode {
+    point: Point,
+    /// Children as `(node index, wire length to child)`; wire length may
+    /// exceed the Manhattan distance when snaking was required.
+    children: Vec<(usize, f64)>,
+    /// Elmore delay from this node down to every sink of its subtree
+    /// (equal for all sinks — zero skew).
+    subtree_delay: f64,
+    /// Total capacitance of the subtree (wire + sink pins), pF.
+    subtree_cap: f64,
+}
+
+/// A synthesized zero-skew clock tree over the flip-flops of a circuit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClockTree {
+    nodes: Vec<TreeNode>,
+    root: usize,
+    sink_count: usize,
+}
+
+impl ClockTree {
+    /// Builds a zero-skew tree over all flip-flops of `circuit` at their
+    /// current positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no flip-flops.
+    pub fn build(circuit: &Circuit, tech: &Technology) -> Self {
+        let sinks: Vec<(Point, f64)> = circuit
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == CellKind::FlipFlop)
+            .map(|(i, c)| (circuit.positions[i], c.input_cap))
+            .collect();
+        assert!(!sinks.is_empty(), "cannot build a clock tree without flip-flops");
+        Self::build_over(&sinks, tech)
+    }
+
+    /// Builds a zero-skew tree over explicit `(position, pin capacitance)`
+    /// sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks` is empty.
+    pub fn build_over(sinks: &[(Point, f64)], tech: &Technology) -> Self {
+        assert!(!sinks.is_empty(), "cannot build a clock tree without sinks");
+        let mut nodes: Vec<TreeNode> = sinks
+            .iter()
+            .map(|&(point, cap)| TreeNode {
+                point,
+                children: Vec::new(),
+                subtree_delay: 0.0,
+                subtree_cap: cap,
+            })
+            .collect();
+        let leaf_ids: Vec<usize> = (0..nodes.len()).collect();
+        let root = Self::recurse(&mut nodes, leaf_ids, tech, 0);
+        Self { nodes, root, sink_count: sinks.len() }
+    }
+
+    /// Recursive bisection: split the sink set by the median of the wider
+    /// axis, build both halves, then merge with a zero-skew tapping point.
+    fn recurse(nodes: &mut Vec<TreeNode>, mut ids: Vec<usize>, tech: &Technology, depth: usize) -> usize {
+        if ids.len() == 1 {
+            return ids[0];
+        }
+        // Choose the split axis by bounding-box aspect.
+        let (mut min_x, mut max_x, mut min_y, mut max_y) =
+            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for &i in &ids {
+            let p = nodes[i].point;
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        let split_x = (max_x - min_x) >= (max_y - min_y);
+        ids.sort_by(|&a, &b| {
+            let (pa, pb) = (nodes[a].point, nodes[b].point);
+            if split_x {
+                pa.x.partial_cmp(&pb.x).unwrap()
+            } else {
+                pa.y.partial_cmp(&pb.y).unwrap()
+            }
+        });
+        let right = ids.split_off(ids.len() / 2);
+        let a = Self::recurse(nodes, ids, tech, depth + 1);
+        let b = Self::recurse(nodes, right, tech, depth + 1);
+        Self::merge(nodes, a, b, tech)
+    }
+
+    /// Zero-skew merge of subtrees `a` and `b` (DME-style on the direct
+    /// path). Solves for the tap `x` along the `a → b` path such that the
+    /// two sides' Elmore delays match; snakes wire on the fast side when
+    /// the balance point falls outside the segment.
+    fn merge(nodes: &mut Vec<TreeNode>, a: usize, b: usize, tech: &Technology) -> usize {
+        let (pa, da, ca) = (nodes[a].point, nodes[a].subtree_delay, nodes[a].subtree_cap);
+        let (pb, db, cb) = (nodes[b].point, nodes[b].subtree_delay, nodes[b].subtree_cap);
+        let dist = pa.manhattan(pb);
+        let (r, c) = (tech.wire_res, tech.wire_cap);
+        // delay_a(x) = da + r·x·(c·x/2 + ca); delay_b(x) with L−x symmetric.
+        let delay_a = |x: f64| da + r * x * (0.5 * c * x + ca);
+        let delay_b = |y: f64| db + r * y * (0.5 * c * y + cb);
+
+        let (xa, la, lb);
+        if dist > 0.0 && delay_a(0.0) <= delay_b(dist) && delay_a(dist) >= delay_b(0.0) {
+            // Balance point inside the segment: bisection (both sides are
+            // monotone in x).
+            let (mut lo, mut hi) = (0.0, dist);
+            for _ in 0..80 {
+                let mid = 0.5 * (lo + hi);
+                if delay_a(mid) < delay_b(dist - mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            xa = 0.5 * (lo + hi);
+            la = xa;
+            lb = dist - xa;
+        } else if delay_a(0.0) > delay_b(dist) {
+            // a is already slower even tapping at a: tap at a, snake b side.
+            xa = 0.0;
+            la = 0.0;
+            lb = Self::snake_length(da - db, cb, dist, tech);
+        } else {
+            // b slower: tap at b, snake a side.
+            xa = dist;
+            la = Self::snake_length(db - da, ca, dist, tech);
+            lb = 0.0;
+        }
+        let t = if dist > 0.0 { xa / dist } else { 0.0 };
+        // Tap point on the L-shaped route (interpolate x first, then y).
+        let point = l_path_point(pa, pb, t);
+        let delay = delay_a(la.max(xa.min(dist)));
+        // Use the *achieved* equalized delay: evaluate through the a side.
+        let delay = if la > 0.0 && xa == dist {
+            da + r * la * (0.5 * c * la + ca)
+        } else {
+            delay
+        };
+        let cap = ca + cb + c * (la + lb);
+        let id = nodes.len();
+        nodes.push(TreeNode {
+            point,
+            children: vec![(a, la), (b, lb)],
+            subtree_delay: delay,
+            subtree_cap: cap,
+        });
+        id
+    }
+
+    /// Wire length `l ≥ dist` such that `r·l·(c·l/2 + cap_fast) = slow_lead`
+    /// — the snaking needed for the fast subtree to lose `slow_lead` ns.
+    fn snake_length(slow_lead: f64, cap_fast: f64, dist: f64, tech: &Technology) -> f64 {
+        let (r, c) = (tech.wire_res, tech.wire_cap);
+        let a = 0.5 * r * c;
+        let b = r * cap_fast;
+        let disc = b * b + 4.0 * a * slow_lead.max(0.0);
+        let l = (-b + disc.sqrt()) / (2.0 * a);
+        l.max(dist)
+    }
+
+    /// Number of clock sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sink_count
+    }
+
+    /// Total tree wirelength, µm (snaked lengths included).
+    pub fn total_wirelength(&self) -> f64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.children.iter().map(|&(_, l)| l))
+            .sum()
+    }
+
+    /// Total tree capacitance (wire + sink pins), pF — the conventional
+    /// clock network's switched load.
+    pub fn total_cap(&self) -> f64 {
+        self.nodes[self.root].subtree_cap
+    }
+
+    /// Per-sink source–sink *path lengths*, µm, indexed like the sink list
+    /// the tree was built from.
+    pub fn sink_path_lengths(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.sink_count];
+        let mut stack = vec![(self.root, 0.0)];
+        while let Some((n, acc)) = stack.pop() {
+            if self.nodes[n].children.is_empty() {
+                out[n] = acc; // leaves are nodes 0..sink_count in input order
+            }
+            for &(child, l) in &self.nodes[n].children {
+                stack.push((child, acc + l));
+            }
+        }
+        out
+    }
+
+    /// Average source–sink path length — the `PL` column of Table II.
+    pub fn average_path_length(&self) -> f64 {
+        let paths = self.sink_path_lengths();
+        paths.iter().sum::<f64>() / paths.len() as f64
+    }
+
+    /// Per-sink Elmore delays from the root, indexed like the sink list.
+    pub fn sink_delays(&self, tech: &Technology) -> Vec<f64> {
+        // Downstream cap below each node is stored; walk with accumulated
+        // delay.
+        let mut out = vec![0.0; self.sink_count];
+        let mut stack = vec![(self.root, 0.0)];
+        while let Some((n, acc)) = stack.pop() {
+            if self.nodes[n].children.is_empty() {
+                out[n] = acc;
+            }
+            for &(child, l) in &self.nodes[n].children {
+                let d = tech.wire_res * l * (0.5 * tech.wire_cap * l + self.nodes[child].subtree_cap);
+                stack.push((child, acc + d));
+            }
+        }
+        out
+    }
+
+    /// Worst-case skew of the tree (max − min sink delay), ns. Zero up to
+    /// numerical tolerance by construction.
+    pub fn skew(&self) -> f64 {
+        let tech = Technology::default();
+        let d = self.sink_delays(&tech);
+        let max = d.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = d.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// Number of internal edges (one per non-root node); edge `k` connects
+    /// node `k` to its parent. Used to size perturbation vectors for
+    /// [`Self::sink_delays_perturbed`].
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Sink delays under *perturbed* interconnect: `scale[k] = (r_mul,
+    /// c_mul)` multiplies the wire resistance/capacitance of the edge above
+    /// node `k`. Subtree capacitances are re-accumulated bottom-up, so a
+    /// capacitance change propagates into every upstream Elmore term —
+    /// the mechanism by which process variation turns into skew in a
+    /// conventional tree (the paper's motivation, ref. \[3\]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale.len() != self.edge_count() + 1` is violated in
+    /// debug builds (index `root` is unused).
+    pub fn sink_delays_perturbed(&self, tech: &Technology, scale: &[(f64, f64)]) -> Vec<f64> {
+        debug_assert!(scale.len() >= self.nodes.len().saturating_sub(0));
+        // Bottom-up: perturbed subtree capacitance per node. Nodes are
+        // created children-before-parents, so a forward scan suffices.
+        let mut cap = vec![0.0f64; self.nodes.len()];
+        for (n, node) in self.nodes.iter().enumerate() {
+            let mut c = if node.children.is_empty() {
+                node.subtree_cap // leaf: pin capacitance only
+            } else {
+                0.0
+            };
+            for &(child, l) in &node.children {
+                let (_, c_mul) = scale[child];
+                c += cap[child] + tech.wire_cap * c_mul * l;
+            }
+            cap[n] = c;
+        }
+        // Top-down: accumulate Elmore delay with perturbed r and c.
+        let mut out = vec![0.0; self.sink_count];
+        let mut stack = vec![(self.root, 0.0)];
+        while let Some((n, acc)) = stack.pop() {
+            if self.nodes[n].children.is_empty() {
+                out[n] = acc;
+            }
+            for &(child, l) in &self.nodes[n].children {
+                let (r_mul, c_mul) = scale[child];
+                let d = tech.wire_res * r_mul * l
+                    * (0.5 * tech.wire_cap * c_mul * l + cap[child]);
+                stack.push((child, acc + d));
+            }
+        }
+        out
+    }
+}
+
+/// Point at parameter `t ∈ [0,1]` along the L-shaped (x-then-y) route from
+/// `a` to `b`, measured in Manhattan arc length.
+fn l_path_point(a: Point, b: Point, t: f64) -> Point {
+    let dx = (b.x - a.x).abs();
+    let dy = (b.y - a.y).abs();
+    let total = dx + dy;
+    if total == 0.0 {
+        return a;
+    }
+    let s = t.clamp(0.0, 1.0) * total;
+    if s <= dx {
+        Point::new(a.x + (b.x - a.x).signum() * s, a.y)
+    } else {
+        Point::new(b.x, a.y + (b.y - a.y).signum() * (s - dx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_sinks(n: usize, pitch: f64) -> Vec<(Point, f64)> {
+        (0..n)
+            .flat_map(|i| (0..n).map(move |j| (Point::new(i as f64 * pitch, j as f64 * pitch), 0.01)))
+            .collect()
+    }
+
+    #[test]
+    fn two_symmetric_sinks_meet_in_the_middle() {
+        let tech = Technology::default();
+        let sinks = vec![(Point::new(0.0, 0.0), 0.01), (Point::new(100.0, 0.0), 0.01)];
+        let tree = ClockTree::build_over(&sinks, &tech);
+        assert!(tree.skew() < 1e-9);
+        let paths = tree.sink_path_lengths();
+        assert!((paths[0] - 50.0).abs() < 1e-6, "{paths:?}");
+        assert!((paths[1] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_caps_shift_the_tap_point() {
+        let tech = Technology::default();
+        // The heavier sink is slower per µm: tap point moves toward it.
+        let sinks = vec![(Point::new(0.0, 0.0), 0.10), (Point::new(100.0, 0.0), 0.001)];
+        let tree = ClockTree::build_over(&sinks, &tech);
+        assert!(tree.skew() < 1e-9);
+        let paths = tree.sink_path_lengths();
+        assert!(paths[0] < paths[1], "heavy sink gets the shorter wire: {paths:?}");
+    }
+
+    #[test]
+    fn grid_of_sinks_is_zero_skew() {
+        let tech = Technology::default();
+        let tree = ClockTree::build_over(&grid_sinks(5, 100.0), &tech);
+        assert_eq!(tree.sink_count(), 25);
+        assert!(tree.skew() < 1e-7, "skew {}", tree.skew());
+    }
+
+    #[test]
+    fn path_lengths_scale_with_die() {
+        let tech = Technology::default();
+        let small = ClockTree::build_over(&grid_sinks(4, 50.0), &tech);
+        let large = ClockTree::build_over(&grid_sinks(4, 200.0), &tech);
+        assert!(large.average_path_length() > 2.0 * small.average_path_length());
+    }
+
+    #[test]
+    fn wirelength_at_least_spanning_scale() {
+        let tech = Technology::default();
+        let tree = ClockTree::build_over(&grid_sinks(3, 100.0), &tech);
+        // 9 sinks spaced 100 µm apart need at least ~800 µm of wire.
+        assert!(tree.total_wirelength() >= 800.0 - 1e-6);
+        assert!(tree.total_cap() > 9.0 * 0.01);
+    }
+
+    #[test]
+    fn single_sink_tree_is_trivial() {
+        let tech = Technology::default();
+        let tree = ClockTree::build_over(&[(Point::new(5.0, 5.0), 0.02)], &tech);
+        assert_eq!(tree.sink_count(), 1);
+        assert_eq!(tree.total_wirelength(), 0.0);
+        assert_eq!(tree.average_path_length(), 0.0);
+        assert!((tree.total_cap() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "without sinks")]
+    fn empty_sinks_panics() {
+        let _ = ClockTree::build_over(&[], &Technology::default());
+    }
+
+    #[test]
+    fn unit_perturbation_reproduces_nominal_delays() {
+        let tech = Technology::default();
+        let tree = ClockTree::build_over(&grid_sinks(4, 120.0), &tech);
+        let n_nodes = tree.edge_count() + 1;
+        let nominal = tree.sink_delays(&tech);
+        let same = tree.sink_delays_perturbed(&tech, &vec![(1.0, 1.0); n_nodes]);
+        for (a, b) in nominal.iter().zip(&same) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_perturbation_creates_skew() {
+        let tech = Technology::default();
+        let tree = ClockTree::build_over(&grid_sinks(4, 120.0), &tech);
+        let n_nodes = tree.edge_count() + 1;
+        let mut scale = vec![(1.0, 1.0); n_nodes];
+        // Slow down the first half of the edges by 20%.
+        for s in scale.iter_mut().take(n_nodes / 2) {
+            *s = (1.2, 1.1);
+        }
+        let d = tree.sink_delays_perturbed(&tech, &scale);
+        let skew = d.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - d.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(skew > 1e-6, "variation must break the zero-skew balance");
+    }
+
+    #[test]
+    fn coincident_sinks_are_handled() {
+        let tech = Technology::default();
+        let p = Point::new(10.0, 10.0);
+        let tree = ClockTree::build_over(&[(p, 0.01), (p, 0.01), (p, 0.02)], &tech);
+        assert!(tree.skew() < 1e-9);
+        assert_eq!(tree.total_wirelength(), 0.0);
+    }
+}

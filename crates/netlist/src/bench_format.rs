@@ -1,0 +1,377 @@
+//! ISCAS89 `.bench` format support.
+//!
+//! The benchmark circuits the paper evaluates on (s9234, s5378, …) are
+//! distributed in the ISCAS89 *bench* format:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G14)
+//! G11 = NAND(G0, G10)
+//! G17 = NOT(G11)
+//! ```
+//!
+//! This module parses that format into a [`Circuit`] (and writes circuits
+//! back out), so real ISCAS89 netlists can be dropped in whenever they are
+//! available; the synthetic generator ([`crate::generator`]) only stands in
+//! for them. Gate functions are irrelevant to placement and skew
+//! optimization; they are retained only to choose default electrical
+//! parameters and for faithful round-tripping.
+
+use crate::circuit::{Cell, CellId, CellKind, Circuit, Net};
+use crate::geom::{Point, Rect};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Error produced while parsing a `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+/// Default electrical parameters by gate class.
+fn cell_for(kind: CellKind, fanin: usize) -> Cell {
+    let (width, cap, res, delay) = match kind {
+        CellKind::FlipFlop => (8.0, 0.010, 0.5, 0.03),
+        CellKind::Combinational => (
+            3.0 + fanin as f64,
+            0.004,
+            0.5,
+            0.01 + 0.004 * fanin as f64,
+        ),
+        CellKind::PrimaryInput | CellKind::PrimaryOutput => (1.0, 0.010, 1.0, 0.0),
+    };
+    Cell {
+        kind,
+        width,
+        height: 10.0,
+        input_cap: cap,
+        drive_resistance: res,
+        intrinsic_delay: delay,
+    }
+}
+
+/// Parses a `.bench` netlist into a circuit.
+///
+/// Cells receive placeholder positions on a uniform grid inside a die sized
+/// for ~35% utilization; run the placer before using any geometry.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, undefined signals, or
+/// duplicate definitions.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::bench_format::parse_bench;
+///
+/// let src = "
+/// INPUT(a)
+/// OUTPUT(y)
+/// q = DFF(y)
+/// y = NAND(a, q)
+/// ";
+/// let c = parse_bench("tiny", src)?;
+/// assert_eq!(c.flip_flop_count(), 1);
+/// assert_eq!(c.combinational_count(), 1);
+/// # Ok::<(), rotary_netlist::bench_format::ParseBenchError>(())
+/// ```
+pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
+    struct GateDef {
+        signal: String,
+        func: String,
+        inputs: Vec<String>,
+        line: usize,
+    }
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut gates: Vec<GateDef> = Vec::new();
+
+    for (ln, raw) in source.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseBenchError { line: line_no, message };
+        if let Some(rest) = line.strip_prefix("INPUT(") {
+            let sig = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err("missing ')' after INPUT".into()))?;
+            inputs.push(sig.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("OUTPUT(") {
+            let sig = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err("missing ')' after OUTPUT".into()))?;
+            outputs.push(sig.trim().to_string());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let signal = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(format!("expected FUNC(...) after '=', got {rhs}")))?;
+            let func = rhs[..open].trim().to_uppercase();
+            let args = rhs[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| err("missing closing ')'".into()))?;
+            let ins: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if ins.is_empty() {
+                return Err(err(format!("gate {signal} has no inputs")));
+            }
+            gates.push(GateDef { signal, func, inputs: ins, line: line_no });
+        } else {
+            return Err(err(format!("unrecognized line: {line}")));
+        }
+    }
+
+    // Die sized for the cell count.
+    let total_cells = gates.len() + inputs.len() + outputs.len();
+    let side = ((total_cells.max(1) as f64) * 10.0 * 12.0 / 0.35).sqrt().max(100.0);
+    let die = Rect::from_size(side, side);
+    let mut circuit = Circuit::new(name, die);
+
+    // Create cells: gates (DFF → flip-flop), then ports. Positions on a
+    // grid (placeholder until placement).
+    let cols = (total_cells as f64).sqrt().ceil() as usize;
+    let mut grid_pos = |k: usize| {
+        let (i, j) = (k % cols, k / cols);
+        die.clamp(Point::new(
+            (i as f64 + 0.5) * side / cols as f64,
+            (j as f64 + 0.5) * side / cols as f64,
+        ))
+    };
+    let mut id_of: HashMap<String, CellId> = HashMap::new();
+    let mut k = 0usize;
+    for g in &gates {
+        let kind = if g.func == "DFF" {
+            CellKind::FlipFlop
+        } else {
+            CellKind::Combinational
+        };
+        let id = circuit.add_cell(cell_for(kind, g.inputs.len()), grid_pos(k));
+        k += 1;
+        if id_of.insert(g.signal.clone(), id).is_some() {
+            return Err(ParseBenchError {
+                line: g.line,
+                message: format!("signal {} defined twice", g.signal),
+            });
+        }
+    }
+    for sig in &inputs {
+        let id = circuit.add_cell(cell_for(CellKind::PrimaryInput, 0), grid_pos(k));
+        k += 1;
+        if id_of.insert(sig.clone(), id).is_some() {
+            return Err(ParseBenchError {
+                line: 0,
+                message: format!("INPUT {sig} collides with a gate definition"),
+            });
+        }
+    }
+    let mut po_ids = Vec::new();
+    for _sig in &outputs {
+        let id = circuit.add_cell(cell_for(CellKind::PrimaryOutput, 1), grid_pos(k));
+        k += 1;
+        po_ids.push(id);
+    }
+
+    // Nets: one per driving signal, sinks = consumers (+ output ports).
+    let mut sinks_of: HashMap<String, Vec<CellId>> = HashMap::new();
+    for g in &gates {
+        let gid = id_of[&g.signal];
+        for input in &g.inputs {
+            if !id_of.contains_key(input) {
+                return Err(ParseBenchError {
+                    line: g.line,
+                    message: format!("undefined signal {input}"),
+                });
+            }
+            sinks_of.entry(input.clone()).or_default().push(gid);
+        }
+    }
+    for (sig, &po) in outputs.iter().zip(&po_ids) {
+        if !id_of.contains_key(sig) {
+            return Err(ParseBenchError {
+                line: 0,
+                message: format!("OUTPUT({sig}) references an undefined signal"),
+            });
+        }
+        sinks_of.entry(sig.clone()).or_default().push(po);
+    }
+    // Deterministic net order: gates in definition order, then inputs.
+    for g in &gates {
+        if let Some(sinks) = sinks_of.remove(&g.signal) {
+            circuit.add_net(Net { driver: id_of[&g.signal], sinks });
+        }
+    }
+    for sig in &inputs {
+        if let Some(sinks) = sinks_of.remove(sig) {
+            circuit.add_net(Net { driver: id_of[sig], sinks });
+        }
+    }
+    Ok(circuit)
+}
+
+/// Serializes a circuit to `.bench` text. Combinational functions are not
+/// tracked by [`Circuit`], so gates are emitted as `AND(...)` with their
+/// actual fanins; flip-flops as `DFF(...)`; the result re-parses to an
+/// isomorphic circuit.
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — generated by rotary-netlist", circuit.name);
+    let sig = |id: CellId| format!("n{}", id.0);
+
+    // Driver lookup: net driven by each cell (first match).
+    let mut driven_net: Vec<Option<usize>> = vec![None; circuit.cell_count()];
+    for (ni, net) in circuit.nets.iter().enumerate() {
+        driven_net[net.driver.index()].get_or_insert(ni);
+        let _ = ni;
+    }
+    let mut fanins: Vec<Vec<CellId>> = vec![Vec::new(); circuit.cell_count()];
+    for net in &circuit.nets {
+        for &s in &net.sinks {
+            fanins[s.index()].push(net.driver);
+        }
+    }
+
+    for (i, cell) in circuit.cells.iter().enumerate() {
+        if cell.kind == CellKind::PrimaryInput {
+            let _ = writeln!(out, "INPUT({})", sig(CellId(i as u32)));
+        }
+    }
+    for (i, cell) in circuit.cells.iter().enumerate() {
+        if cell.kind == CellKind::PrimaryOutput {
+            // OUTPUT lines reference the driving signal.
+            if let Some(&driver) = fanins[i].first() {
+                let _ = writeln!(out, "OUTPUT({})", sig(driver));
+            }
+        }
+    }
+    for (i, cell) in circuit.cells.iter().enumerate() {
+        let id = CellId(i as u32);
+        let func = match cell.kind {
+            CellKind::FlipFlop => "DFF",
+            CellKind::Combinational => "AND",
+            _ => continue,
+        };
+        let ins: Vec<String> = fanins[i].iter().map(|&d| sig(d)).collect();
+        if ins.is_empty() {
+            continue; // dangling gate: not representable, skip
+        }
+        let _ = writeln!(out, "{} = {}({})", sig(id), func, ins.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+# s-tiny example
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q1 = DFF(g2)
+g1 = NAND(a, q1)
+g2 = NOR(g1, b)
+y  = NOT(g2)
+";
+
+    #[test]
+    fn parses_counts_and_kinds() {
+        let c = parse_bench("tiny", SAMPLE).expect("parse");
+        assert_eq!(c.flip_flop_count(), 1);
+        assert_eq!(c.combinational_count(), 3);
+        assert_eq!(c.cell_count(), 4 + 2 + 1);
+        c.validate().expect("valid");
+    }
+
+    #[test]
+    fn connectivity_matches_source() {
+        let c = parse_bench("tiny", SAMPLE).expect("parse");
+        // q1 (DFF) drives g1; g2 drives both q1 and y.
+        let g2_net = c
+            .nets
+            .iter()
+            .find(|n| c.cell(n.driver).kind == CellKind::Combinational && n.sinks.len() >= 2)
+            .expect("g2 fanout net");
+        assert!(g2_net.sinks.iter().any(|&s| c.cell(s).kind == CellKind::FlipFlop));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let c = parse_bench("tiny", SAMPLE).expect("parse");
+        let text = write_bench(&c);
+        let c2 = parse_bench("tiny2", &text).expect("reparse");
+        assert_eq!(c.flip_flop_count(), c2.flip_flop_count());
+        assert_eq!(c.combinational_count(), c2.combinational_count());
+        assert_eq!(c.net_count(), c2.net_count());
+        let pins: usize = c.nets.iter().map(|n| n.pin_count()).sum();
+        let pins2: usize = c2.nets.iter().map(|n| n.pin_count()).sum();
+        assert_eq!(pins, pins2);
+        c2.validate().expect("valid");
+    }
+
+    #[test]
+    fn generator_output_roundtrips_through_bench() {
+        use crate::generator::{Generator, GeneratorConfig};
+        let c = Generator::new(GeneratorConfig {
+            combinational: 80,
+            flip_flops: 16,
+            nets: 90,
+            primary_inputs: 6,
+            primary_outputs: 6,
+            ..GeneratorConfig::default()
+        })
+        .generate(4);
+        let text = write_bench(&c);
+        let c2 = parse_bench("rt", &text).expect("reparse");
+        assert_eq!(c2.flip_flop_count(), 16);
+        c2.validate().expect("valid");
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let err = parse_bench("bad", "y = AND(a, b)").expect_err("undefined");
+        assert!(err.message.contains("undefined"));
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let src = "INPUT(a)\ny = NOT(a)\ny = NOT(a)\n";
+        let err = parse_bench("dup", src).expect_err("duplicate");
+        assert!(err.message.contains("twice"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_bench("m1", "INPUT(a").is_err());
+        assert!(parse_bench("m2", "y = ").is_err());
+        assert!(parse_bench("m3", "what is this").is_err());
+        assert!(parse_bench("m4", "y = AND()").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = parse_bench("c", "# hi\n\nINPUT(a)\n  # indented\ny = NOT(a) # trailing\nOUTPUT(y)\n")
+            .expect("parse");
+        assert_eq!(c.combinational_count(), 1);
+    }
+}

@@ -1,0 +1,475 @@
+//! Gate-level netlist representation.
+//!
+//! A [`Circuit`] is a set of [`Cell`]s (combinational gates, flip-flops and
+//! primary I/O ports) connected by [`Net`]s. Each net has exactly one driver
+//! and any number of sinks. The combinational portion must form a DAG bounded
+//! by flip-flops and primary ports — [`Circuit::validate`] checks this, and
+//! [`Circuit::topological_order`] exposes the levelized order used by static
+//! timing analysis.
+
+use crate::geom::{BoundingBox, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cell within its [`Circuit`]. Indexes into [`Circuit::cells`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The cell index as a `usize` for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a net within its [`Circuit`]. Indexes into [`Circuit::nets`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The net index as a `usize` for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The functional class of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// A combinational standard cell (NAND/NOR/INV/complex gate — the exact
+    /// function is irrelevant to placement and skew optimization; only delay
+    /// and capacitance matter).
+    Combinational,
+    /// An edge-triggered flip-flop: a clock sink for the rotary ring array.
+    FlipFlop,
+    /// A primary input port (fixed on the die boundary).
+    PrimaryInput,
+    /// A primary output port (fixed on the die boundary).
+    PrimaryOutput,
+}
+
+impl CellKind {
+    /// Whether the cell is movable by the placer (ports are fixed).
+    pub fn is_movable(self) -> bool {
+        matches!(self, CellKind::Combinational | CellKind::FlipFlop)
+    }
+}
+
+/// A placeable circuit element.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    /// Functional class.
+    pub kind: CellKind,
+    /// Footprint width in µm.
+    pub width: f64,
+    /// Footprint height in µm (row height for standard cells).
+    pub height: f64,
+    /// Input pin capacitance in pF (per input; the flip-flop value is the
+    /// clock-pin capacitance `C_ff` used in the tapping equation).
+    pub input_cap: f64,
+    /// Output drive resistance in kΩ (used by the Elmore gate-delay model).
+    pub drive_resistance: f64,
+    /// Intrinsic (unloaded) gate delay in ns.
+    pub intrinsic_delay: f64,
+}
+
+impl Cell {
+    /// Footprint area in µm².
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+/// A signal net: one driver cell and a set of sink cells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Net {
+    /// The cell whose output drives this net.
+    pub driver: CellId,
+    /// Cells with an input pin on this net.
+    pub sinks: Vec<CellId>,
+}
+
+impl Net {
+    /// Number of pins on the net (driver + sinks).
+    pub fn pin_count(&self) -> usize {
+        1 + self.sinks.len()
+    }
+}
+
+/// Error returned by [`Circuit::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateCircuitError {
+    /// A net references a cell index outside the cell array.
+    DanglingCellRef { net: NetId, cell: CellId },
+    /// The combinational subgraph contains a cycle (no flip-flop on the loop).
+    CombinationalCycle,
+    /// A primary output drives a net.
+    OutputDrivesNet { net: NetId },
+    /// A cell position lies outside the die.
+    CellOffDie { cell: CellId },
+}
+
+impl std::fmt::Display for ValidateCircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DanglingCellRef { net, cell } => {
+                write!(f, "net {net} references nonexistent cell {cell}")
+            }
+            Self::CombinationalCycle => write!(f, "combinational subgraph contains a cycle"),
+            Self::OutputDrivesNet { net } => write!(f, "primary output drives net {net}"),
+            Self::CellOffDie { cell } => write!(f, "cell {cell} placed outside the die"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateCircuitError {}
+
+/// A placed gate-level netlist.
+///
+/// Positions are cell centers in µm. A freshly generated circuit carries the
+/// generator's seed placement; the placer overwrites positions in place.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::BenchmarkSuite;
+///
+/// let c = BenchmarkSuite::S5378.circuit(7);
+/// assert_eq!(c.flip_flop_count(), 164);
+/// let hpwl = c.total_hpwl();
+/// assert!(hpwl > 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Circuit {
+    /// Human-readable benchmark name (e.g. `"s9234"`).
+    pub name: String,
+    /// Die outline; all cells must stay inside.
+    pub die: Rect,
+    /// All cells, indexed by [`CellId`].
+    pub cells: Vec<Cell>,
+    /// Cell center positions, parallel to `cells`.
+    pub positions: Vec<Point>,
+    /// All nets, indexed by [`NetId`].
+    pub nets: Vec<Net>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over the given die.
+    pub fn new(name: impl Into<String>, die: Rect) -> Self {
+        Self {
+            name: name.into(),
+            die,
+            cells: Vec::new(),
+            positions: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Adds a cell at `pos` and returns its id.
+    pub fn add_cell(&mut self, cell: Cell, pos: Point) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell);
+        self.positions.push(pos);
+        id
+    }
+
+    /// Adds a net and returns its id.
+    pub fn add_net(&mut self, net: Net) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(net);
+        id
+    }
+
+    /// Number of cells of every kind.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of flip-flops (clock sinks).
+    pub fn flip_flop_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.kind == CellKind::FlipFlop)
+            .count()
+    }
+
+    /// Number of combinational cells.
+    pub fn combinational_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Combinational)
+            .count()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Ids of all flip-flops, in index order.
+    pub fn flip_flops(&self) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == CellKind::FlipFlop)
+            .map(|(i, _)| CellId(i as u32))
+            .collect()
+    }
+
+    /// Position of a cell.
+    pub fn position(&self, id: CellId) -> Point {
+        self.positions[id.index()]
+    }
+
+    /// Moves a cell to `pos`.
+    pub fn set_position(&mut self, id: CellId, pos: Point) {
+        self.positions[id.index()] = pos;
+    }
+
+    /// The cell record for `id`.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// The net record for `id`.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Half-perimeter wirelength of one net at the current placement.
+    pub fn net_hpwl(&self, id: NetId) -> f64 {
+        let net = self.net(id);
+        let mut bb = BoundingBox::new();
+        bb.add(self.position(net.driver));
+        for &s in &net.sinks {
+            bb.add(self.position(s));
+        }
+        bb.half_perimeter()
+    }
+
+    /// Total HPWL over all nets — the "signal wirelength" metric of the paper.
+    pub fn total_hpwl(&self) -> f64 {
+        (0..self.nets.len())
+            .map(|i| self.net_hpwl(NetId(i as u32)))
+            .sum()
+    }
+
+    /// For each cell, the list of nets incident to it (driver or sink).
+    pub fn build_cell_nets(&self) -> Vec<Vec<NetId>> {
+        let mut out = vec![Vec::new(); self.cells.len()];
+        for (i, net) in self.nets.iter().enumerate() {
+            let id = NetId(i as u32);
+            out[net.driver.index()].push(id);
+            for &s in &net.sinks {
+                out[s.index()].push(id);
+            }
+        }
+        out
+    }
+
+    /// Directed combinational fanout adjacency: for each cell, the cells it
+    /// drives through some net. Flip-flop outputs appear as sources and
+    /// flip-flop inputs as sinks, but edges are *not* followed through
+    /// flip-flops (they cut timing paths).
+    pub fn fanout_adjacency(&self) -> Vec<Vec<CellId>> {
+        let mut adj = vec![Vec::new(); self.cells.len()];
+        for net in &self.nets {
+            for &s in &net.sinks {
+                adj[net.driver.index()].push(s);
+            }
+        }
+        adj
+    }
+
+    /// Topological order of the cells treating flip-flop *outputs* as sources
+    /// (their fanin edges are cut). Returns `None` if the combinational
+    /// subgraph has a cycle.
+    ///
+    /// Flip-flops and primary inputs have in-degree 0 by construction; the
+    /// order is suitable for a single forward STA sweep.
+    pub fn topological_order(&self) -> Option<Vec<CellId>> {
+        let n = self.cells.len();
+        let adj = self.fanout_adjacency();
+        // Flip-flops are forced sources: edges into an FF data pin end a
+        // timing path, so they do not contribute to the FF's in-degree.
+        let mut indeg = vec![0usize; n];
+        for outs in &adj {
+            for &v in outs {
+                if self.cells[v.index()].kind != CellKind::FlipFlop {
+                    indeg[v.index()] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(CellId(u as u32));
+            for &v in &adj[u] {
+                let vi = v.index();
+                if self.cells[vi].kind == CellKind::FlipFlop {
+                    continue; // timing path ends at the FF data pin
+                }
+                indeg[vi] -= 1;
+                if indeg[vi] == 0 {
+                    queue.push(vi);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Checks structural invariants. See [`ValidateCircuitError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: dangling net references,
+    /// primary outputs driving nets, cells placed off-die, or a
+    /// combinational cycle.
+    pub fn validate(&self) -> Result<(), ValidateCircuitError> {
+        let n = self.cells.len() as u32;
+        for (i, net) in self.nets.iter().enumerate() {
+            let id = NetId(i as u32);
+            if net.driver.0 >= n {
+                return Err(ValidateCircuitError::DanglingCellRef { net: id, cell: net.driver });
+            }
+            if self.cells[net.driver.index()].kind == CellKind::PrimaryOutput {
+                return Err(ValidateCircuitError::OutputDrivesNet { net: id });
+            }
+            for &s in &net.sinks {
+                if s.0 >= n {
+                    return Err(ValidateCircuitError::DanglingCellRef { net: id, cell: s });
+                }
+            }
+        }
+        for (i, &p) in self.positions.iter().enumerate() {
+            if !self.die.contains(p) {
+                return Err(ValidateCircuitError::CellOffDie { cell: CellId(i as u32) });
+            }
+        }
+        if self.topological_order().is_none() {
+            return Err(ValidateCircuitError::CombinationalCycle);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comb_cell() -> Cell {
+        Cell {
+            kind: CellKind::Combinational,
+            width: 2.0,
+            height: 8.0,
+            input_cap: 0.004,
+            drive_resistance: 2.0,
+            intrinsic_delay: 0.03,
+        }
+    }
+
+    fn ff_cell() -> Cell {
+        Cell { kind: CellKind::FlipFlop, ..comb_cell() }
+    }
+
+    fn tiny_circuit() -> Circuit {
+        // ff0 -> g1 -> g2 -> ff3
+        let mut c = Circuit::new("tiny", Rect::from_size(100.0, 100.0));
+        let ff0 = c.add_cell(ff_cell(), Point::new(10.0, 10.0));
+        let g1 = c.add_cell(comb_cell(), Point::new(20.0, 10.0));
+        let g2 = c.add_cell(comb_cell(), Point::new(30.0, 10.0));
+        let ff3 = c.add_cell(ff_cell(), Point::new(40.0, 10.0));
+        c.add_net(Net { driver: ff0, sinks: vec![g1] });
+        c.add_net(Net { driver: g1, sinks: vec![g2] });
+        c.add_net(Net { driver: g2, sinks: vec![ff3] });
+        c
+    }
+
+    #[test]
+    fn counts() {
+        let c = tiny_circuit();
+        assert_eq!(c.cell_count(), 4);
+        assert_eq!(c.flip_flop_count(), 2);
+        assert_eq!(c.combinational_count(), 2);
+        assert_eq!(c.net_count(), 3);
+        assert_eq!(c.flip_flops(), vec![CellId(0), CellId(3)]);
+    }
+
+    #[test]
+    fn hpwl_of_chain() {
+        let c = tiny_circuit();
+        // Each net spans 10 µm horizontally, 0 vertically.
+        assert!((c.total_hpwl() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topological_order_covers_all_cells() {
+        let c = tiny_circuit();
+        let order = c.topological_order().expect("acyclic");
+        assert_eq!(order.len(), 4);
+        let pos = |id: CellId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(CellId(1)) < pos(CellId(2)), "g1 before g2");
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert!(tiny_circuit().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_combinational_cycle() {
+        let mut c = tiny_circuit();
+        // g2 -> g1 creates a purely combinational loop.
+        c.add_net(Net { driver: CellId(2), sinks: vec![CellId(1)] });
+        assert_eq!(c.validate(), Err(ValidateCircuitError::CombinationalCycle));
+    }
+
+    #[test]
+    fn cycle_through_flip_flop_is_legal() {
+        let mut c = tiny_circuit();
+        // ff3 -> g1: sequential loop, fine.
+        c.add_net(Net { driver: CellId(3), sinks: vec![CellId(1)] });
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_off_die_cell() {
+        let mut c = tiny_circuit();
+        c.set_position(CellId(1), Point::new(500.0, 10.0));
+        assert!(matches!(
+            c.validate(),
+            Err(ValidateCircuitError::CellOffDie { cell: CellId(1) })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_dangling_ref() {
+        let mut c = tiny_circuit();
+        c.add_net(Net { driver: CellId(99), sinks: vec![] });
+        assert!(matches!(
+            c.validate(),
+            Err(ValidateCircuitError::DanglingCellRef { .. })
+        ));
+    }
+
+    #[test]
+    fn cell_nets_index() {
+        let c = tiny_circuit();
+        let cn = c.build_cell_nets();
+        assert_eq!(cn[1], vec![NetId(0), NetId(1)]); // g1 sinks n0, drives n1
+    }
+}

@@ -1,0 +1,465 @@
+//! Seeded synthetic sequential-netlist generator.
+//!
+//! The ISCAS89 sources and the SIS synthesis flow used by the paper are not
+//! available in this environment, so benchmark circuits are *simulated*: we
+//! generate random levelized combinational DAGs bounded by flip-flops whose
+//! cell/flip-flop/net counts match Table II of the paper exactly, with a
+//! cluster structure that gives the placer realistic locality to exploit.
+//!
+//! Determinism: the generator is a pure function of its [`GeneratorConfig`]
+//! (including the seed), so every experiment in this repository is
+//! reproducible bit-for-bit.
+
+use crate::circuit::{Cell, CellId, CellKind, Circuit, Net};
+use crate::geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic benchmark circuit.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::{Generator, GeneratorConfig};
+///
+/// let cfg = GeneratorConfig {
+///     name: "toy".into(),
+///     combinational: 60,
+///     flip_flops: 12,
+///     nets: 64,
+///     ..GeneratorConfig::default()
+/// };
+/// let circuit = Generator::new(cfg).generate(1);
+/// assert_eq!(circuit.flip_flop_count(), 12);
+/// assert!(circuit.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Benchmark name recorded on the circuit.
+    pub name: String,
+    /// Number of combinational cells.
+    pub combinational: usize,
+    /// Number of flip-flops.
+    pub flip_flops: usize,
+    /// Number of signal nets (must be ≥ `flip_flops + primary_inputs` and
+    /// ≤ `combinational + flip_flops + primary_inputs`).
+    pub nets: usize,
+    /// Number of primary input ports.
+    pub primary_inputs: usize,
+    /// Number of primary output ports.
+    pub primary_outputs: usize,
+    /// Die side length in µm (square die).
+    pub die_side: f64,
+    /// Number of logic levels between flip-flop boundaries.
+    pub levels: usize,
+    /// Mean fanout of a net (geometric distribution, clamped to `max_fanout`).
+    pub mean_fanout: f64,
+    /// Upper bound on net fanout.
+    pub max_fanout: usize,
+    /// Number of locality clusters used to bias connectivity.
+    pub clusters: usize,
+    /// Placement row height in µm (cell height).
+    pub row_height: f64,
+    /// Target placement-area utilization; cell widths are scaled to hit it.
+    pub utilization: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            name: "synthetic".into(),
+            combinational: 1000,
+            flip_flops: 100,
+            nets: 1050,
+            primary_inputs: 20,
+            primary_outputs: 20,
+            die_side: 1000.0,
+            levels: 8,
+            mean_fanout: 2.2,
+            max_fanout: 12,
+            clusters: 16,
+            row_height: 10.0,
+            utilization: 0.35,
+        }
+    }
+}
+
+/// Synthetic circuit generator. See the [module docs](self) for the model.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    config: GeneratorConfig,
+}
+
+impl Generator {
+    /// Creates a generator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net count is inconsistent with the cell counts (every
+    /// flip-flop and primary input must drive a net, and there cannot be
+    /// more nets than potential drivers).
+    pub fn new(config: GeneratorConfig) -> Self {
+        let min_nets = config.flip_flops + config.primary_inputs;
+        let max_nets = config.combinational + min_nets;
+        assert!(
+            (min_nets..=max_nets).contains(&config.nets),
+            "net count {} outside feasible range [{min_nets}, {max_nets}]",
+            config.nets
+        );
+        assert!(config.levels >= 2, "need at least 2 logic levels");
+        Self { config }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates a circuit. The same `(config, seed)` pair always yields the
+    /// same circuit.
+    pub fn generate(&self, seed: u64) -> Circuit {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c19c);
+        let die = Rect::from_size(cfg.die_side, cfg.die_side);
+        let mut circuit = Circuit::new(cfg.name.clone(), die);
+
+        // Scale cell widths so total cell area hits the target utilization.
+        let total_cells = cfg.combinational + cfg.flip_flops;
+        let mean_width =
+            cfg.utilization * die.area() / (total_cells as f64 * cfg.row_height);
+
+        // --- cells -----------------------------------------------------
+        // Order: combinational, flip-flops, primary inputs, primary outputs.
+        let mut comb_level = Vec::with_capacity(cfg.combinational);
+        let mut comb_cluster = Vec::with_capacity(cfg.combinational);
+        for _ in 0..cfg.combinational {
+            let width = mean_width * rng.gen_range(0.5..1.5);
+            circuit.add_cell(
+                Cell {
+                    kind: CellKind::Combinational,
+                    width,
+                    height: cfg.row_height,
+                    input_cap: rng.gen_range(0.002..0.006), // pF
+                    drive_resistance: rng.gen_range(0.3..0.7), // kΩ
+                    intrinsic_delay: rng.gen_range(0.005..0.015), // ns
+                },
+                random_point(&mut rng, die),
+            );
+            comb_level.push(rng.gen_range(1..=cfg.levels));
+            comb_cluster.push(rng.gen_range(0..cfg.clusters.max(1)));
+        }
+        let ff_base = cfg.combinational;
+        let mut ff_cluster = Vec::with_capacity(cfg.flip_flops);
+        for _ in 0..cfg.flip_flops {
+            let width = mean_width * rng.gen_range(0.9..1.6);
+            circuit.add_cell(
+                Cell {
+                    kind: CellKind::FlipFlop,
+                    width,
+                    height: cfg.row_height,
+                    input_cap: rng.gen_range(0.008..0.015), // clock-pin cap, pF
+                    drive_resistance: rng.gen_range(0.3..0.6),
+                    intrinsic_delay: rng.gen_range(0.02..0.04), // clk->q
+                },
+                random_point(&mut rng, die),
+            );
+            ff_cluster.push(rng.gen_range(0..cfg.clusters.max(1)));
+        }
+        let pi_base = ff_base + cfg.flip_flops;
+        for k in 0..cfg.primary_inputs {
+            circuit.add_cell(
+                Cell {
+                    kind: CellKind::PrimaryInput,
+                    width: 1.0,
+                    height: 1.0,
+                    input_cap: 0.0,
+                    drive_resistance: 1.0,
+                    intrinsic_delay: 0.0,
+                },
+                boundary_point(die, k, cfg.primary_inputs, true),
+            );
+        }
+        let po_base = pi_base + cfg.primary_inputs;
+        for k in 0..cfg.primary_outputs {
+            circuit.add_cell(
+                Cell {
+                    kind: CellKind::PrimaryOutput,
+                    width: 1.0,
+                    height: 1.0,
+                    input_cap: 0.010,
+                    drive_resistance: 1.0,
+                    intrinsic_delay: 0.0,
+                },
+                boundary_point(die, k, cfg.primary_outputs, false),
+            );
+        }
+
+        // --- choose drivers ---------------------------------------------
+        // Every FF and PI drives a net; the remaining net budget goes to a
+        // random subset of combinational cells (the rest are sink-only,
+        // matching ISCAS89's nets < cells).
+        let comb_driver_count = cfg.nets - cfg.flip_flops - cfg.primary_inputs;
+        let mut comb_ids: Vec<usize> = (0..cfg.combinational).collect();
+        partial_shuffle(&mut rng, &mut comb_ids);
+        let comb_drivers = &comb_ids[..comb_driver_count];
+
+        // Bucket combinational cells by level for fast sink selection.
+        let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); cfg.levels + 1];
+        for (i, &l) in comb_level.iter().enumerate() {
+            by_level[l].push(i);
+        }
+
+        // --- nets --------------------------------------------------------
+        // Net ordering: FF-driven, PI-driven, then comb-driven.
+        let mut fanin_count = vec![0usize; circuit.cell_count()];
+        let mut net_specs: Vec<(CellId, usize, usize)> = Vec::with_capacity(cfg.nets);
+        for f in 0..cfg.flip_flops {
+            net_specs.push((CellId((ff_base + f) as u32), 0, ff_cluster[f]));
+        }
+        for p in 0..cfg.primary_inputs {
+            net_specs.push((CellId((pi_base + p) as u32), 0, rng.gen_range(0..cfg.clusters.max(1))));
+        }
+        for &c in comb_drivers {
+            net_specs.push((CellId(c as u32), comb_level[c], comb_cluster[c]));
+        }
+
+        for (driver, level, cluster) in net_specs {
+            let fanout = sample_fanout(&mut rng, cfg.mean_fanout, cfg.max_fanout);
+            let mut sinks = Vec::with_capacity(fanout);
+            for _ in 0..fanout {
+                let sink = self.pick_sink(
+                    &mut rng,
+                    level,
+                    cluster,
+                    &by_level,
+                    &comb_cluster,
+                    ff_base,
+                    po_base,
+                    cfg,
+                );
+                if let Some(s) = sink {
+                    if s != driver && !sinks.contains(&s) {
+                        fanin_count[s.index()] += 1;
+                        sinks.push(s);
+                    }
+                }
+            }
+            if sinks.is_empty() {
+                // Guarantee at least one sink: an FF data pin is always legal.
+                let s = CellId((ff_base + rng.gen_range(0..cfg.flip_flops)) as u32);
+                fanin_count[s.index()] += 1;
+                sinks.push(s);
+            }
+            circuit.add_net(Net { driver, sinks });
+        }
+
+        // --- repair passes ------------------------------------------------
+        // (a) every combinational cell needs at least one fanin: attach it as
+        //     a sink of some net driven from a strictly lower level.
+        // (b) every flip-flop needs a data input: attach to a comb net.
+        let mut nets_by_driver_level: Vec<Vec<usize>> = vec![Vec::new(); cfg.levels + 1];
+        for (ni, net) in circuit.nets.iter().enumerate() {
+            let d = net.driver.index();
+            let lvl = if d < cfg.combinational { comb_level[d] } else { 0 };
+            nets_by_driver_level[lvl].push(ni);
+        }
+        for c in 0..cfg.combinational {
+            if fanin_count[c] == 0 {
+                let lvl = comb_level[c];
+                let mut src_lvl = rng.gen_range(0..lvl);
+                // Level 0 (FF/PI-driven nets) is never empty, so walking
+                // down always terminates with a net.
+                while nets_by_driver_level[src_lvl].is_empty() {
+                    src_lvl -= 1;
+                }
+                if let Some(&ni) = pick_random(&mut rng, &nets_by_driver_level[src_lvl]) {
+                    circuit.nets[ni].sinks.push(CellId(c as u32));
+                    fanin_count[c] += 1;
+                }
+            }
+        }
+        for f in 0..cfg.flip_flops {
+            let id = ff_base + f;
+            if fanin_count[id] == 0 {
+                // Any net may feed an FF data pin (paths are cut there).
+                let ni = rng.gen_range(0..circuit.nets.len());
+                circuit.nets[ni].sinks.push(CellId(id as u32));
+                fanin_count[id] += 1;
+            }
+        }
+
+        debug_assert_eq!(circuit.net_count(), cfg.nets);
+        circuit
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pick_sink(
+        &self,
+        rng: &mut StdRng,
+        driver_level: usize,
+        cluster: usize,
+        by_level: &[Vec<usize>],
+        comb_cluster: &[usize],
+        ff_base: usize,
+        po_base: usize,
+        cfg: &GeneratorConfig,
+    ) -> Option<CellId> {
+        // 78% combinational sink at a higher level, 15% FF data pin,
+        // 7% primary output.
+        let roll: f64 = rng.gen();
+        if roll < 0.78 && driver_level < cfg.levels {
+            let lvl = rng.gen_range(driver_level + 1..=cfg.levels);
+            let pool = &by_level[lvl];
+            if pool.is_empty() {
+                return None;
+            }
+            // Cluster bias: try a few times for a same-cluster sink.
+            for _ in 0..4 {
+                let cand = pool[rng.gen_range(0..pool.len())];
+                if comb_cluster[cand] == cluster {
+                    return Some(CellId(cand as u32));
+                }
+            }
+            Some(CellId(pool[rng.gen_range(0..pool.len())] as u32))
+        } else if roll < 0.93 || driver_level >= cfg.levels {
+            Some(CellId((ff_base + rng.gen_range(0..cfg.flip_flops)) as u32))
+        } else if cfg.primary_outputs > 0 {
+            Some(CellId((po_base + rng.gen_range(0..cfg.primary_outputs)) as u32))
+        } else {
+            None
+        }
+    }
+}
+
+fn random_point(rng: &mut StdRng, die: Rect) -> Point {
+    Point::new(
+        rng.gen_range(die.lo.x..die.hi.x),
+        rng.gen_range(die.lo.y..die.hi.y),
+    )
+}
+
+/// Evenly spaces port `k` of `n` along the west (inputs) or east (outputs)
+/// die edge.
+fn boundary_point(die: Rect, k: usize, n: usize, west: bool) -> Point {
+    let frac = (k as f64 + 0.5) / n as f64;
+    let y = die.lo.y + frac * die.height();
+    let x = if west { die.lo.x } else { die.hi.x };
+    Point::new(x, y)
+}
+
+/// Geometric fanout sample with mean ≈ `mean`, clamped to `[1, max]`.
+fn sample_fanout(rng: &mut StdRng, mean: f64, max: usize) -> usize {
+    let p = 1.0 / mean.max(1.0);
+    let mut k = 1usize;
+    while k < max && rng.gen::<f64>() > p {
+        k += 1;
+    }
+    k
+}
+
+/// Fisher–Yates shuffle (we avoid pulling in rand's `SliceRandom` to keep the
+/// dependency surface explicit).
+fn partial_shuffle(rng: &mut StdRng, v: &mut [usize]) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+fn pick_random<'a, T>(rng: &mut StdRng, v: &'a [T]) -> Option<&'a T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(&v[rng.gen_range(0..v.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> GeneratorConfig {
+        GeneratorConfig {
+            name: "toy".into(),
+            combinational: 120,
+            flip_flops: 24,
+            nets: 130,
+            primary_inputs: 8,
+            primary_outputs: 8,
+            die_side: 400.0,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_exact_counts() {
+        let c = Generator::new(toy_config()).generate(3);
+        assert_eq!(c.combinational_count(), 120);
+        assert_eq!(c.flip_flop_count(), 24);
+        assert_eq!(c.net_count(), 130);
+        assert_eq!(c.cell_count(), 120 + 24 + 8 + 8);
+    }
+
+    #[test]
+    fn generated_circuit_validates() {
+        let c = Generator::new(toy_config()).generate(3);
+        c.validate().expect("valid circuit");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Generator::new(toy_config()).generate(9);
+        let b = Generator::new(toy_config()).generate(9);
+        assert_eq!(a.total_hpwl(), b.total_hpwl());
+        assert_eq!(a.nets.len(), b.nets.len());
+        for (x, y) in a.nets.iter().zip(&b.nets) {
+            assert_eq!(x.driver, y.driver);
+            assert_eq!(x.sinks, y.sinks);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Generator::new(toy_config()).generate(1);
+        let b = Generator::new(toy_config()).generate(2);
+        assert_ne!(a.total_hpwl(), b.total_hpwl());
+    }
+
+    #[test]
+    fn every_comb_cell_has_fanin() {
+        let c = Generator::new(toy_config()).generate(5);
+        let mut fanin = vec![0usize; c.cell_count()];
+        for net in &c.nets {
+            for &s in &net.sinks {
+                fanin[s.index()] += 1;
+            }
+        }
+        for (i, cell) in c.cells.iter().enumerate() {
+            if cell.kind == CellKind::Combinational || cell.kind == CellKind::FlipFlop {
+                assert!(fanin[i] > 0, "cell {i} ({:?}) has no fanin", cell.kind);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside feasible range")]
+    fn rejects_too_few_nets() {
+        let cfg = GeneratorConfig { nets: 10, ..toy_config() };
+        let _ = Generator::new(cfg);
+    }
+
+    #[test]
+    fn utilization_close_to_target() {
+        let cfg = toy_config();
+        let util = cfg.utilization;
+        let c = Generator::new(cfg).generate(11);
+        let cell_area: f64 = c
+            .cells
+            .iter()
+            .filter(|x| x.kind.is_movable())
+            .map(|x| x.area())
+            .sum();
+        let achieved = cell_area / c.die.area();
+        assert!((achieved - util).abs() < 0.1 * util, "achieved {achieved}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Planar geometry primitives used throughout the workspace.
+//!
+//! All coordinates are in micrometers, matching the units the paper reports
+//! (wirelength in µm, capacitance in pF, power in mW).
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the placement plane, in micrometers.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::geom::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.manhattan(b), 7.0);
+/// assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in µm.
+    pub x: f64,
+    /// Vertical coordinate in µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (rectilinear) distance to `other`.
+    ///
+    /// This is the metric used for all wirelength and tapping-cost
+    /// computations in the paper.
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn euclidean(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Component-wise midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// An axis-aligned rectangle, stored as lower-left and upper-right corners.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::geom::{Point, Rect};
+///
+/// let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 4.0));
+/// assert_eq!(r.width(), 10.0);
+/// assert_eq!(r.height(), 4.0);
+/// assert_eq!(r.area(), 40.0);
+/// assert!(r.contains(Point::new(5.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is not component-wise `<=` `hi`.
+    pub fn new(lo: Point, hi: Point) -> Self {
+        assert!(
+            lo.x <= hi.x && lo.y <= hi.y,
+            "rectangle corners out of order: lo={lo}, hi={hi}"
+        );
+        Self { lo, hi }
+    }
+
+    /// Creates a rectangle from the origin with the given width and height.
+    pub fn from_size(width: f64, height: f64) -> Self {
+        Self::new(Point::new(0.0, 0.0), Point::new(width, height))
+    }
+
+    /// Width (x extent) of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (y extent) of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Point {
+        self.lo.midpoint(self.hi)
+    }
+
+    /// Whether `p` lies inside the rectangle (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Clamps `p` to the nearest point inside the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.lo.x, self.hi.x), p.y.clamp(self.lo.y, self.hi.y))
+    }
+
+    /// Half-perimeter of the rectangle; for a net bounding box this is the
+    /// standard HPWL contribution.
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+}
+
+/// Incremental bounding-box accumulator over a stream of points.
+///
+/// Used to compute half-perimeter wirelength (HPWL) of nets.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::geom::{BoundingBox, Point};
+///
+/// let mut bb = BoundingBox::new();
+/// bb.add(Point::new(1.0, 5.0));
+/// bb.add(Point::new(4.0, 2.0));
+/// assert_eq!(bb.half_perimeter(), 3.0 + 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    min_x: f64,
+    max_x: f64,
+    min_y: f64,
+    max_y: f64,
+    count: usize,
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoundingBox {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            min_x: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            min_y: f64::INFINITY,
+            max_y: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    /// Adds a point to the box.
+    pub fn add(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.max_x = self.max_x.max(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_y = self.max_y.max(p.y);
+        self.count += 1;
+    }
+
+    /// Number of points accumulated so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no points have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Half-perimeter of the accumulated box; `0.0` when fewer than two
+    /// points have been added.
+    pub fn half_perimeter(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.max_x - self.min_x) + (self.max_y - self.min_y)
+        }
+    }
+
+    /// The accumulated box as a [`Rect`], or `None` when empty.
+    pub fn to_rect(&self) -> Option<Rect> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(Rect::new(
+                Point::new(self.min_x, self.min_y),
+                Point::new(self.max_x, self.max_y),
+            ))
+        }
+    }
+}
+
+impl FromIterator<Point> for BoundingBox {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut bb = BoundingBox::new();
+        for p in iter {
+            bb.add(p);
+        }
+        bb
+    }
+}
+
+impl Extend<Point> for BoundingBox {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        for p in iter {
+            self.add(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 7.0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 4.0 + 5.0);
+    }
+
+    #[test]
+    fn manhattan_distance_to_self_is_zero() {
+        let a = Point::new(3.25, -8.5);
+        assert_eq!(a.manhattan(a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_345() {
+        assert!((Point::new(0.0, 0.0).euclidean(Point::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_of_opposite_corners_is_center() {
+        let r = Rect::from_size(8.0, 2.0);
+        assert_eq!(r.center(), Point::new(4.0, 1.0));
+        assert_eq!(r.lo.midpoint(r.hi), r.center());
+    }
+
+    #[test]
+    fn rect_contains_and_clamp() {
+        let r = Rect::from_size(10.0, 10.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 10.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+        assert_eq!(r.clamp(Point::new(-5.0, 20.0)), Point::new(0.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rect_rejects_inverted_corners() {
+        let _ = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn bounding_box_from_iter() {
+        let bb: BoundingBox = [(0.0, 0.0), (2.0, 8.0), (5.0, 3.0)]
+            .into_iter()
+            .map(Point::from)
+            .collect();
+        assert_eq!(bb.len(), 3);
+        assert_eq!(bb.half_perimeter(), 5.0 + 8.0);
+        let r = bb.to_rect().expect("non-empty");
+        assert_eq!(r.hi, Point::new(5.0, 8.0));
+    }
+
+    #[test]
+    fn empty_bounding_box() {
+        let bb = BoundingBox::new();
+        assert!(bb.is_empty());
+        assert_eq!(bb.half_perimeter(), 0.0);
+        assert!(bb.to_rect().is_none());
+    }
+
+    #[test]
+    fn single_point_box_has_zero_hpwl() {
+        let mut bb = BoundingBox::new();
+        bb.add(Point::new(4.0, 4.0));
+        assert_eq!(bb.half_perimeter(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Sequential netlist model and synthetic benchmark generator.
+//!
+//! This crate provides the circuit substrate for the rotary-clocking
+//! placement/skew-optimization flow: a gate-level netlist representation
+//! ([`Circuit`]) whose combinational portion is a levelized DAG bounded by
+//! flip-flops, plus a seeded synthetic generator ([`generator::Generator`])
+//! that produces circuits matching the statistics of the ISCAS89 benchmark
+//! suite used in the paper (see [`suites`]).
+//!
+//! The original experiments synthesized ISCAS89 circuits with SIS; those
+//! artifacts are not available offline, so we reproduce circuits with the
+//! same cell/flip-flop/net counts and comparable connectivity structure.
+//! All downstream algorithms consume only the abstract netlist + geometry,
+//! so matched statistics exercise identical code paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use rotary_netlist::BenchmarkSuite;
+//!
+//! let circuit = BenchmarkSuite::S9234.circuit(42);
+//! assert_eq!(circuit.flip_flop_count(), 135);
+//! assert!(circuit.validate().is_ok());
+//! ```
+
+pub mod bench_format;
+pub mod circuit;
+pub mod generator;
+pub mod geom;
+pub mod stats;
+pub mod suites;
+
+pub use bench_format::{parse_bench, write_bench, ParseBenchError};
+pub use circuit::{Cell, CellId, CellKind, Circuit, Net, NetId, ValidateCircuitError};
+pub use generator::{Generator, GeneratorConfig};
+pub use geom::{BoundingBox, Point, Rect};
+pub use stats::CircuitStats;
+pub use suites::BenchmarkSuite;

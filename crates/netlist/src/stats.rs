@@ -1,0 +1,107 @@
+//! Summary statistics of a circuit, mirroring the columns of Table II.
+
+use crate::circuit::{CellKind, Circuit};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a [`Circuit`].
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::{BenchmarkSuite, CircuitStats};
+///
+/// let c = BenchmarkSuite::S9234.circuit(1);
+/// let s = CircuitStats::of(&c);
+/// assert_eq!(s.cells, 1510);
+/// assert_eq!(s.flip_flops, 135);
+/// assert_eq!(s.nets, 1471);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Combinational standard-cell count (`#Cells` in Table II).
+    pub cells: usize,
+    /// Flip-flop count.
+    pub flip_flops: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Primary input count.
+    pub primary_inputs: usize,
+    /// Primary output count.
+    pub primary_outputs: usize,
+    /// Die side length in µm.
+    pub die_side: f64,
+    /// Total pin count over all nets.
+    pub pins: usize,
+    /// Average net fanout (sinks per net).
+    pub avg_fanout: f64,
+    /// Total HPWL at the current placement, µm.
+    pub hpwl: f64,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut pi = 0;
+        let mut po = 0;
+        for c in &circuit.cells {
+            match c.kind {
+                CellKind::PrimaryInput => pi += 1,
+                CellKind::PrimaryOutput => po += 1,
+                _ => {}
+            }
+        }
+        let pins: usize = circuit.nets.iter().map(|n| n.pin_count()).sum();
+        let sinks: usize = circuit.nets.iter().map(|n| n.sinks.len()).sum();
+        Self {
+            name: circuit.name.clone(),
+            cells: circuit.combinational_count(),
+            flip_flops: circuit.flip_flop_count(),
+            nets: circuit.net_count(),
+            primary_inputs: pi,
+            primary_outputs: po,
+            die_side: circuit.die.width(),
+            pins,
+            avg_fanout: sinks as f64 / circuit.net_count().max(1) as f64,
+            hpwl: circuit.total_hpwl(),
+        }
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} cells, {} FFs, {} nets, die {:.0} µm, avg fanout {:.2}",
+            self.name, self.cells, self.flip_flops, self.nets, self.die_side, self.avg_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, GeneratorConfig};
+
+    #[test]
+    fn stats_match_config() {
+        let cfg = GeneratorConfig {
+            combinational: 200,
+            flip_flops: 30,
+            nets: 220,
+            primary_inputs: 10,
+            primary_outputs: 5,
+            ..GeneratorConfig::default()
+        };
+        let c = Generator::new(cfg).generate(0);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.cells, 200);
+        assert_eq!(s.flip_flops, 30);
+        assert_eq!(s.nets, 220);
+        assert_eq!(s.primary_inputs, 10);
+        assert_eq!(s.primary_outputs, 5);
+        assert!(s.avg_fanout >= 1.0);
+        assert!(s.pins > s.nets);
+    }
+}

@@ -1,0 +1,165 @@
+//! The five ISCAS89 benchmark configurations from Table II of the paper.
+//!
+//! | Circuit | #Cells | #Flip-flops | #Nets | #Rings |
+//! |---------|--------|-------------|-------|--------|
+//! | s9234   | 1510   | 135         | 1471  | 16     |
+//! | s5378   | 1112   | 164         | 1063  | 25     |
+//! | s15850  | 3549   | 566         | 3462  | 36     |
+//! | s38417  | 11651  | 1463        | 11545 | 49     |
+//! | s35932  | 17005  | 1728        | 16685 | 49     |
+//!
+//! The cell/FF/net counts are reproduced exactly; connectivity is synthetic
+//! (see [`crate::generator`]). Die sides are calibrated so that conventional
+//! clock-tree source–sink path lengths land in the same few-thousand-µm
+//! regime the paper reports (Table II, `PL` column).
+
+use crate::generator::{Generator, GeneratorConfig};
+use crate::Circuit;
+use serde::{Deserialize, Serialize};
+
+/// One of the five ISCAS89-derived benchmark suites used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkSuite {
+    /// s9234: 1510 cells, 135 FFs, 1471 nets, 16 rings (4×4).
+    S9234,
+    /// s5378: 1112 cells, 164 FFs, 1063 nets, 25 rings (5×5).
+    S5378,
+    /// s15850: 3549 cells, 566 FFs, 3462 nets, 36 rings (6×6).
+    S15850,
+    /// s38417: 11651 cells, 1463 FFs, 11545 nets, 49 rings (7×7).
+    S38417,
+    /// s35932: 17005 cells, 1728 FFs, 16685 nets, 49 rings (7×7).
+    S35932,
+}
+
+impl BenchmarkSuite {
+    /// All five suites in the order the paper's tables list them.
+    pub const ALL: [BenchmarkSuite; 5] = [
+        BenchmarkSuite::S9234,
+        BenchmarkSuite::S5378,
+        BenchmarkSuite::S15850,
+        BenchmarkSuite::S38417,
+        BenchmarkSuite::S35932,
+    ];
+
+    /// The circuit name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkSuite::S9234 => "s9234",
+            BenchmarkSuite::S5378 => "s5378",
+            BenchmarkSuite::S15850 => "s15850",
+            BenchmarkSuite::S38417 => "s38417",
+            BenchmarkSuite::S35932 => "s35932",
+        }
+    }
+
+    /// Parses a paper circuit name (e.g. `"s9234"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Number of rotary rings the paper allocates for this suite
+    /// (Table II, `# Rings`; always a perfect square — the array is
+    /// `k × k` as in Fig. 1(b)).
+    pub fn ring_count(self) -> usize {
+        match self {
+            BenchmarkSuite::S9234 => 16,
+            BenchmarkSuite::S5378 => 25,
+            BenchmarkSuite::S15850 => 36,
+            BenchmarkSuite::S38417 | BenchmarkSuite::S35932 => 49,
+        }
+    }
+
+    /// Side length of the square ring array (`sqrt(ring_count)`).
+    pub fn ring_grid(self) -> usize {
+        (self.ring_count() as f64).sqrt().round() as usize
+    }
+
+    /// The generator configuration matching Table II.
+    pub fn config(self) -> GeneratorConfig {
+        let (comb, ffs, nets, die, pis, pos) = match self {
+            BenchmarkSuite::S9234 => (1510, 135, 1471, 1250.0, 36, 39),
+            BenchmarkSuite::S5378 => (1112, 164, 1063, 1350.0, 35, 49),
+            BenchmarkSuite::S15850 => (3549, 566, 3462, 2550.0, 77, 150),
+            BenchmarkSuite::S38417 => (11651, 1463, 11545, 4100.0, 28, 106),
+            BenchmarkSuite::S35932 => (17005, 1728, 16685, 4100.0, 35, 320),
+        };
+        GeneratorConfig {
+            name: self.name().into(),
+            combinational: comb,
+            flip_flops: ffs,
+            nets,
+            primary_inputs: pis,
+            primary_outputs: pos,
+            die_side: die,
+            levels: 6,
+            clusters: (comb as f64).sqrt() as usize / 3 + 4,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Generates the suite's circuit with the given seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rotary_netlist::BenchmarkSuite;
+    ///
+    /// let c = BenchmarkSuite::S15850.circuit(0);
+    /// assert_eq!(c.name, "s15850");
+    /// assert_eq!(c.flip_flop_count(), 566);
+    /// ```
+    pub fn circuit(self, seed: u64) -> Circuit {
+        Generator::new(self.config()).generate(seed)
+    }
+}
+
+impl std::fmt::Display for BenchmarkSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CircuitStats;
+
+    #[test]
+    fn table2_counts_exact() {
+        let expect = [
+            (BenchmarkSuite::S9234, 1510, 135, 1471),
+            (BenchmarkSuite::S5378, 1112, 164, 1063),
+            (BenchmarkSuite::S15850, 3549, 566, 3462),
+        ];
+        for (suite, cells, ffs, nets) in expect {
+            let c = suite.circuit(1);
+            let s = CircuitStats::of(&c);
+            assert_eq!((s.cells, s.flip_flops, s.nets), (cells, ffs, nets), "{suite}");
+        }
+    }
+
+    #[test]
+    fn ring_grids_are_square() {
+        for s in BenchmarkSuite::ALL {
+            assert_eq!(s.ring_grid() * s.ring_grid(), s.ring_count(), "{s}");
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for s in BenchmarkSuite::ALL {
+            assert_eq!(BenchmarkSuite::from_name(s.name()), Some(s));
+        }
+        assert_eq!(BenchmarkSuite::from_name("s13207"), None);
+    }
+
+    #[test]
+    fn suite_circuits_validate() {
+        // Only the two small ones here to keep unit tests fast; the large
+        // suites are covered by integration tests.
+        for s in [BenchmarkSuite::S9234, BenchmarkSuite::S5378] {
+            s.circuit(0).validate().expect("valid");
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Quadratic global placement with rank-based spreading.
+//!
+//! The wirelength objective is the classic star model: every net pulls its
+//! pins toward the net centroid with weight `1/(p−1)` for a `p`-pin net.
+//! Minimizing the resulting quadratic form is done by Gauss–Seidel sweeps
+//! (the system matrix is a weighted Laplacian plus anchor terms, strictly
+//! diagonally dominant whenever a cell sees a fixed pad or pseudo-anchor
+//! through some path, so the sweeps converge).
+//!
+//! Quadratic optima collapse cells toward the centroid of the fixed pads;
+//! interleaved **rank-based spreading** (inspired by cell shifting /
+//! SimPL-style look-ahead legalization) redistributes positions toward a
+//! uniform profile, blended by a configurable factor.
+
+use crate::legalize::{legalize, LegalizeReport};
+use crate::pseudo::PseudoNet;
+use rotary_netlist::geom::Point;
+use rotary_netlist::Circuit;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for [`Placer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacerConfig {
+    /// Gauss–Seidel sweeps per quadratic solve.
+    pub sweeps: usize,
+    /// Alternations of quadratic solve + spreading in the initial placement.
+    pub spread_iterations: usize,
+    /// Blend factor toward the uniform rank profile in `[0, 1]`.
+    pub spread_blend: f64,
+    /// Gauss–Seidel sweeps per *incremental* call (kept small for
+    /// stability).
+    pub incremental_sweeps: usize,
+    /// Weight of the retention anchor tying every movable cell to its
+    /// pre-call position during incremental placement — the mechanism that
+    /// makes the incremental mode *stable* (Section IV's requirement).
+    pub retention_weight: f64,
+    /// Whether to run the row legalizer at the end of each placement call.
+    pub legalize: bool,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self {
+            sweeps: 30,
+            spread_iterations: 4,
+            spread_blend: 0.55,
+            incremental_sweeps: 12,
+            retention_weight: 4.0,
+            legalize: true,
+        }
+    }
+}
+
+/// Outcome metrics of one placement call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaceReport {
+    /// Total signal HPWL before the call, µm.
+    pub hpwl_before: f64,
+    /// Total signal HPWL after the call, µm.
+    pub hpwl_after: f64,
+    /// Mean displacement of movable cells during the call, µm.
+    pub mean_displacement: f64,
+    /// Legalization summary (zeros when legalization is disabled).
+    pub legalize: LegalizeReport,
+}
+
+/// The analytical placer. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct Placer {
+    config: PlacerConfig,
+}
+
+impl Placer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: PlacerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Initial (from-scratch) placement: alternating quadratic relaxation
+    /// and spreading, then legalization. Signal HPWL is the objective.
+    pub fn place(&self, circuit: &mut Circuit) -> PlaceReport {
+        let before = circuit.total_hpwl();
+        let orig = circuit.positions.clone();
+        for _ in 0..self.config.spread_iterations {
+            self.gauss_seidel(circuit, &[], self.config.sweeps);
+            self.rank_spread(circuit, self.config.spread_blend);
+        }
+        // Final refinement pass at reduced blend to polish wirelength.
+        self.gauss_seidel(circuit, &[], self.config.sweeps);
+        self.rank_spread(circuit, 0.5 * self.config.spread_blend);
+        let leg = if self.config.legalize {
+            legalize(circuit)
+        } else {
+            LegalizeReport::default()
+        };
+        self.report(circuit, before, &orig, leg)
+    }
+
+    /// Stable incremental placement: warm-starts from the current
+    /// positions, adds the given pseudo-nets to the objective, runs a small
+    /// number of sweeps and re-legalizes. No global spreading is performed,
+    /// so unrelated cells barely move.
+    pub fn place_incremental(
+        &self,
+        circuit: &mut Circuit,
+        pseudo_nets: &[PseudoNet],
+    ) -> PlaceReport {
+        let before = circuit.total_hpwl();
+        let orig = circuit.positions.clone();
+        // Retention anchors give the warm start its stability: every
+        // movable cell is softly tied to where it already is.
+        let mut pulls: Vec<PseudoNet> = pseudo_nets.to_vec();
+        if self.config.retention_weight > 0.0 {
+            for (i, cell) in circuit.cells.iter().enumerate() {
+                if cell.kind.is_movable() {
+                    pulls.push(PseudoNet::new(
+                        rotary_netlist::CellId(i as u32),
+                        circuit.positions[i],
+                        self.config.retention_weight,
+                    ));
+                }
+            }
+        }
+        self.gauss_seidel(circuit, &pulls, self.config.incremental_sweeps);
+        let leg = if self.config.legalize {
+            legalize(circuit)
+        } else {
+            LegalizeReport::default()
+        };
+        self.report(circuit, before, &orig, leg)
+    }
+
+    fn report(
+        &self,
+        circuit: &Circuit,
+        before: f64,
+        orig: &[Point],
+        leg: LegalizeReport,
+    ) -> PlaceReport {
+        let mut moved = 0.0;
+        let mut movables = 0usize;
+        for (i, cell) in circuit.cells.iter().enumerate() {
+            if cell.kind.is_movable() {
+                moved += orig[i].manhattan(circuit.positions[i]);
+                movables += 1;
+            }
+        }
+        PlaceReport {
+            hpwl_before: before,
+            hpwl_after: circuit.total_hpwl(),
+            mean_displacement: if movables == 0 { 0.0 } else { moved / movables as f64 },
+            legalize: leg,
+        }
+    }
+
+    /// Gauss–Seidel relaxation of the star-model quadratic objective.
+    ///
+    /// Each sweep recomputes net centroids, then moves every movable cell
+    /// to the weighted average of (a) the centroids of its incident nets
+    /// and (b) its pseudo-net anchors.
+    fn gauss_seidel(&self, circuit: &mut Circuit, pseudo_nets: &[PseudoNet], sweeps: usize) {
+        let n_cells = circuit.cell_count();
+        let cell_nets = circuit.build_cell_nets();
+        // Net weights: star model 1/(p−1).
+        let net_weight: Vec<f64> = circuit
+            .nets
+            .iter()
+            .map(|net| {
+                let p = net.pin_count();
+                if p >= 2 {
+                    1.0 / (p - 1) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut anchors: Vec<Vec<(Point, f64)>> = vec![Vec::new(); n_cells];
+        for p in pseudo_nets {
+            anchors[p.cell.index()].push((p.anchor, p.weight));
+        }
+
+        let mut centroids: Vec<Point> = vec![Point::default(); circuit.net_count()];
+        for _ in 0..sweeps {
+            // Recompute star centroids.
+            for (ni, net) in circuit.nets.iter().enumerate() {
+                let mut sx = circuit.positions[net.driver.index()].x;
+                let mut sy = circuit.positions[net.driver.index()].y;
+                for &s in &net.sinks {
+                    sx += circuit.positions[s.index()].x;
+                    sy += circuit.positions[s.index()].y;
+                }
+                let k = net.pin_count() as f64;
+                centroids[ni] = Point::new(sx / k, sy / k);
+            }
+            // Move movable cells toward weighted centroid of pulls.
+            for i in 0..n_cells {
+                if !circuit.cells[i].kind.is_movable() {
+                    continue;
+                }
+                let mut wx = 0.0;
+                let mut wy = 0.0;
+                let mut wsum = 0.0;
+                for &net in &cell_nets[i] {
+                    let w = net_weight[net.index()];
+                    if w > 0.0 {
+                        let c = centroids[net.index()];
+                        wx += w * c.x;
+                        wy += w * c.y;
+                        wsum += w;
+                    }
+                }
+                for &(a, w) in &anchors[i] {
+                    wx += w * a.x;
+                    wy += w * a.y;
+                    wsum += w;
+                }
+                if wsum > 0.0 {
+                    let target = circuit.die.clamp(Point::new(wx / wsum, wy / wsum));
+                    circuit.positions[i] = target;
+                }
+            }
+        }
+    }
+
+    /// Rank-based spreading: independently in x and y, blend each movable
+    /// cell's coordinate toward the position its *rank* would occupy in a
+    /// uniform distribution over the die span.
+    fn rank_spread(&self, circuit: &mut Circuit, blend: f64) {
+        if blend <= 0.0 {
+            return;
+        }
+        let movable: Vec<usize> = (0..circuit.cell_count())
+            .filter(|&i| circuit.cells[i].kind.is_movable())
+            .collect();
+        let n = movable.len();
+        if n < 2 {
+            return;
+        }
+        for axis in 0..2 {
+            let coord = |p: Point| if axis == 0 { p.x } else { p.y };
+            let (lo, hi) = if axis == 0 {
+                (circuit.die.lo.x, circuit.die.hi.x)
+            } else {
+                (circuit.die.lo.y, circuit.die.hi.y)
+            };
+            let mut order: Vec<usize> = movable.clone();
+            order.sort_by(|&a, &b| {
+                coord(circuit.positions[a])
+                    .partial_cmp(&coord(circuit.positions[b]))
+                    .unwrap()
+            });
+            let span = hi - lo;
+            for (rank, &i) in order.iter().enumerate() {
+                let uniform = lo + span * (rank as f64 + 0.5) / n as f64;
+                let old = coord(circuit.positions[i]);
+                let blended = (1.0 - blend) * old + blend * uniform;
+                if axis == 0 {
+                    circuit.positions[i].x = blended;
+                } else {
+                    circuit.positions[i].y = blended;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_netlist::{BenchmarkSuite, Generator, GeneratorConfig};
+
+    fn toy() -> rotary_netlist::Circuit {
+        Generator::new(GeneratorConfig {
+            name: "toy".into(),
+            combinational: 150,
+            flip_flops: 30,
+            nets: 160,
+            primary_inputs: 10,
+            primary_outputs: 10,
+            die_side: 500.0,
+            ..GeneratorConfig::default()
+        })
+        .generate(11)
+    }
+
+    #[test]
+    fn placement_improves_hpwl_substantially() {
+        let mut c = toy();
+        let r = Placer::new(PlacerConfig::default()).place(&mut c);
+        assert!(
+            r.hpwl_after < 0.8 * r.hpwl_before,
+            "expected ≥20% HPWL gain, got {} → {}",
+            r.hpwl_before,
+            r.hpwl_after
+        );
+    }
+
+    #[test]
+    fn placed_cells_stay_on_die() {
+        let mut c = toy();
+        Placer::new(PlacerConfig::default()).place(&mut c);
+        c.validate().expect("placement keeps circuit valid");
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let mut a = toy();
+        let mut b = toy();
+        let p = Placer::new(PlacerConfig::default());
+        p.place(&mut a);
+        p.place(&mut b);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn incremental_with_pseudo_net_pulls_cell() {
+        let mut c = toy();
+        let p = Placer::new(PlacerConfig::default());
+        p.place(&mut c);
+        let ff = c.flip_flops()[0];
+        let anchor = Point::new(20.0, 20.0);
+        let before_d = c.position(ff).manhattan(anchor);
+        let pulls = vec![PseudoNet::new(ff, anchor, 25.0)];
+        p.place_incremental(&mut c, &pulls);
+        let after_d = c.position(ff).manhattan(anchor);
+        assert!(
+            after_d < before_d,
+            "pseudo-net should pull the flip-flop: {before_d} → {after_d}"
+        );
+    }
+
+    #[test]
+    fn incremental_is_stable_without_pseudo_nets() {
+        let mut c = toy();
+        let p = Placer::new(PlacerConfig::default());
+        p.place(&mut c);
+        let snapshot = c.positions.clone();
+        let r = p.place_incremental(&mut c, &[]);
+        // Cells may settle slightly, but the mean displacement must be tiny
+        // compared to the die (stability contract of Section IV).
+        assert!(
+            r.mean_displacement < 0.05 * c.die.width(),
+            "mean displacement {} too large",
+            r.mean_displacement
+        );
+        let max_move = snapshot
+            .iter()
+            .zip(&c.positions)
+            .map(|(a, b)| a.manhattan(*b))
+            .fold(0.0f64, f64::max);
+        assert!(max_move < 0.5 * c.die.width());
+    }
+
+    #[test]
+    fn incremental_faster_than_initial_on_suite() {
+        // Contract from the paper: "incremental placement normally runs
+        // considerably faster than the initial placement".
+        let p = Placer::new(PlacerConfig::default());
+        // Best-of-three on both sides to shield against scheduler noise.
+        let mut c = BenchmarkSuite::S9234.circuit(3);
+        let mut initial = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let mut fresh = BenchmarkSuite::S9234.circuit(3);
+            let t0 = std::time::Instant::now();
+            p.place(&mut fresh);
+            initial = initial.min(t0.elapsed());
+            c = fresh;
+        }
+        let mut incremental = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let mut warm = c.clone();
+            let t1 = std::time::Instant::now();
+            p.place_incremental(&mut warm, &[]);
+            incremental = incremental.min(t1.elapsed());
+        }
+        assert!(incremental < initial, "{incremental:?} !< {initial:?}");
+    }
+
+    #[test]
+    fn spread_blend_zero_is_identity() {
+        let mut c = toy();
+        let placer = Placer::new(PlacerConfig { spread_blend: 0.0, ..Default::default() });
+        let before = c.positions.clone();
+        placer.rank_spread(&mut c, 0.0);
+        assert_eq!(before, c.positions);
+    }
+}

@@ -1,0 +1,263 @@
+//! Abacus-style row legalization.
+//!
+//! Movable cells are snapped to standard-cell rows and packed within each
+//! row without overlap, minimizing displacement greedily: rows are filled
+//! bottom-to-top in y-order with a per-row width budget, then each row is
+//! packed left-to-right at the cells' desired x, pushing back on overflow.
+
+use rotary_netlist::geom::Point;
+use rotary_netlist::Circuit;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one legalization pass.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LegalizeReport {
+    /// Number of cells moved into rows.
+    pub cells_legalized: usize,
+    /// Mean displacement caused by legalization, µm.
+    pub mean_displacement: f64,
+    /// Number of rows used.
+    pub rows: usize,
+}
+
+/// Counts pairwise overlaps between movable cells (O(n²) — intended for
+/// tests and assertions on small/medium circuits).
+pub fn overlap_count(circuit: &Circuit) -> usize {
+    let mut boxes = Vec::new();
+    for (i, cell) in circuit.cells.iter().enumerate() {
+        if cell.kind.is_movable() {
+            let p = circuit.positions[i];
+            boxes.push((
+                p.x - 0.5 * cell.width,
+                p.x + 0.5 * cell.width,
+                p.y - 0.5 * cell.height,
+                p.y + 0.5 * cell.height,
+            ));
+        }
+    }
+    let mut overlaps = 0;
+    for a in 0..boxes.len() {
+        for b in a + 1..boxes.len() {
+            let (al, ar, ab, at) = boxes[a];
+            let (bl, br, bb, bt) = boxes[b];
+            if al < br - 1e-9 && bl < ar - 1e-9 && ab < bt - 1e-9 && bb < at - 1e-9 {
+                overlaps += 1;
+            }
+        }
+    }
+    overlaps
+}
+
+/// Legalizes all movable cells of `circuit` onto non-overlapping row sites.
+///
+/// Guarantees (checked by tests):
+/// * no two movable cells overlap afterwards,
+/// * every cell footprint lies inside the die,
+/// * displacement is locally minimized (cells keep their y-order across
+///   rows and x-order within rows).
+///
+/// # Panics
+///
+/// Panics if the total movable cell width exceeds the total row capacity
+/// (the die is physically too small for its content).
+pub fn legalize(circuit: &mut Circuit) -> LegalizeReport {
+    let movable: Vec<usize> = (0..circuit.cell_count())
+        .filter(|&i| circuit.cells[i].kind.is_movable())
+        .collect();
+    if movable.is_empty() {
+        return LegalizeReport::default();
+    }
+    let row_height = circuit.cells[movable[0]].height;
+    let die = circuit.die;
+    let rows = ((die.height() / row_height).floor() as usize).max(1);
+    let row_capacity = die.width();
+    let total_width: f64 = movable.iter().map(|&i| circuit.cells[i].width).sum();
+    assert!(
+        total_width <= rows as f64 * row_capacity + 1e-6,
+        "die too small: {total_width} µm of cells into {rows} rows of {row_capacity} µm"
+    );
+
+    // Row assignment: sort by y and distribute by *cumulative width* so
+    // every row receives ≈ total/rows µm of cells — no row can silently
+    // absorb the remainder.
+    let mut by_y = movable.clone();
+    by_y.sort_by(|&a, &b| {
+        circuit.positions[a]
+            .y
+            .partial_cmp(&circuit.positions[b].y)
+            .unwrap()
+    });
+    let target = (total_width / rows as f64).max(1e-9);
+    let mut row_members: Vec<Vec<usize>> = vec![Vec::new(); rows];
+    let mut row_fill = vec![0.0f64; rows];
+    let mut cum = 0.0f64;
+    for &i in &by_y {
+        let w = circuit.cells[i].width;
+        let r = (((cum + 0.5 * w) / target).floor() as usize).min(rows - 1);
+        cum += w;
+        row_members[r].push(i);
+        row_fill[r] += w;
+    }
+    // Cascade any over-capacity rows (possible when a single wide cell
+    // straddles a boundary): a forward pass pushes trailing members up,
+    // a backward pass pushes leading members down. Global feasibility is
+    // guaranteed by the capacity assert above.
+    for r in 0..rows - 1 {
+        while row_fill[r] > row_capacity {
+            let i = row_members[r].pop().expect("overfull row has members");
+            row_members[r + 1].insert(0, i);
+            row_fill[r + 1] += circuit.cells[i].width;
+            row_fill[r] -= circuit.cells[i].width;
+        }
+    }
+    for r in (1..rows).rev() {
+        while row_fill[r] > row_capacity {
+            let i = row_members[r].remove(0);
+            row_members[r - 1].push(i);
+            row_fill[r - 1] += circuit.cells[i].width;
+            row_fill[r] -= circuit.cells[i].width;
+        }
+    }
+    debug_assert!(row_fill.iter().all(|&f| f <= row_capacity + 1e-6));
+
+    // Pack each row.
+    let orig = circuit.positions.clone();
+    let mut rows_used = 0usize;
+    for (r, members) in row_members.iter_mut().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        rows_used += 1;
+        let y = die.lo.y + (r as f64 + 0.5) * row_height;
+        members.sort_by(|&a, &b| {
+            circuit.positions[a]
+                .x
+                .partial_cmp(&circuit.positions[b].x)
+                .unwrap()
+        });
+        // Left-to-right pack at desired x.
+        let mut lefts = Vec::with_capacity(members.len());
+        let mut cur = die.lo.x;
+        for &i in members.iter() {
+            let w = circuit.cells[i].width;
+            let desired = circuit.positions[i].x - 0.5 * w;
+            let left = desired.max(cur);
+            lefts.push(left);
+            cur = left + w;
+        }
+        // Push back from the right edge on overflow.
+        let mut limit = die.hi.x;
+        for (k, &i) in members.iter().enumerate().rev() {
+            let w = circuit.cells[i].width;
+            if lefts[k] + w > limit {
+                lefts[k] = limit - w;
+            }
+            limit = lefts[k];
+        }
+        for (k, &i) in members.iter().enumerate() {
+            let w = circuit.cells[i].width;
+            circuit.positions[i] = Point::new(lefts[k] + 0.5 * w, y);
+        }
+    }
+
+    let moved: f64 = movable
+        .iter()
+        .map(|&i| orig[i].manhattan(circuit.positions[i]))
+        .sum();
+    LegalizeReport {
+        cells_legalized: movable.len(),
+        mean_displacement: moved / movable.len() as f64,
+        rows: rows_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_netlist::{Generator, GeneratorConfig};
+
+    fn toy(seed: u64) -> Circuit {
+        Generator::new(GeneratorConfig {
+            name: "leg".into(),
+            combinational: 200,
+            flip_flops: 40,
+            nets: 210,
+            primary_inputs: 8,
+            primary_outputs: 8,
+            die_side: 600.0,
+            ..GeneratorConfig::default()
+        })
+        .generate(seed)
+    }
+
+    #[test]
+    fn removes_all_overlaps() {
+        let mut c = toy(1);
+        // Random initial placement has overlaps with near-certainty.
+        legalize(&mut c);
+        assert_eq!(overlap_count(&c), 0);
+    }
+
+    #[test]
+    fn cells_stay_on_die_with_full_footprint() {
+        let mut c = toy(2);
+        legalize(&mut c);
+        for (i, cell) in c.cells.iter().enumerate() {
+            if cell.kind.is_movable() {
+                let p = c.positions[i];
+                assert!(p.x - 0.5 * cell.width >= c.die.lo.x - 1e-9);
+                assert!(p.x + 0.5 * cell.width <= c.die.hi.x + 1e-9);
+                assert!(p.y - 0.5 * cell.height >= c.die.lo.y - 1e-9);
+                assert!(p.y + 0.5 * cell.height <= c.die.hi.y + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn legalization_is_idempotent_like() {
+        // A second pass on already-legal cells should barely move anything.
+        let mut c = toy(3);
+        legalize(&mut c);
+        let r2 = legalize(&mut c);
+        assert!(
+            r2.mean_displacement < 5.0, // within half a row height
+            "second pass displaced {} µm on average",
+            r2.mean_displacement
+        );
+        assert_eq!(overlap_count(&c), 0);
+    }
+
+    #[test]
+    fn clustered_cells_get_spread_into_rows() {
+        let mut c = toy(4);
+        // Pile everything at the center.
+        let center = c.die.center();
+        for i in 0..c.cell_count() {
+            if c.cells[i].kind.is_movable() {
+                c.positions[i] = center;
+            }
+        }
+        let r = legalize(&mut c);
+        assert_eq!(overlap_count(&c), 0);
+        assert!(r.rows > 1, "a pile must spread over multiple rows");
+    }
+
+    #[test]
+    fn report_counts_movables_only() {
+        let mut c = toy(5);
+        let movable = c
+            .cells
+            .iter()
+            .filter(|x| x.kind.is_movable())
+            .count();
+        let r = legalize(&mut c);
+        assert_eq!(r.cells_legalized, movable);
+    }
+
+    #[test]
+    fn empty_circuit_is_noop() {
+        let mut c = Circuit::new("empty", rotary_netlist::geom::Rect::from_size(10.0, 10.0));
+        let r = legalize(&mut c);
+        assert_eq!(r.cells_legalized, 0);
+    }
+}

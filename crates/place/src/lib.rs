@@ -1,0 +1,38 @@
+//! Analytical standard-cell placement.
+//!
+//! The paper's flow (Fig. 3) needs two placement services from the academic
+//! placer it wraps (mPL \[20\]):
+//!
+//! 1. an **initial placement** minimizing signal wirelength, and
+//! 2. a **stable incremental placement** that accepts *pseudo-nets* —
+//!    artificial two-pin nets pulling each flip-flop toward its assigned
+//!    rotary ring — and re-optimizes without dramatically changing the
+//!    solution ("small changes on the netlist should not cause dramatic
+//!    change on the placement result", Section IV).
+//!
+//! mPL is not available as a Rust library, so this crate implements an
+//! analytical placer with the same contract: a quadratic (star-model)
+//! wirelength objective relaxed by Gauss–Seidel sweeps, rank-based
+//! spreading to control density, and an Abacus-style row legalizer. The
+//! incremental mode warm-starts from the current placement and skips global
+//! spreading, which makes it stable by construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use rotary_netlist::BenchmarkSuite;
+//! use rotary_place::{Placer, PlacerConfig};
+//!
+//! let mut circuit = BenchmarkSuite::S9234.circuit(7);
+//! let before = circuit.total_hpwl();
+//! let report = Placer::new(PlacerConfig::default()).place(&mut circuit);
+//! assert!(report.hpwl_after < before, "placement must improve HPWL");
+//! ```
+
+pub mod global;
+pub mod legalize;
+pub mod pseudo;
+
+pub use global::{PlaceReport, Placer, PlacerConfig};
+pub use legalize::{legalize, overlap_count, LegalizeReport};
+pub use pseudo::PseudoNet;

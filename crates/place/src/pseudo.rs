@@ -1,0 +1,68 @@
+//! Pseudo-nets: artificial anchors that pull cells toward target points.
+//!
+//! The paper's stage 5 inserts "a pseudo net between each flip-flop and its
+//! ring" so that stage 6's incremental placement draws flip-flops toward
+//! their assigned rings without changing the placer itself (Section IV).
+//! A pseudo-net behaves exactly like a two-pin net whose second pin is a
+//! fixed point, with a tunable weight.
+
+use rotary_netlist::geom::Point;
+use rotary_netlist::CellId;
+use serde::{Deserialize, Serialize};
+
+/// A weighted artificial two-pin net from `cell` to the fixed `anchor`.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::{geom::Point, CellId};
+/// use rotary_place::PseudoNet;
+///
+/// let p = PseudoNet::new(CellId(3), Point::new(100.0, 250.0), 2.0);
+/// assert_eq!(p.weight, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PseudoNet {
+    /// The movable cell being pulled (a flip-flop in the paper's flow).
+    pub cell: CellId,
+    /// Fixed attraction point (the flip-flop's tapping point on its ring).
+    pub anchor: Point,
+    /// Net weight relative to a unit two-pin signal net.
+    pub weight: f64,
+}
+
+impl PseudoNet {
+    /// Creates a pseudo-net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive and finite.
+    pub fn new(cell: CellId, anchor: Point, weight: f64) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "pseudo-net weight must be positive");
+        Self { cell, anchor, weight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let p = PseudoNet::new(CellId(0), Point::new(1.0, 2.0), 0.5);
+        assert_eq!(p.cell, CellId(0));
+        assert_eq!(p.anchor, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weight() {
+        let _ = PseudoNet::new(CellId(0), Point::new(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nan_weight() {
+        let _ = PseudoNet::new(CellId(0), Point::new(0.0, 0.0), f64::NAN);
+    }
+}

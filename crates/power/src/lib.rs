@@ -1,0 +1,228 @@
+//! Power models of the paper's Section VIII.
+//!
+//! Dynamic power follows eq. (8):
+//! `P_dynamic = ½·α·V_dd²·f_clk·C_load`, with `α = 1` for clock nets and
+//! `α = 0.15` for signal nets \[30\]. The signal-net load has three
+//! components — interconnect capacitance, logic input capacitance, and the
+//! input capacitance of repeaters whose count is estimated at the
+//! floorplan level \[31\] (one repeater every critical-length interval).
+//! Leakage follows eq. (9) and is unaffected by the flow (gate sizes never
+//! change), so the experiments report dynamic power only; we still expose
+//! it for completeness.
+//!
+//! # Examples
+//!
+//! ```
+//! use rotary_netlist::BenchmarkSuite;
+//! use rotary_power::PowerModel;
+//! use rotary_timing::Technology;
+//!
+//! let c = BenchmarkSuite::S9234.circuit(1);
+//! let model = PowerModel::new(Technology::default());
+//! let signal = model.signal_power(&c);
+//! assert!(signal.total_mw > 0.0);
+//! ```
+
+use rotary_netlist::{CellKind, Circuit};
+use rotary_timing::Technology;
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of a power estimate, mW.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Interconnect (wire capacitance) component.
+    pub wire_mw: f64,
+    /// Gate/pin capacitance component.
+    pub pin_mw: f64,
+    /// Estimated repeater component.
+    pub buffer_mw: f64,
+    /// Sum of the components.
+    pub total_mw: f64,
+    /// Number of repeaters estimated.
+    pub buffers: usize,
+}
+
+/// Power estimator parameterized by a [`Technology`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    tech: Technology,
+}
+
+impl PowerModel {
+    /// Creates a model over the given technology.
+    pub fn new(tech: Technology) -> Self {
+        Self { tech }
+    }
+
+    /// The underlying technology constants.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Dynamic power of the **signal nets** of a placed circuit:
+    /// interconnect + logic-pin + estimated repeater capacitance at
+    /// `α = signal_activity`.
+    pub fn signal_power(&self, circuit: &Circuit) -> PowerBreakdown {
+        let mut wire_cap = 0.0;
+        let mut pin_cap = 0.0;
+        let mut buffers = 0usize;
+        for i in 0..circuit.net_count() {
+            let net = circuit.net(rotary_netlist::NetId(i as u32));
+            let dp = circuit.position(net.driver);
+            for &s in &net.sinks {
+                let l = dp.manhattan(circuit.position(s));
+                wire_cap += self.tech.wire_cap * l;
+                pin_cap += circuit.cell(s).input_cap;
+                buffers += self.tech.buffer_count(l);
+            }
+        }
+        let buffer_cap = buffers as f64 * self.tech.buffer_cap;
+        self.breakdown(self.tech.signal_activity, wire_cap, pin_cap, buffer_cap, buffers)
+    }
+
+    /// Dynamic power of the **rotary clock net**: the tapping wires from
+    /// the rings plus the flip-flop clock pins, at `α = clock_activity`.
+    ///
+    /// `tap_wirelengths[i]` is the tapping cost of flip-flop `i` (indexed
+    /// like [`Circuit::flip_flops`]).
+    pub fn rotary_clock_power(&self, circuit: &Circuit, tap_wirelengths: &[f64]) -> PowerBreakdown {
+        let ffs = circuit.flip_flops();
+        assert_eq!(
+            ffs.len(),
+            tap_wirelengths.len(),
+            "one tapping wirelength per flip-flop"
+        );
+        let wire_cap: f64 = tap_wirelengths.iter().map(|l| self.tech.wire_cap * l).sum();
+        let pin_cap: f64 = ffs.iter().map(|&f| circuit.cell(f).input_cap).sum();
+        self.breakdown(self.tech.clock_activity, wire_cap, pin_cap, 0.0, 0)
+    }
+
+    /// Dynamic power of a **conventional clock tree** with total switched
+    /// capacitance `tree_cap` (wire + sinks), at `α = clock_activity`.
+    /// Used as the conventional-clocking reference.
+    pub fn tree_clock_power(&self, tree_cap: f64) -> f64 {
+        self.tech.dynamic_power(self.tech.clock_activity, tree_cap)
+    }
+
+    /// Leakage power per eq. (9): `V_dd·I_off·(S + N_F·S_F)` where `S` is
+    /// the total inverter size and `S_F` the flip-flop gate size (sizes in
+    /// µm of gate width). Constant across the flow.
+    pub fn leakage_power(&self, total_inverter_size: f64, flip_flops: usize, ff_size: f64) -> f64 {
+        self.tech.vdd
+            * self.tech.leak_current
+            * (total_inverter_size + flip_flops as f64 * ff_size)
+            * 1000.0 // mA·V → mW
+    }
+
+    fn breakdown(
+        &self,
+        activity: f64,
+        wire_cap: f64,
+        pin_cap: f64,
+        buffer_cap: f64,
+        buffers: usize,
+    ) -> PowerBreakdown {
+        let wire_mw = self.tech.dynamic_power(activity, wire_cap);
+        let pin_mw = self.tech.dynamic_power(activity, pin_cap);
+        let buffer_mw = self.tech.dynamic_power(activity, buffer_cap);
+        PowerBreakdown {
+            wire_mw,
+            pin_mw,
+            buffer_mw,
+            total_mw: wire_mw + pin_mw + buffer_mw,
+            buffers,
+        }
+    }
+
+    /// Total flip-flop clock-pin capacitance of a circuit, pF.
+    pub fn flip_flop_cap(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .cells
+            .iter()
+            .filter(|c| c.kind == CellKind::FlipFlop)
+            .map(|c| c.input_cap)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_netlist::geom::{Point, Rect};
+    use rotary_netlist::{Cell, Net};
+
+    fn cell(kind: CellKind) -> Cell {
+        Cell {
+            kind,
+            width: 2.0,
+            height: 8.0,
+            input_cap: 0.01,
+            drive_resistance: 2.0,
+            intrinsic_delay: 0.05,
+        }
+    }
+
+    fn tiny() -> Circuit {
+        let mut c = Circuit::new("t", Rect::from_size(4000.0, 4000.0));
+        let ff = c.add_cell(cell(CellKind::FlipFlop), Point::new(0.0, 0.0));
+        let g = c.add_cell(cell(CellKind::Combinational), Point::new(2000.0, 0.0));
+        c.add_net(Net { driver: ff, sinks: vec![g] });
+        c
+    }
+
+    #[test]
+    fn signal_power_counts_wire_pin_and_buffers() {
+        let c = tiny();
+        let m = PowerModel::new(Technology::default());
+        let p = m.signal_power(&c);
+        // 2000 µm wire with 1500 µm buffer interval ⇒ 1 repeater.
+        assert_eq!(p.buffers, 1);
+        assert!(p.wire_mw > 0.0 && p.pin_mw > 0.0 && p.buffer_mw > 0.0);
+        assert!((p.total_mw - (p.wire_mw + p.pin_mw + p.buffer_mw)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_activity_dominates_signal_activity() {
+        let c = tiny();
+        let m = PowerModel::new(Technology::default());
+        // Same capacitance switched as clock costs 1/0.15 ≈ 6.7× more.
+        let sig = m.signal_power(&c);
+        let clk = m.rotary_clock_power(&c, &[2000.0]);
+        let cap_sig = sig.wire_mw;
+        let cap_clk = clk.wire_mw;
+        assert!((cap_clk / cap_sig - 1.0 / 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shorter_taps_cost_less_power() {
+        let c = tiny();
+        let m = PowerModel::new(Technology::default());
+        let long = m.rotary_clock_power(&c, &[500.0]);
+        let short = m.rotary_clock_power(&c, &[100.0]);
+        assert!(short.total_mw < long.total_mw);
+        // Pin power identical; only wire differs.
+        assert!((short.pin_mw - long.pin_mw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_power_proportional_to_cap() {
+        let m = PowerModel::new(Technology::default());
+        assert!((m.tree_clock_power(4.0) - 2.0 * m.tree_clock_power(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_constant_in_wirelength() {
+        let m = PowerModel::new(Technology::default());
+        let a = m.leakage_power(1000.0, 100, 4.0);
+        assert!(a > 0.0);
+        // Does not depend on any wirelength argument by signature.
+    }
+
+    #[test]
+    #[should_panic(expected = "per flip-flop")]
+    fn mismatched_tap_lengths_panic() {
+        let c = tiny();
+        let m = PowerModel::new(Technology::default());
+        let _ = m.rotary_clock_power(&c, &[1.0, 2.0]);
+    }
+}

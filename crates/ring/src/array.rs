@@ -1,0 +1,220 @@
+//! The rotary clock ring array (Fig. 1(b) of the paper).
+//!
+//! Rings are laid out on a `k × k` grid covering the die. Adjacent rings
+//! rotate in opposite directions so that abutting segments carry equal
+//! phase; all rings share equal-phase reference points (the triangles of
+//! Fig. 1(b)), which we model as delay `t_ref = 0` at every ring's
+//! lower-left corner.
+
+use crate::params::RingParams;
+use crate::ring::{Ring, RingDirection};
+use rotary_netlist::geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a ring within its [`RingArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RingId(pub u32);
+
+impl RingId {
+    /// Ring index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RingId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A `k × k` array of rotary clock rings covering a die.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::geom::Rect;
+/// use rotary_ring::{RingArray, RingParams};
+///
+/// let array = RingArray::generate(Rect::from_size(1000.0, 1000.0), 5,
+///                                 RingParams::default());
+/// assert_eq!(array.rings().len(), 25);
+/// let total: usize = array.capacities().iter().sum();
+/// assert!(total > 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RingArray {
+    rings: Vec<Ring>,
+    grid: usize,
+    die: Rect,
+    params: RingParams,
+}
+
+impl RingArray {
+    /// Generates a `grid × grid` ring array covering `die`.
+    ///
+    /// Each ring occupies `params.fill_factor` of its grid tile. Ring
+    /// `(i, j)` (column `i`, row `j`) has id `j·grid + i` and rotates CCW
+    /// when `i + j` is even, CW otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0`.
+    pub fn generate(die: Rect, grid: usize, params: RingParams) -> Self {
+        assert!(grid > 0, "ring grid must be non-empty");
+        let tile_w = die.width() / grid as f64;
+        let tile_h = die.height() / grid as f64;
+        let half = 0.5 * params.fill_factor * tile_w.min(tile_h);
+        let mut rings = Vec::with_capacity(grid * grid);
+        for j in 0..grid {
+            for i in 0..grid {
+                let center = Point::new(
+                    die.lo.x + (i as f64 + 0.5) * tile_w,
+                    die.lo.y + (j as f64 + 0.5) * tile_h,
+                );
+                let dir = if (i + j) % 2 == 0 {
+                    RingDirection::Ccw
+                } else {
+                    RingDirection::Cw
+                };
+                rings.push(Ring::new(center, half, dir, params));
+            }
+        }
+        Self { rings, grid, die, params }
+    }
+
+    /// All rings, indexed by [`RingId`].
+    pub fn rings(&self) -> &[Ring] {
+        &self.rings
+    }
+
+    /// The ring with the given id.
+    pub fn ring(&self, id: RingId) -> &Ring {
+        &self.rings[id.index()]
+    }
+
+    /// Grid dimension `k` (the array is `k × k`).
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// The die the array covers.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Shared electrical parameters.
+    pub fn params(&self) -> &RingParams {
+        &self.params
+    }
+
+    /// Per-ring flip-flop capacity `U_j = ⌊perimeter / tap_pitch⌋`
+    /// (Section V: "each ring j has limited space and can accommodate no
+    /// more than U_j flip-flops").
+    pub fn capacities(&self) -> Vec<usize> {
+        self.rings
+            .iter()
+            .map(|r| (r.perimeter() / self.params.tap_pitch).floor() as usize)
+            .collect()
+    }
+
+    /// The ring whose center is nearest (Manhattan) to `p`.
+    pub fn nearest_ring(&self, p: Point) -> RingId {
+        let (idx, _) = self
+            .rings
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.center().manhattan(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("array is non-empty");
+        RingId(idx as u32)
+    }
+
+    /// The `k` rings nearest to `p`, sorted by boundary distance — the
+    /// candidate set used to prune assignment arcs (Section V: "if a
+    /// flip-flop and a ring are too far away from each other, it is not
+    /// necessary to insert an arc between them").
+    pub fn candidate_rings(&self, p: Point, k: usize) -> Vec<RingId> {
+        let mut by_dist: Vec<(usize, f64)> = self
+            .rings
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.nearest_point(p).1))
+            .collect();
+        by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        by_dist
+            .into_iter()
+            .take(k.max(1))
+            .map(|(i, _)| RingId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> RingArray {
+        RingArray::generate(Rect::from_size(1000.0, 1000.0), 4, RingParams::default())
+    }
+
+    #[test]
+    fn generates_grid_squared_rings() {
+        assert_eq!(array().rings().len(), 16);
+    }
+
+    #[test]
+    fn adjacent_rings_counter_rotate() {
+        let a = array();
+        // Ring 0 at (0,0) is CCW; ring 1 at (1,0) is CW.
+        assert_eq!(a.ring(RingId(0)).direction(), RingDirection::Ccw);
+        assert_eq!(a.ring(RingId(1)).direction(), RingDirection::Cw);
+        assert_eq!(a.ring(RingId(4)).direction(), RingDirection::Cw);
+        assert_eq!(a.ring(RingId(5)).direction(), RingDirection::Ccw);
+    }
+
+    #[test]
+    fn rings_stay_inside_their_tiles() {
+        let a = array();
+        for r in a.rings() {
+            let o = r.outline();
+            assert!(a.die().contains(o.lo) && a.die().contains(o.hi));
+        }
+        // Tile width 250, fill 0.85 ⇒ side 212.5.
+        assert!((a.ring(RingId(0)).side() - 212.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacities_scale_with_perimeter() {
+        let a = array();
+        let caps = a.capacities();
+        assert!(caps.iter().all(|&u| u == caps[0]));
+        assert_eq!(caps[0], (4.0 * 212.5 / 25.0) as usize);
+    }
+
+    #[test]
+    fn nearest_ring_is_the_containing_tile() {
+        let a = array();
+        assert_eq!(a.nearest_ring(Point::new(100.0, 100.0)), RingId(0));
+        assert_eq!(a.nearest_ring(Point::new(900.0, 100.0)), RingId(3));
+        assert_eq!(a.nearest_ring(Point::new(100.0, 900.0)), RingId(12));
+    }
+
+    #[test]
+    fn candidate_rings_sorted_by_distance() {
+        let a = array();
+        let cands = a.candidate_rings(Point::new(125.0, 125.0), 4);
+        assert_eq!(cands[0], RingId(0));
+        assert_eq!(cands.len(), 4);
+        let d = |id: RingId| a.ring(id).nearest_point(Point::new(125.0, 125.0)).1;
+        for w in cands.windows(2) {
+            assert!(d(w[0]) <= d(w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_grid() {
+        let _ = RingArray::generate(Rect::from_size(10.0, 10.0), 0, RingParams::default());
+    }
+}

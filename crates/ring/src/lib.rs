@@ -1,0 +1,51 @@
+//! Rotary traveling-wave clock rings: geometry, phase model, and the
+//! flexible-tapping solver of the paper's Section III.
+//!
+//! A rotary clock ring is a pair of cross-connected differential
+//! transmission-line loops. A square wave travels around the loop without
+//! termination, so every point of the ring carries a distinct clock *phase*:
+//! starting from a reference point with delay `t = 0`, the delay at arc
+//! length `s` along the propagation direction is `t = ρ·s`, returning to the
+//! reference with delay equal to the clock period `T`. Because the two loops
+//! are cross-coupled, the *complementary* phase (180° apart) is available at
+//! the physically identical location on the companion loop.
+//!
+//! The key enabling technique of the paper is **flexible tapping**
+//! (Section III): instead of requiring a flip-flop to sit exactly on the
+//! ring at the point whose phase matches its skew target, we solve
+//!
+//! ```text
+//! t_f(x) = t0 + ρ·x + ½·r·c·l² + r·l·C_ff  =  t̂_f        (paper eq. 1)
+//! ```
+//!
+//! for the tapping point `x` on each of the ring's 8 segments (4 sides × 2
+//! phases), where `l = |x − x_f| + y_f` is the Manhattan length of the tap
+//! wire. The wirelength of the best solution is the **tapping cost**.
+//! The four solution cases of Fig. 2 (period borrowing, two roots, unique
+//! root, and endpoint + wire detour/snaking) are all implemented in
+//! [`tapping`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rotary_netlist::geom::{Point, Rect};
+//! use rotary_ring::{RingArray, RingId, RingParams};
+//!
+//! let die = Rect::from_size(1000.0, 1000.0);
+//! let array = RingArray::generate(die, 4, RingParams::default()); // 4×4 = 16 rings
+//! assert_eq!(array.rings().len(), 16);
+//!
+//! // Tap a flip-flop near ring 0 with a 0.3 ns skew target.
+//! let sol = array.ring(RingId(0)).tap_for_target(Point::new(260.0, 240.0), 0.012, 0.3);
+//! assert!(sol.wirelength >= 0.0);
+//! ```
+
+pub mod array;
+pub mod params;
+pub mod ring;
+pub mod tapping;
+
+pub use array::{RingArray, RingId};
+pub use params::RingParams;
+pub use ring::{Ring, RingDirection, Segment};
+pub use tapping::{TapCase, TapSolution};

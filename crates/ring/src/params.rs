@@ -1,0 +1,125 @@
+//! Electrical and timing parameters of the rotary clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of the rotary clock rings and tap wires.
+///
+/// Units follow the paper: time in ns, length in µm, resistance in kΩ and
+/// capacitance in pF (so that `kΩ · pF = ns`). Defaults model a 180 nm-class
+/// global-layer interconnect (bptm-like) and a 1 GHz operating frequency —
+/// the frequency used in Section VIII.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_ring::RingParams;
+///
+/// let p = RingParams::default();
+/// assert_eq!(p.period, 1.0); // 1 GHz
+/// assert!(p.wire_res * p.wire_cap > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingParams {
+    /// Clock period `T` in ns (1.0 ⇒ 1 GHz).
+    pub period: f64,
+    /// Tap-wire resistance per unit length `r`, kΩ/µm.
+    pub wire_res: f64,
+    /// Tap-wire capacitance per unit length `c`, pF/µm.
+    pub wire_cap: f64,
+    /// Maximum number of clock periods that case 1 of the tapping solver may
+    /// borrow (reducing `t0` by an integer number of periods, Section III).
+    pub max_extra_periods: u32,
+    /// Minimum spacing between tap points on a ring, µm. Determines the
+    /// per-ring flip-flop capacity `U_j = perimeter / tap_pitch`.
+    pub tap_pitch: f64,
+    /// Fraction of a ring tile's side actually occupied by the ring
+    /// (the rest is routing clearance between adjacent rings).
+    pub fill_factor: f64,
+    /// Fixed capacitance of the ring itself (transmission lines and
+    /// anti-parallel inverter pairs), pF; part of `C_total` in eq. (2).
+    pub ring_self_cap: f64,
+    /// Total loop inductance of a ring, nH; part of `L_total` in eq. (2).
+    pub ring_inductance: f64,
+}
+
+impl Default for RingParams {
+    fn default() -> Self {
+        Self {
+            period: 1.0,
+            wire_res: 0.0008, // 0.8 Ω/µm
+            wire_cap: 0.0002, // 0.2 fF/µm
+            max_extra_periods: 3,
+            tap_pitch: 25.0,
+            fill_factor: 0.85,
+            ring_self_cap: 3.0,
+            ring_inductance: 2.0,
+        }
+    }
+}
+
+impl RingParams {
+    /// The oscillation frequency of a ring carrying `load_cap` pF of tapped
+    /// load, per eq. (2) of the paper:
+    /// `f_osc = 1 / (2·√(L_total · C_total))`, in GHz.
+    ///
+    /// `C_total = ring_self_cap + load_cap`.
+    pub fn oscillation_frequency(&self, load_cap: f64) -> f64 {
+        let c_total = self.ring_self_cap + load_cap.max(0.0);
+        1.0 / (2.0 * (self.ring_inductance * c_total).sqrt())
+    }
+
+    /// Wire delay of a tap stub of Manhattan length `l` µm driving a sink
+    /// with input capacitance `sink_cap` pF:
+    /// `½·r·c·l² + r·l·C_sink` (the Elmore delay of the stub, as in eq. (1)).
+    pub fn stub_delay(&self, l: f64, sink_cap: f64) -> f64 {
+        0.5 * self.wire_res * self.wire_cap * l * l + self.wire_res * l * sink_cap
+    }
+
+    /// Inverse of [`Self::stub_delay`]: the stub length that produces wire
+    /// delay `d` (ns) into a sink of `sink_cap` pF. Returns `None` for
+    /// negative `d`.
+    ///
+    /// Used by case 4 of the tapping solver (intentional wire detour).
+    pub fn stub_length_for_delay(&self, d: f64, sink_cap: f64) -> Option<f64> {
+        if d < 0.0 {
+            return None;
+        }
+        if d == 0.0 {
+            return Some(0.0);
+        }
+        // ½rc·l² + r·C·l − d = 0  ⇒  positive root.
+        let a = 0.5 * self.wire_res * self.wire_cap;
+        let b = self.wire_res * sink_cap;
+        let disc = b * b + 4.0 * a * d;
+        Some((-b + disc.sqrt()) / (2.0 * a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_decreases_with_load() {
+        let p = RingParams::default();
+        assert!(p.oscillation_frequency(0.0) > p.oscillation_frequency(5.0));
+    }
+
+    #[test]
+    fn stub_delay_monotone_in_length() {
+        let p = RingParams::default();
+        assert!(p.stub_delay(100.0, 0.01) < p.stub_delay(200.0, 0.01));
+        assert_eq!(p.stub_delay(0.0, 0.01), 0.0);
+    }
+
+    #[test]
+    fn stub_length_inverts_stub_delay() {
+        let p = RingParams::default();
+        for &l in &[0.0, 10.0, 123.0, 800.0] {
+            let d = p.stub_delay(l, 0.012);
+            let back = p.stub_length_for_delay(d, 0.012).expect("nonneg");
+            assert!((back - l).abs() < 1e-9, "l={l} back={back}");
+        }
+        assert!(p.stub_length_for_delay(-1.0, 0.01).is_none());
+    }
+}

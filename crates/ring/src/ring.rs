@@ -1,0 +1,353 @@
+//! A single rotary clock ring: square layout, propagation direction,
+//! per-segment phase, and nearest-point queries.
+
+use crate::params::RingParams;
+use rotary_netlist::geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Propagation direction of the traveling wave around a ring.
+///
+/// In a ring array (Fig. 1(b) of the paper) adjacent rings rotate in
+/// opposite directions so that abutting wire segments carry equal phase and
+/// can be hard-wired together for phase averaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RingDirection {
+    /// Counter-clockwise propagation (reference corner: lower-left).
+    Ccw,
+    /// Clockwise propagation (reference corner: lower-left).
+    Cw,
+}
+
+/// One of the eight tapping segments of a ring: four sides × two
+/// complementary phases.
+///
+/// The two cross-coupled loops of a rotary ring run physically side by side,
+/// so both the phase `φ` and its complement `φ + 180°` are available at
+/// (essentially) every geometric location. We model this as two co-located
+/// segments per side whose `t_start` differ by half a period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point (global coordinates, µm).
+    pub start: Point,
+    /// End point; segments are axis-aligned.
+    pub end: Point,
+    /// Clock signal delay at `start`, in `[0, T)` ns.
+    pub t_start: f64,
+    /// Side index 0..4 within the ring (in propagation order).
+    pub side: u8,
+    /// `true` for the complementary-phase loop (+T/2).
+    pub complementary: bool,
+}
+
+impl Segment {
+    /// Length of the segment in µm.
+    pub fn length(&self) -> f64 {
+        self.start.manhattan(self.end)
+    }
+
+    /// Unit direction vector of the segment (axis aligned).
+    pub fn direction(&self) -> (f64, f64) {
+        let len = self.length();
+        ((self.end.x - self.start.x) / len, (self.end.y - self.start.y) / len)
+    }
+
+    /// Local coordinates of point `p` relative to the segment: `(x_f, y_f)`
+    /// where `x_f` is the (signed) projection onto the segment axis measured
+    /// from `start`, and `y_f ≥ 0` the perpendicular distance. The Manhattan
+    /// distance from a tap at local coordinate `x` to `p` is
+    /// `|x − x_f| + y_f`, exactly the `l` of paper eq. (1).
+    pub fn local_coords(&self, p: Point) -> (f64, f64) {
+        let (dx, dy) = self.direction();
+        let vx = p.x - self.start.x;
+        let vy = p.y - self.start.y;
+        let along = vx * dx + vy * dy;
+        let perp = (vx * dy - vy * dx).abs();
+        (along, perp)
+    }
+
+    /// Global coordinates of the point at local coordinate `x` (clamped to
+    /// the segment).
+    pub fn point_at(&self, x: f64) -> Point {
+        let x = x.clamp(0.0, self.length());
+        let (dx, dy) = self.direction();
+        Point::new(self.start.x + dx * x, self.start.y + dy * x)
+    }
+}
+
+/// A square rotary clock ring.
+///
+/// The wave starts at the lower-left **reference corner** with delay `t = 0`
+/// (all rings of an array share equal-phase reference points, the small
+/// triangles of Fig. 1(b)) and travels around the perimeter in the ring's
+/// [`RingDirection`], accumulating delay `ρ = T / perimeter` per µm.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::geom::Point;
+/// use rotary_ring::{Ring, RingDirection, RingParams};
+///
+/// let ring = Ring::new(Point::new(100.0, 100.0), 80.0, RingDirection::Ccw,
+///                      RingParams::default());
+/// assert_eq!(ring.perimeter(), 4.0 * 160.0);
+/// let segments = ring.segments();
+/// assert_eq!(segments.len(), 8);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ring {
+    center: Point,
+    half_side: f64,
+    direction: RingDirection,
+    params: RingParams,
+}
+
+impl Ring {
+    /// Creates a ring centered at `center` with side length `2·half_side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_side` is not positive.
+    pub fn new(center: Point, half_side: f64, direction: RingDirection, params: RingParams) -> Self {
+        assert!(half_side > 0.0, "ring must have positive size");
+        Self { center, half_side, direction, params }
+    }
+
+    /// Ring center.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Side length of the square ring.
+    pub fn side(&self) -> f64 {
+        2.0 * self.half_side
+    }
+
+    /// Ring perimeter (µm).
+    pub fn perimeter(&self) -> f64 {
+        4.0 * self.side()
+    }
+
+    /// Propagation direction.
+    pub fn direction(&self) -> RingDirection {
+        self.direction
+    }
+
+    /// Electrical parameters.
+    pub fn params(&self) -> &RingParams {
+        &self.params
+    }
+
+    /// Bounding rectangle of the ring.
+    pub fn outline(&self) -> Rect {
+        Rect::new(
+            Point::new(self.center.x - self.half_side, self.center.y - self.half_side),
+            Point::new(self.center.x + self.half_side, self.center.y + self.half_side),
+        )
+    }
+
+    /// Delay accumulated per µm of ring wire: `ρ = T / perimeter`.
+    ///
+    /// The ring's physical dimensions are chosen at design time so one trip
+    /// around the loop takes exactly one period (Section II).
+    pub fn rho(&self) -> f64 {
+        self.params.period / self.perimeter()
+    }
+
+    /// The four corners in propagation order, starting at the lower-left
+    /// reference corner.
+    pub fn corners(&self) -> [Point; 4] {
+        let h = self.half_side;
+        let c = self.center;
+        let ll = Point::new(c.x - h, c.y - h);
+        let lr = Point::new(c.x + h, c.y - h);
+        let ur = Point::new(c.x + h, c.y + h);
+        let ul = Point::new(c.x - h, c.y + h);
+        match self.direction {
+            RingDirection::Ccw => [ll, lr, ur, ul],
+            RingDirection::Cw => [ll, ul, ur, lr],
+        }
+    }
+
+    /// The eight tapping segments: four sides in propagation order with
+    /// cumulative start delays, plus the four complementary-phase twins
+    /// (`t_start + T/2 mod T`).
+    pub fn segments(&self) -> Vec<Segment> {
+        let corners = self.corners();
+        let side_len = self.side();
+        let rho = self.rho();
+        let period = self.params.period;
+        let mut out = Vec::with_capacity(8);
+        for k in 0..4 {
+            let start = corners[k];
+            let end = corners[(k + 1) % 4];
+            let t_start = (k as f64) * side_len * rho;
+            out.push(Segment {
+                start,
+                end,
+                t_start: t_start % period,
+                side: k as u8,
+                complementary: false,
+            });
+            out.push(Segment {
+                start,
+                end,
+                t_start: (t_start + 0.5 * period) % period,
+                side: k as u8,
+                complementary: true,
+            });
+        }
+        out
+    }
+
+    /// The point on the ring closest (Manhattan) to `p`, together with its
+    /// distance. This is the point `c` of the paper's cost-driven skew
+    /// optimization (Section VII).
+    pub fn nearest_point(&self, p: Point) -> (Point, f64) {
+        let o = self.outline();
+        if !o.contains(p) {
+            let q = o.clamp(p);
+            return (q, p.manhattan(q));
+        }
+        // Inside: project to the nearest side.
+        let dl = p.x - o.lo.x;
+        let dr = o.hi.x - p.x;
+        let db = p.y - o.lo.y;
+        let dt = o.hi.y - p.y;
+        let m = dl.min(dr).min(db).min(dt);
+        let q = if m == dl {
+            Point::new(o.lo.x, p.y)
+        } else if m == dr {
+            Point::new(o.hi.x, p.y)
+        } else if m == db {
+            Point::new(p.x, o.lo.y)
+        } else {
+            Point::new(p.x, o.hi.y)
+        };
+        (q, m)
+    }
+
+    /// Clock delay of the ring wave at a point `q` on the ring boundary,
+    /// for the primary (`complementary = false`) or complementary loop.
+    /// `q` is snapped to the boundary first.
+    pub fn delay_at(&self, q: Point, complementary: bool) -> f64 {
+        let corners = self.corners();
+        let side_len = self.side();
+        let rho = self.rho();
+        // Find the side whose span contains q (after snapping).
+        let (snapped, _) = self.nearest_point(q);
+        let mut best = (f64::INFINITY, 0.0); // (distance to side, arc length)
+        for k in 0..4 {
+            let a = corners[k];
+            let b = corners[(k + 1) % 4];
+            // Axis-aligned side: distance from snapped point to the side.
+            let (lo_x, hi_x) = (a.x.min(b.x), a.x.max(b.x));
+            let (lo_y, hi_y) = (a.y.min(b.y), a.y.max(b.y));
+            let cx = snapped.x.clamp(lo_x, hi_x);
+            let cy = snapped.y.clamp(lo_y, hi_y);
+            let d = (snapped.x - cx).abs() + (snapped.y - cy).abs();
+            if d < best.0 {
+                let along = (cx - a.x).abs() + (cy - a.y).abs();
+                best = (d, k as f64 * side_len + along);
+            }
+        }
+        let t = best.1 * rho + if complementary { 0.5 * self.params.period } else { 0.0 };
+        t % self.params.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_ring(dir: RingDirection) -> Ring {
+        Ring::new(Point::new(50.0, 50.0), 50.0, dir, RingParams::default())
+    }
+
+    #[test]
+    fn rho_times_perimeter_is_period() {
+        let r = unit_ring(RingDirection::Ccw);
+        assert!((r.rho() * r.perimeter() - r.params().period).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_cover_perimeter_with_increasing_delay() {
+        let r = unit_ring(RingDirection::Ccw);
+        let segs = r.segments();
+        assert_eq!(segs.len(), 8);
+        let primary: Vec<_> = segs.iter().filter(|s| !s.complementary).collect();
+        for (k, s) in primary.iter().enumerate() {
+            assert!((s.t_start - k as f64 * 0.25 * r.params().period).abs() < 1e-12);
+            assert_eq!(s.length(), r.side());
+        }
+        let comp: Vec<_> = segs.iter().filter(|s| s.complementary).collect();
+        for (p, c) in primary.iter().zip(&comp) {
+            let diff = (c.t_start - p.t_start).rem_euclid(r.params().period);
+            assert!((diff - 0.5 * r.params().period).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cw_and_ccw_reference_same_corner() {
+        let a = unit_ring(RingDirection::Ccw);
+        let b = unit_ring(RingDirection::Cw);
+        assert_eq!(a.corners()[0], b.corners()[0]);
+        // Second corner differs: wave goes the other way.
+        assert_ne!(a.corners()[1], b.corners()[1]);
+    }
+
+    #[test]
+    fn nearest_point_outside_clamps() {
+        let r = unit_ring(RingDirection::Ccw);
+        let (q, d) = r.nearest_point(Point::new(150.0, 50.0));
+        assert_eq!(q, Point::new(100.0, 50.0));
+        assert_eq!(d, 50.0);
+    }
+
+    #[test]
+    fn nearest_point_inside_projects_to_closest_side() {
+        let r = unit_ring(RingDirection::Ccw);
+        let (q, d) = r.nearest_point(Point::new(10.0, 50.0));
+        assert_eq!(q, Point::new(0.0, 50.0));
+        assert_eq!(d, 10.0);
+    }
+
+    #[test]
+    fn delay_at_reference_corner_is_zero() {
+        let r = unit_ring(RingDirection::Ccw);
+        let t = r.delay_at(Point::new(0.0, 0.0), false);
+        assert!(t.abs() < 1e-12);
+        let tc = r.delay_at(Point::new(0.0, 0.0), true);
+        assert!((tc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_quarter_way_round() {
+        let r = unit_ring(RingDirection::Ccw);
+        // CCW: first side goes ll -> lr; its far end is a quarter period.
+        let t = r.delay_at(Point::new(100.0, 0.0), false);
+        assert!((t - 0.25).abs() < 1e-12);
+        // Mid of first side: eighth of a period.
+        let t2 = r.delay_at(Point::new(50.0, 0.0), false);
+        assert!((t2 - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_coords_roundtrip() {
+        let r = unit_ring(RingDirection::Ccw);
+        let seg = &r.segments()[0]; // bottom side, ll -> lr
+        let p = Point::new(30.0, 20.0);
+        let (x, y) = seg.local_coords(p);
+        assert!((x - 30.0).abs() < 1e-12);
+        assert!((y - 20.0).abs() < 1e-12);
+        assert_eq!(seg.point_at(x), Point::new(30.0, 0.0));
+        // Manhattan distance identity: |x - x_f| + y_f.
+        let tap = seg.point_at(45.0);
+        assert!((tap.manhattan(p) - ((45.0 - x).abs() + y)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn rejects_degenerate_ring() {
+        let _ = Ring::new(Point::new(0.0, 0.0), 0.0, RingDirection::Ccw, RingParams::default());
+    }
+}

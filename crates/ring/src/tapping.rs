@@ -1,0 +1,387 @@
+//! The flexible-tapping solver (paper Section III, Fig. 2).
+//!
+//! Given a flip-flop location, its clock-pin capacitance, and a clock-delay
+//! target `t̂_f`, find the tapping point `p` on a ring such that the wave
+//! delay at `p` plus the Elmore delay of the tap stub equals the target:
+//!
+//! ```text
+//! t_f(x) = t0 + ρ·x + ½·r·c·l² + r·l·C_ff = t̂_f,    l = |x − x_f| + y_f
+//! ```
+//!
+//! The curve `t_f(x)` is two parabolas joined at `x = x_f` (the
+//! non-differentiable point of `|x − x_f|`). Depending on the target, the
+//! paper distinguishes four cases, all implemented here:
+//!
+//! * **Case 1** — target below the curve: borrow an integer number of clock
+//!   periods (reducing `t0` by `k·T` does not change the phase), minimizing
+//!   `k`, then resolve.
+//! * **Case 2** — two intersections: pick the one with smaller wirelength.
+//! * **Case 3** — unique intersection.
+//! * **Case 4** — target above the curve: tap at the far segment end and
+//!   intentionally detour (snake) the tap wire until the Elmore delay makes
+//!   up the difference.
+
+use crate::ring::{Ring, Segment};
+use rotary_netlist::geom::Point;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's four solution cases produced a tap solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TapCase {
+    /// Period borrowing was required before an exact solution existed.
+    PeriodBorrow,
+    /// Two exact intersections; the smaller-wirelength one was taken.
+    TwoSolutions,
+    /// Unique exact intersection.
+    Unique,
+    /// No exact intersection at any allowed period shift; tap at the
+    /// segment end with an intentional wire detour (snaking).
+    Detour,
+}
+
+/// A solved tapping assignment for one flip-flop on one ring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TapSolution {
+    /// Tapping point on the ring (global coordinates, µm).
+    pub point: Point,
+    /// Total tap-wire length (the **tapping cost**), µm. For
+    /// [`TapCase::Detour`] this exceeds the Manhattan distance.
+    pub wirelength: f64,
+    /// Which solution case applied.
+    pub case: TapCase,
+    /// Number of whole periods borrowed (`k` such that the equation was
+    /// solved against `t̂ + k·T`).
+    pub periods_borrowed: u32,
+    /// Side index (0..4) of the chosen segment.
+    pub side: u8,
+    /// Whether the complementary-phase loop was tapped.
+    pub complementary: bool,
+}
+
+/// Exact roots of `t_f(x) = target` on one segment, restricted to the
+/// segment span. Returns up to two `(x, wirelength)` pairs.
+fn exact_roots(
+    seg: &Segment,
+    ring: &Ring,
+    xf: f64,
+    yf: f64,
+    sink_cap: f64,
+    target: f64,
+) -> Vec<(f64, f64)> {
+    let p = ring.params();
+    let rho = ring.rho();
+    let b = seg.length();
+    let a2 = 0.5 * p.wire_res * p.wire_cap; // A = ½rc
+    let b1 = p.wire_res * sink_cap; // B = r·C_ff
+    let base = a2 * yf * yf + b1 * yf + seg.t_start + rho * xf - target;
+    let mut out = Vec::new();
+
+    // Piece 1: x ≤ x_f, substitute u = x_f − x ≥ 0, l = u + y_f:
+    //   A·u² + (2A·y_f + B − ρ)·u + base = 0, with x = x_f − u ∈ [0, min(b, x_f)].
+    for u in quadratic_roots(a2, 2.0 * a2 * yf + b1 - rho, base) {
+        if u >= -1e-9 {
+            let x = xf - u;
+            if (-1e-9..=b + 1e-9).contains(&x) && x <= xf + 1e-9 {
+                out.push((x.clamp(0.0, b), u.max(0.0) + yf));
+            }
+        }
+    }
+    // Piece 2: x ≥ x_f, substitute v = x − x_f ≥ 0, l = v + y_f:
+    //   A·v² + (2A·y_f + B + ρ)·v + base = 0, with x = x_f + v ∈ [max(0, x_f), b].
+    for v in quadratic_roots(a2, 2.0 * a2 * yf + b1 + rho, base) {
+        if v >= -1e-9 {
+            let x = xf + v;
+            if (-1e-9..=b + 1e-9).contains(&x) && x >= xf - 1e-9 {
+                out.push((x.clamp(0.0, b), v.max(0.0) + yf));
+            }
+        }
+    }
+    // Deduplicate near-coincident roots (the joint point x = x_f can appear
+    // in both pieces).
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    out.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-7);
+    out
+}
+
+/// Real roots of `a·x² + b·x + c = 0` (also handles the linear case).
+fn quadratic_roots(a: f64, b: f64, c: f64) -> Vec<f64> {
+    if a.abs() < 1e-300 {
+        if b.abs() < 1e-300 {
+            return Vec::new();
+        }
+        return vec![-c / b];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    let sq = disc.sqrt();
+    // Numerically stable form.
+    let q = -0.5 * (b + b.signum() * sq);
+    if q == 0.0 {
+        return vec![0.0];
+    }
+    let mut roots = vec![q / a, c / q];
+    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+    roots
+}
+
+impl Ring {
+    /// Solves the flexible-tapping problem for a flip-flop at `ff` with
+    /// clock-pin capacitance `sink_cap` (pF) and clock-delay target
+    /// `target` (ns, interpreted modulo the period).
+    ///
+    /// Evaluates all eight segments (four sides × two complementary phases)
+    /// and returns the minimum-wirelength solution, exactly as Section III
+    /// prescribes. The solver always succeeds: case 4 (wire detour) provides
+    /// a fallback on every segment.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rotary_netlist::geom::Point;
+    /// use rotary_ring::{Ring, RingDirection, RingParams};
+    ///
+    /// let ring = Ring::new(Point::new(100.0, 100.0), 80.0, RingDirection::Ccw,
+    ///                      RingParams::default());
+    /// let sol = ring.tap_for_target(Point::new(150.0, 150.0), 0.012, 0.40);
+    /// // The tap point lies on the ring and satisfies the delay target.
+    /// assert!(sol.wirelength > 0.0);
+    /// ```
+    pub fn tap_for_target(&self, ff: Point, sink_cap: f64, target: f64) -> TapSolution {
+        let period = self.params().period;
+        let tau = target.rem_euclid(period);
+        let mut best: Option<TapSolution> = None;
+
+        for seg in self.segments() {
+            if let Some(sol) = self.tap_on_segment(&seg, ff, sink_cap, tau) {
+                if best.map_or(true, |b| sol.wirelength < b.wirelength) {
+                    best = Some(sol);
+                }
+            }
+        }
+        best.expect("detour fallback guarantees a solution on every segment")
+    }
+
+    /// Solves the tapping equation on a single segment. Public for the
+    /// Fig. 2 reproduction (`tables fig2`), which sweeps one segment.
+    pub fn tap_on_segment(
+        &self,
+        seg: &Segment,
+        ff: Point,
+        sink_cap: f64,
+        tau: f64,
+    ) -> Option<TapSolution> {
+        let p = *self.params();
+        let period = p.period;
+        let (xf, yf) = seg.local_coords(ff);
+        let b = seg.length();
+
+        // Exact solve with minimal period borrowing (cases 1-3).
+        for k in 0..=p.max_extra_periods {
+            let target_k = tau + k as f64 * period;
+            let roots = exact_roots(seg, self, xf, yf, sink_cap, target_k);
+            if !roots.is_empty() {
+                let &(x, wl) = roots
+                    .iter()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .expect("nonempty");
+                let case = if k > 0 {
+                    TapCase::PeriodBorrow
+                } else if roots.len() >= 2 {
+                    TapCase::TwoSolutions
+                } else {
+                    TapCase::Unique
+                };
+                return Some(TapSolution {
+                    point: seg.point_at(x),
+                    wirelength: wl,
+                    case,
+                    periods_borrowed: k,
+                    side: seg.side,
+                    complementary: seg.complementary,
+                });
+            }
+        }
+
+        // Case 4: tap at the far end (maximum base delay) and snake the
+        // wire. Find the smallest k whose required stub length can at least
+        // physically reach the flip-flop.
+        let l_direct = (b - xf).abs() + yf;
+        let d_min = p.stub_delay(l_direct, sink_cap);
+        let base_end = seg.t_start + self.rho() * b;
+        let k_needed = ((d_min + base_end - tau) / period).ceil().max(0.0) as u32;
+        let target_k = tau + k_needed as f64 * period;
+        let wl = p.stub_length_for_delay(target_k - base_end, sink_cap)?;
+        Some(TapSolution {
+            point: seg.point_at(b),
+            wirelength: wl.max(l_direct),
+            case: TapCase::Detour,
+            periods_borrowed: k_needed,
+            side: seg.side,
+            complementary: seg.complementary,
+        })
+    }
+
+    /// The delay seen at the flip-flop for a given tap solution — useful for
+    /// verifying that a solution actually meets its target (modulo `T`).
+    pub fn delay_through_tap(&self, sol: &TapSolution, sink_cap: f64) -> f64 {
+        let base = self.delay_at(sol.point, sol.complementary);
+        (base + self.params().stub_delay(sol.wirelength, sink_cap))
+            .rem_euclid(self.params().period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingDirection;
+    use crate::RingParams;
+
+    const CAP: f64 = 0.012;
+
+    fn ring() -> Ring {
+        Ring::new(Point::new(500.0, 500.0), 100.0, RingDirection::Ccw, RingParams::default())
+    }
+
+    fn assert_target_met(r: &Ring, ff: Point, target: f64) -> TapSolution {
+        let sol = r.tap_for_target(ff, CAP, target);
+        let got = r.delay_through_tap(&sol, CAP);
+        let period = r.params().period;
+        let tau = target.rem_euclid(period);
+        let err = (got - tau).abs().min(period - (got - tau).abs());
+        assert!(
+            err < 1e-6,
+            "target {tau} not met: got {got} (case {:?}, wl {})",
+            sol.case,
+            sol.wirelength
+        );
+        sol
+    }
+
+    #[test]
+    fn targets_across_the_period_are_all_satisfiable() {
+        let r = ring();
+        let ff = Point::new(650.0, 520.0); // right of the ring
+        for i in 0..20 {
+            let target = i as f64 * 0.05;
+            assert_target_met(&r, ff, target);
+        }
+    }
+
+    #[test]
+    fn flip_flop_inside_ring_is_satisfiable() {
+        let r = ring();
+        assert_target_met(&r, Point::new(500.0, 500.0), 0.37);
+    }
+
+    #[test]
+    fn far_flip_flop_costs_more() {
+        let r = ring();
+        let near = r.tap_for_target(Point::new(610.0, 500.0), CAP, 0.25);
+        let far = r.tap_for_target(Point::new(900.0, 500.0), CAP, 0.25);
+        assert!(far.wirelength > near.wirelength);
+    }
+
+    #[test]
+    fn detour_case_produces_longer_than_direct_wire() {
+        // A flip-flop sitting ON the ring with a target just *below* the
+        // local phase forces either period borrowing or a detour; either
+        // way the target must still be met exactly.
+        let r = ring();
+        let ff = Point::new(400.0, 400.0); // the reference corner (t=0)
+        // Target slightly less than the phase at the corner: needs wire.
+        let sol = assert_target_met(&r, ff, 0.9999);
+        assert!(sol.wirelength > 0.0);
+    }
+
+    #[test]
+    fn complementary_phase_halves_wire_for_opposite_targets() {
+        let r = ring();
+        let ff = Point::new(420.0, 400.0);
+        // Phase at ff's nearest primary point is small; a target near T/2
+        // should be served by the complementary loop right there rather
+        // than half-way around the ring.
+        let sol = assert_target_met(&r, ff, 0.5 + 0.02 * 0.0);
+        assert!(sol.complementary || sol.wirelength < r.side());
+    }
+
+    #[test]
+    fn wirelength_at_least_manhattan_distance_to_tap() {
+        let r = ring();
+        for (fx, fy, t) in [
+            (650.0, 520.0, 0.1),
+            (450.0, 700.0, 0.6),
+            (300.0, 300.0, 0.9),
+            (500.0, 610.0, 0.33),
+        ] {
+            let ff = Point::new(fx, fy);
+            let sol = r.tap_for_target(ff, CAP, t);
+            let direct = sol.point.manhattan(ff);
+            assert!(
+                sol.wirelength >= direct - 1e-6,
+                "wl {} < direct {direct}",
+                sol.wirelength
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_roots_cover_degenerate_cases() {
+        assert!(quadratic_roots(0.0, 0.0, 1.0).is_empty());
+        assert_eq!(quadratic_roots(0.0, 2.0, -4.0), vec![2.0]);
+        let mut r = quadratic_roots(1.0, -3.0, 2.0);
+        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+        assert!(quadratic_roots(1.0, 0.0, 1.0).is_empty()); // complex
+    }
+
+    #[test]
+    fn tap_case_labels_match_geometry() {
+        let r = ring();
+        // A generous target reachable by two intersections on some segment
+        // typically reports TwoSolutions or Unique, never Detour, when the
+        // target sits inside the curve's range.
+        let ff = Point::new(620.0, 560.0);
+        let sol = r.tap_for_target(ff, CAP, 0.3);
+        assert_ne!(sol.case, TapCase::Detour);
+    }
+
+    #[test]
+    fn distant_flip_flop_with_tiny_target_borrows_periods() {
+        // A flip-flop 3000 µm from the ring needs ≥ 0.7 ns of stub delay
+        // just to arrive; a 0.01 ns target is only reachable by borrowing
+        // whole periods (case 1).
+        let r = ring();
+        let ff = Point::new(3600.0, 500.0);
+        let sol = r.tap_for_target(ff, CAP, 0.01);
+        assert!(sol.periods_borrowed >= 1, "case {:?}", sol.case);
+        let got = r.delay_through_tap(&sol, CAP);
+        let err = (got - 0.01).abs().min(1.0 - (got - 0.01).abs());
+        assert!(err < 1e-6);
+    }
+
+    #[test]
+    fn larger_period_budget_never_hurts() {
+        let tight = RingParams { max_extra_periods: 0, ..RingParams::default() };
+        let loose = RingParams { max_extra_periods: 5, ..RingParams::default() };
+        let rt = Ring::new(Point::new(500.0, 500.0), 100.0, RingDirection::Ccw, tight);
+        let rl = Ring::new(Point::new(500.0, 500.0), 100.0, RingDirection::Ccw, loose);
+        for t in [0.05, 0.3, 0.77] {
+            let ff = Point::new(900.0, 480.0);
+            let a = rt.tap_for_target(ff, CAP, t);
+            let b = rl.tap_for_target(ff, CAP, t);
+            assert!(b.wirelength <= a.wirelength + 1e-9);
+        }
+    }
+
+    #[test]
+    fn solution_point_is_on_ring_boundary() {
+        let r = ring();
+        let sol = r.tap_for_target(Point::new(777.0, 333.0), CAP, 0.77);
+        let o = r.outline();
+        let on_x = (sol.point.x - o.lo.x).abs() < 1e-6 || (sol.point.x - o.hi.x).abs() < 1e-6;
+        let on_y = (sol.point.y - o.lo.y).abs() < 1e-6 || (sol.point.y - o.hi.y).abs() < 1e-6;
+        assert!(on_x || on_y, "tap {:?} not on boundary", sol.point);
+    }
+}

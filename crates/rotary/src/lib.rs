@@ -1,0 +1,59 @@
+//! Umbrella crate: the complete rotary-clocking placement and skew
+//! optimization system from a single dependency.
+//!
+//! This workspace reproduces *"Integrated Placement and Skew Optimization
+//! for Rotary Clocking"* (Venkataraman, Hu, Liu — DATE 2006 / TVLSI 2007):
+//! a methodology that makes rotary traveling-wave clocks usable in a
+//! standard physical-design flow by breaking the cyclic dependency between
+//! flip-flop placement and clock-skew scheduling.
+//!
+//! # Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`netlist`] | circuit model + ISCAS89-statistics benchmark generator |
+//! | [`ring`] | rotary ring arrays, phase model, flexible-tapping solver |
+//! | [`timing`] | Elmore STA, sequential adjacency, permissible ranges |
+//! | [`solver`] | simplex LP, min-cost flow, difference constraints, B&B |
+//! | [`place`] | quadratic placement, legalization, pseudo-net increments |
+//! | [`cts`] | zero-skew clock-tree baseline |
+//! | [`power`] | dynamic/leakage power models (paper eqs. 8–9) |
+//! | [`core`] | skew scheduling, flip-flop assignment, the Fig. 3 flow |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use rotary::core::flow::{Flow, FlowConfig};
+//! use rotary::netlist::BenchmarkSuite;
+//!
+//! let mut circuit = BenchmarkSuite::S9234.circuit(42);
+//! let outcome = Flow::new(FlowConfig::default())
+//!     .run(&mut circuit, BenchmarkSuite::S9234.ring_grid());
+//! println!(
+//!     "tapping wirelength: {:.0} → {:.0} µm ({:+.1}%)",
+//!     outcome.base.tapping_wl,
+//!     outcome.final_snapshot().tapping_wl,
+//!     -outcome.tapping_improvement() * 100.0,
+//! );
+//! ```
+
+pub use rotary_core as core;
+pub use rotary_cts as cts;
+pub use rotary_netlist as netlist;
+pub use rotary_place as place;
+pub use rotary_power as power;
+pub use rotary_ring as ring;
+pub use rotary_solver as solver;
+pub use rotary_timing as timing;
+
+/// Convenience prelude re-exporting the types most programs need.
+pub mod prelude {
+    pub use rotary_core::flow::{Flow, FlowConfig, FlowOutcome, SkewVariant};
+    pub use rotary_core::{Assignment, SkewSchedule, TapAssignments};
+    pub use rotary_cts::ClockTree;
+    pub use rotary_netlist::{BenchmarkSuite, Circuit, Generator, GeneratorConfig};
+    pub use rotary_place::{Placer, PlacerConfig};
+    pub use rotary_power::PowerModel;
+    pub use rotary_ring::{RingArray, RingParams};
+    pub use rotary_timing::{SequentialGraph, Technology};
+}

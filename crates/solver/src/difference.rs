@@ -1,0 +1,239 @@
+//! Difference-constraint systems `y_i − y_j ≤ b_ij`, solved by
+//! Bellman–Ford over the constraint graph.
+//!
+//! This is the graph-based engine behind skew scheduling (\[23\], \[24\] in the
+//! paper): the system is feasible iff the constraint graph (arc `j → i`
+//! with weight `b_ij` for each constraint) has no negative cycle, and the
+//! shortest-path distances from a virtual source form a feasible solution.
+//! Binary search on a slack parameter then yields max-slack and minimax
+//! schedules without a general LP solve.
+
+use serde::{Deserialize, Serialize};
+
+/// One constraint `y_i − y_j ≤ bound`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Left variable `i`.
+    pub i: usize,
+    /// Right variable `j`.
+    pub j: usize,
+    /// Upper bound on `y_i − y_j`.
+    pub bound: f64,
+}
+
+/// A system of difference constraints over `n` variables.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_solver::DifferenceSystem;
+///
+/// let mut sys = DifferenceSystem::new(2);
+/// sys.add(0, 1, 3.0);  // y0 − y1 ≤ 3
+/// sys.add(1, 0, -1.0); // y1 − y0 ≤ −1  ⇔  y0 − y1 ≥ 1
+/// let y = sys.solve().expect("feasible");
+/// let d = y[0] - y[1];
+/// assert!(d <= 3.0 + 1e-9 && d >= 1.0 - 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DifferenceSystem {
+    n: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl DifferenceSystem {
+    /// Creates an empty system over `n` variables.
+    pub fn new(n: usize) -> Self {
+        Self { n, constraints: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds `y_i − y_j ≤ bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn add(&mut self, i: usize, j: usize, bound: f64) {
+        assert!(i < self.n && j < self.n, "variable out of range");
+        self.constraints.push(Constraint { i, j, bound });
+    }
+
+    /// Returns a feasible assignment, or `None` if the system has a
+    /// negative cycle (is infeasible).
+    ///
+    /// The returned solution is the shortest-path solution from a virtual
+    /// source with zero-weight arcs to every variable — componentwise
+    /// maximal among solutions with `y ≤ 0`.
+    pub fn solve(&self) -> Option<Vec<f64>> {
+        // Virtual source = distance 0 to every node; run Bellman-Ford.
+        let mut dist = vec![0.0f64; self.n];
+        for round in 0..=self.n {
+            let mut changed = false;
+            for c in &self.constraints {
+                // Arc j → i with weight bound: dist[i] ≤ dist[j] + bound.
+                let cand = dist[c.j] + c.bound;
+                if cand + 1e-12 < dist[c.i] {
+                    dist[c.i] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(dist);
+            }
+            if round == self.n {
+                return None;
+            }
+        }
+        Some(dist)
+    }
+
+    /// Whether the system admits any solution.
+    pub fn is_feasible(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    /// Checks an assignment against all constraints with tolerance `tol`.
+    pub fn check(&self, y: &[f64], tol: f64) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| y[c.i] - y[c.j] <= c.bound + tol)
+    }
+
+    /// Maximizes a scalar slack `s` such that the *parameterized* system
+    /// with bounds `bound_k − s·tighten_k` stays feasible, via binary
+    /// search over `[0, hi]`. `tighten` must be non-negative and parallel to
+    /// the constraints. Returns `(s, solution)`.
+    ///
+    /// This is exactly the max-slack skew-scheduling search: long- and
+    /// short-path constraints tighten by `M` (the slack of eq. (5)-(7) of
+    /// the paper), pure-window constraints do not (`tighten = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tighten.len() != constraints.len()` or the base system
+    /// (`s = 0`) is infeasible.
+    pub fn maximize_slack(&self, tighten: &[f64], hi: f64, tol: f64) -> (f64, Vec<f64>) {
+        assert_eq!(tighten.len(), self.constraints.len());
+        let tightened = |s: f64| -> DifferenceSystem {
+            let mut sys = DifferenceSystem::new(self.n);
+            for (c, &t) in self.constraints.iter().zip(tighten) {
+                sys.add(c.i, c.j, c.bound - s * t);
+            }
+            sys
+        };
+        let base = tightened(0.0)
+            .solve()
+            .expect("base system must be feasible for slack maximization");
+        let (mut lo, mut hi) = (0.0f64, hi.max(0.0));
+        // Early exit: maybe hi itself is feasible.
+        if let Some(sol) = tightened(hi).solve() {
+            return (hi, sol);
+        }
+        let mut best = base;
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            match tightened(mid).solve() {
+                Some(sol) => {
+                    best = sol;
+                    lo = mid;
+                }
+                None => hi = mid,
+            }
+        }
+        (lo, best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_chain() {
+        let mut sys = DifferenceSystem::new(3);
+        sys.add(1, 0, 2.0);
+        sys.add(2, 1, 2.0);
+        sys.add(0, 2, -3.0); // y0 − y2 ≤ −3 ⇒ y2 ≥ y0 + 3
+        let y = sys.solve().expect("feasible");
+        assert!(sys.check(&y, 1e-9));
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, -2.0); // sum of bounds around cycle −1 < 0
+        assert!(!sys.is_feasible());
+    }
+
+    #[test]
+    fn zero_cycle_feasible() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, -1.0);
+        let y = sys.solve().expect("tight but feasible");
+        assert!((y[0] - y[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_system_trivially_feasible() {
+        let sys = DifferenceSystem::new(5);
+        let y = sys.solve().expect("no constraints");
+        assert_eq!(y, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn check_rejects_violation() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 1.0);
+        assert!(!sys.check(&[5.0, 0.0], 1e-9));
+        assert!(sys.check(&[0.5, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn maximize_slack_finds_the_margin() {
+        // y0 − y1 ≤ 4 − s and y1 − y0 ≤ −1 − s·0: slack limited by the pair
+        // needing y0 − y1 ≥ 1, so max s with 4 − s ≥ 1 is s = 3.
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 4.0);
+        sys.add(1, 0, -1.0);
+        let (s, y) = sys.maximize_slack(&[1.0, 0.0], 10.0, 1e-9);
+        assert!((s - 3.0).abs() < 1e-6, "s = {s}");
+        assert!(y[0] - y[1] >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn maximize_slack_symmetric_tightening() {
+        // Window of width 4 shared between two constraints each tightening
+        // by s: 4 − 2s ≥ 0 ⇒ s = 2.
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 2.0);
+        sys.add(1, 0, 2.0);
+        let (s, _) = sys.maximize_slack(&[1.0, 1.0], 100.0, 1e-9);
+        assert!((s - 2.0).abs() < 1e-6, "s = {s}");
+    }
+
+    #[test]
+    fn maximize_slack_unbounded_clamps_to_hi() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 5.0);
+        let (s, _) = sys.maximize_slack(&[0.0], 7.5, 1e-9);
+        assert_eq!(s, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_variable() {
+        let mut sys = DifferenceSystem::new(1);
+        sys.add(0, 3, 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! From-scratch optimization kernels used by the rotary-clocking flow.
+//!
+//! The paper relies on three external solvers: Soplex for linear programs,
+//! a generic public-domain ILP solver (GLPK) for the Table I comparison, and
+//! a min-cost network-flow code for flip-flop assignment. None of these are
+//! available as offline Rust bindings, so this crate implements the needed
+//! kernels directly:
+//!
+//! * [`lp`] — a two-phase (Big-M) revised primal simplex with a dense basis
+//!   inverse, sparse columns, Bland anti-cycling fallback and periodic
+//!   refactorization. Exact enough for every LP the flow solves (assignment
+//!   LP relaxations and small skew LPs).
+//! * [`mcmf`] — min-cost max-flow via successive shortest paths with
+//!   Johnson potentials, plus negative-cycle-canceling min-cost
+//!   *circulation* used by the weighted-sum skew optimization dual.
+//! * [`difference`] — feasibility and optimization of difference-constraint
+//!   systems (`y_i − y_j ≤ b_ij`) via Bellman–Ford; the graph-based engine
+//!   behind max-slack and minimax skew scheduling.
+//! * [`ilp`] — LP-based best-first branch & bound with a wall-clock budget,
+//!   standing in for the paper's time-bounded generic ILP solver.
+//! * [`rounding`] — the paper's greedy rounding procedure (Fig. 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use rotary_solver::lp::{LpProblem, LpStatus, RowKind};
+//!
+//! // minimize  -x - 2y  s.t.  x + y ≤ 4,  y ≤ 3,  x,y ≥ 0
+//! let mut lp = LpProblem::minimize(vec![-1.0, -2.0]);
+//! lp.add_row(RowKind::Le, 4.0, &[(0, 1.0), (1, 1.0)]);
+//! lp.add_row(RowKind::Le, 3.0, &[(1, 1.0)]);
+//! let sol = lp.solve();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - (-7.0)).abs() < 1e-7); // x=1, y=3
+//! ```
+
+pub mod difference;
+pub mod ilp;
+pub mod lp;
+pub mod mcmf;
+pub mod rounding;
+
+pub use difference::DifferenceSystem;
+pub use ilp::{BranchAndBound, IlpOutcome};
+pub use lp::{LpProblem, LpSolution, LpStatus, RowKind};
+pub use mcmf::{ArcId, FlowNetwork, NodeId};
+pub use rounding::greedy_round;

@@ -1,0 +1,669 @@
+//! Revised primal simplex with a dense basis inverse.
+//!
+//! Design point: the LPs this workspace solves have **few rows**
+//! (one per flip-flop plus one per ring, ≈ 1 800 for the largest benchmark)
+//! but may have many sparse columns (one per candidate flip-flop/ring arc).
+//! A dense `m × m` basis inverse with sparse column FTRANs is therefore
+//! fast and simple; we refactorize periodically to bound numerical drift,
+//! and fall back to Bland's rule when degeneracy stalls progress.
+//!
+//! Infeasibility/unboundedness are detected via the Big-M composite
+//! objective: artificial variables receive cost `M` scaled far above any
+//! structural cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Constraint sense of an LP row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowKind {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpStatus {
+    /// Optimal solution found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+    /// Iteration limit hit before convergence (solution is the incumbent).
+    IterationLimit,
+}
+
+/// Result of [`LpProblem::solve`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Outcome status.
+    pub status: LpStatus,
+    /// Primal values of the structural variables (length = number of
+    /// variables of the problem). Meaningful for `Optimal` and
+    /// `IterationLimit`.
+    pub x: Vec<f64>,
+    /// Objective value `c·x`.
+    pub objective: f64,
+    /// Simplex iterations performed.
+    pub iterations: usize,
+}
+
+/// A linear program `minimize c·x subject to rows, x ≥ 0 (or free)`.
+///
+/// Build with [`LpProblem::minimize`], add rows with [`LpProblem::add_row`],
+/// mark free variables with [`LpProblem::set_free`], then [`LpProblem::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use rotary_solver::lp::{LpProblem, LpStatus, RowKind};
+///
+/// // minimize x + y  s.t.  x + y ≥ 2, x − y = 0
+/// let mut lp = LpProblem::minimize(vec![1.0, 1.0]);
+/// lp.add_row(RowKind::Ge, 2.0, &[(0, 1.0), (1, 1.0)]);
+/// lp.add_row(RowKind::Eq, 0.0, &[(0, 1.0), (1, -1.0)]);
+/// let s = lp.solve();
+/// assert_eq!(s.status, LpStatus::Optimal);
+/// assert!((s.x[0] - 1.0).abs() < 1e-7 && (s.x[1] - 1.0).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    obj: Vec<f64>,
+    free: Vec<bool>,
+    rows: Vec<(RowKind, f64)>,
+    /// Column-sparse structural coefficients: `cols[j] = [(row, coeff)]`.
+    cols: Vec<Vec<(usize, f64)>>,
+    max_iters: usize,
+}
+
+impl LpProblem {
+    /// Creates a minimization problem with the given objective vector; all
+    /// variables default to `x_j ≥ 0`.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        let n = objective.len();
+        Self {
+            obj: objective,
+            free: vec![false; n],
+            rows: Vec::new(),
+            cols: vec![Vec::new(); n],
+            max_iters: 200_000,
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.obj.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Declares variable `j` free (unrestricted in sign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set_free(&mut self, j: usize) {
+        self.free[j] = true;
+    }
+
+    /// Caps the number of simplex iterations (default 200 000).
+    pub fn set_iteration_limit(&mut self, limit: usize) {
+        self.max_iters = limit;
+    }
+
+    /// Adds a row `Σ coeffs · x {≤,=,≥} rhs` and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable is out of range.
+    pub fn add_row(&mut self, kind: RowKind, rhs: f64, coeffs: &[(usize, f64)]) -> usize {
+        let r = self.rows.len();
+        self.rows.push((kind, rhs));
+        for &(j, a) in coeffs {
+            assert!(j < self.cols.len(), "variable {j} out of range");
+            if a != 0.0 {
+                self.cols[j].push((r, a));
+            }
+        }
+        r
+    }
+
+    /// Solves the LP.
+    pub fn solve(&self) -> LpSolution {
+        Simplex::new(self).run()
+    }
+}
+
+/// Internal computational form: all rows normalized to `b ≥ 0`; columns are
+/// structural (with free variables split), then slack/surplus, then
+/// artificial.
+struct Simplex<'a> {
+    problem: &'a LpProblem,
+    m: usize,
+    /// Column-sparse matrix including slacks and artificials.
+    cols: Vec<Vec<(usize, f64)>>,
+    cost: Vec<f64>,
+    /// Map from internal column to (structural var, sign) if structural.
+    var_of_col: Vec<Option<(usize, f64)>>,
+    artificial_start: usize,
+    rhs: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+const PIVOT_EPS: f64 = 1e-7;
+const REFACTOR_EVERY: usize = 2000;
+
+impl<'a> Simplex<'a> {
+    fn new(problem: &'a LpProblem) -> Self {
+        let m = problem.rows.len();
+        // Row sign normalization: multiply rows with negative rhs by −1 and
+        // flip the sense.
+        let mut row_sign = vec![1.0; m];
+        let mut kinds: Vec<RowKind> = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        for (i, &(kind, b)) in problem.rows.iter().enumerate() {
+            if b < 0.0 {
+                row_sign[i] = -1.0;
+                rhs.push(-b);
+                kinds.push(match kind {
+                    RowKind::Le => RowKind::Ge,
+                    RowKind::Ge => RowKind::Le,
+                    RowKind::Eq => RowKind::Eq,
+                });
+            } else {
+                rhs.push(b);
+                kinds.push(kind);
+            }
+        }
+
+        let mut cols = Vec::new();
+        let mut cost = Vec::new();
+        let mut var_of_col = Vec::new();
+        let mut max_abs_cost: f64 = 1.0;
+
+        for j in 0..problem.num_vars() {
+            let col: Vec<(usize, f64)> = problem.cols[j]
+                .iter()
+                .map(|&(r, a)| (r, a * row_sign[r]))
+                .collect();
+            max_abs_cost = max_abs_cost.max(problem.obj[j].abs());
+            cols.push(col.clone());
+            cost.push(problem.obj[j]);
+            var_of_col.push(Some((j, 1.0)));
+            if problem.free[j] {
+                // Negative part x⁻: column −A_j, cost −c_j.
+                cols.push(col.iter().map(|&(r, a)| (r, -a)).collect());
+                cost.push(-problem.obj[j]);
+                var_of_col.push(Some((j, -1.0)));
+            }
+        }
+        // Slacks / surplus.
+        for (i, &kind) in kinds.iter().enumerate() {
+            match kind {
+                RowKind::Le => {
+                    cols.push(vec![(i, 1.0)]);
+                    cost.push(0.0);
+                    var_of_col.push(None);
+                }
+                RowKind::Ge => {
+                    cols.push(vec![(i, -1.0)]);
+                    cost.push(0.0);
+                    var_of_col.push(None);
+                }
+                RowKind::Eq => {}
+            }
+        }
+        let artificial_start = cols.len();
+        let big_m = 1e7 * max_abs_cost;
+        for i in 0..m {
+            cols.push(vec![(i, 1.0)]);
+            cost.push(big_m);
+            var_of_col.push(None);
+        }
+
+        Self { problem, m, cols, cost, var_of_col, artificial_start, rhs }
+    }
+
+    fn run(self) -> LpSolution {
+        let m = self.m;
+        if m == 0 {
+            // No constraints: optimum is 0 for x ≥ 0 with c ≥ 0, else unbounded.
+            let unbounded = self
+                .problem
+                .obj
+                .iter()
+                .zip(&self.problem.free)
+                .any(|(&c, &f)| c < -EPS || (f && c.abs() > EPS));
+            return LpSolution {
+                status: if unbounded { LpStatus::Unbounded } else { LpStatus::Optimal },
+                x: vec![0.0; self.problem.num_vars()],
+                objective: 0.0,
+                iterations: 0,
+            };
+        }
+
+        // Basis: artificials.
+        let mut basis: Vec<usize> = (self.artificial_start..self.artificial_start + m).collect();
+        let mut in_basis = vec![false; self.cols.len()];
+        for &b in &basis {
+            in_basis[b] = true;
+        }
+        // Dense basis inverse, row-major.
+        let mut binv: Vec<f64> = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        let mut xb: Vec<f64> = self.rhs.clone();
+
+        let mut iterations = 0usize;
+        let mut degenerate_streak = 0usize;
+        let mut status = LpStatus::Optimal;
+
+        let mut y = vec![0.0; m];
+        let mut w = vec![0.0; m];
+
+        loop {
+            if iterations >= self.problem.max_iters {
+                status = LpStatus::IterationLimit;
+                break;
+            }
+            iterations += 1;
+            if iterations % REFACTOR_EVERY == 0 {
+                if !self.refactorize(&basis, &mut binv) {
+                    // Singular basis due to drift — give up with incumbent.
+                    status = LpStatus::IterationLimit;
+                    break;
+                }
+                for i in 0..m {
+                    xb[i] = 0.0;
+                    for k in 0..m {
+                        xb[i] += binv[i * m + k] * self.rhs[k];
+                    }
+                }
+            }
+
+            // BTRAN: y = c_B' B⁻¹.
+            for k in 0..m {
+                y[k] = 0.0;
+            }
+            for i in 0..m {
+                let cb = self.cost[basis[i]];
+                if cb != 0.0 {
+                    let row = &binv[i * m..(i + 1) * m];
+                    for k in 0..m {
+                        y[k] += cb * row[k];
+                    }
+                }
+            }
+
+            // Pricing.
+            let use_bland = degenerate_streak > 2 * m + 20;
+            let mut enter: Option<usize> = None;
+            let mut best = -PIVOT_EPS;
+            for j in 0..self.cols.len() {
+                if in_basis[j] {
+                    continue;
+                }
+                let mut d = self.cost[j];
+                for &(r, a) in &self.cols[j] {
+                    d -= y[r] * a;
+                }
+                if use_bland {
+                    if d < -PIVOT_EPS {
+                        enter = Some(j);
+                        break;
+                    }
+                } else if d < best {
+                    best = d;
+                    enter = Some(j);
+                }
+            }
+            let Some(q) = enter else {
+                break; // optimal
+            };
+
+            // FTRAN: w = B⁻¹ A_q  (column-sparse: accumulate B⁻¹ columns).
+            for i in 0..m {
+                w[i] = 0.0;
+            }
+            for &(r, a) in &self.cols[q] {
+                for i in 0..m {
+                    w[i] += a * binv[i * m + r];
+                }
+            }
+
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut theta = f64::INFINITY;
+            for i in 0..m {
+                if w[i] > PIVOT_EPS {
+                    let ratio = xb[i] / w[i];
+                    if ratio < theta - EPS
+                        || (ratio < theta + EPS
+                            && leave.map_or(true, |l| basis[i] < basis[l]))
+                    {
+                        theta = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                status = LpStatus::Unbounded;
+                break;
+            };
+            if theta < EPS {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+
+            // Pivot: update B⁻¹ and x_B.
+            let piv = w[r];
+            {
+                let (head, tail) = binv.split_at_mut(r * m);
+                let (row_r, rest) = tail.split_at_mut(m);
+                for v in row_r.iter_mut() {
+                    *v /= piv;
+                }
+                for (i, chunk) in head.chunks_mut(m).enumerate() {
+                    let f = w[i];
+                    if f != 0.0 {
+                        for (c, rv) in chunk.iter_mut().zip(row_r.iter()) {
+                            *c -= f * rv;
+                        }
+                    }
+                }
+                for (off, chunk) in rest.chunks_mut(m).enumerate() {
+                    let i = r + 1 + off;
+                    let f = w[i];
+                    if f != 0.0 {
+                        for (c, rv) in chunk.iter_mut().zip(row_r.iter()) {
+                            *c -= f * rv;
+                        }
+                    }
+                }
+            }
+            xb[r] = theta;
+            for i in 0..m {
+                if i != r {
+                    xb[i] -= w[i] * theta;
+                    if xb[i] < 0.0 && xb[i] > -1e-7 {
+                        xb[i] = 0.0;
+                    }
+                }
+            }
+            in_basis[basis[r]] = false;
+            in_basis[q] = true;
+            basis[r] = q;
+        }
+
+        // Extract solution.
+        let mut x = vec![0.0; self.problem.num_vars()];
+        let mut artificial_infeasible = false;
+        for (i, &b) in basis.iter().enumerate() {
+            if xb[i] > 1e-6 && b >= self.artificial_start {
+                artificial_infeasible = true;
+            }
+            if let Some((j, sign)) = self.var_of_col[b] {
+                x[j] += sign * xb[i];
+            }
+        }
+        if status == LpStatus::Optimal && artificial_infeasible {
+            status = LpStatus::Infeasible;
+        }
+        let objective = x
+            .iter()
+            .zip(&self.problem.obj)
+            .map(|(xi, ci)| xi * ci)
+            .sum();
+        LpSolution { status, x, objective, iterations }
+    }
+
+    /// Rebuilds `binv` from scratch by Gauss–Jordan on the basis matrix.
+    /// Returns `false` if the basis is numerically singular.
+    fn refactorize(&self, basis: &[usize], binv: &mut [f64]) -> bool {
+        let m = self.m;
+        // Build dense basis matrix augmented with identity.
+        let mut a = vec![0.0; m * m];
+        for (col, &b) in basis.iter().enumerate() {
+            for &(r, v) in &self.cols[b] {
+                a[r * m + col] = v;
+            }
+        }
+        for v in binv.iter_mut() {
+            *v = 0.0;
+        }
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut piv_row = col;
+            let mut piv_val = a[col * m + col].abs();
+            for r in col + 1..m {
+                let v = a[r * m + col].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = r;
+                }
+            }
+            if piv_val < 1e-12 {
+                return false;
+            }
+            if piv_row != col {
+                for k in 0..m {
+                    a.swap(col * m + k, piv_row * m + k);
+                    binv.swap(col * m + k, piv_row * m + k);
+                }
+            }
+            let p = a[col * m + col];
+            for k in 0..m {
+                a[col * m + k] /= p;
+                binv[col * m + k] /= p;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = a[r * m + col];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            a[r * m + k] -= f * a[col * m + k];
+                            binv[r * m + k] -= f * binv[col * m + k];
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_maximization_as_min() {
+        // max x + 2y ⇔ min −x − 2y, x+y ≤ 4, y ≤ 3.
+        let mut lp = LpProblem::minimize(vec![-1.0, -2.0]);
+        lp.add_row(RowKind::Le, 4.0, &[(0, 1.0), (1, 1.0)]);
+        lp.add_row(RowKind::Le, 3.0, &[(1, 1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -7.0);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn equality_and_ge_rows() {
+        let mut lp = LpProblem::minimize(vec![1.0, 1.0]);
+        lp.add_row(RowKind::Ge, 2.0, &[(0, 1.0), (1, 1.0)]);
+        lp.add_row(RowKind::Eq, 0.0, &[(0, 1.0), (1, -1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LpProblem::minimize(vec![0.0]);
+        lp.add_row(RowKind::Ge, 2.0, &[(0, 1.0)]);
+        lp.add_row(RowKind::Le, 1.0, &[(0, 1.0)]);
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LpProblem::minimize(vec![-1.0]);
+        lp.add_row(RowKind::Ge, 0.0, &[(0, 1.0)]);
+        assert_eq!(lp.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min |style| problem: min y s.t. y ≥ x − 3, y ≥ 3 − x, x free ⇒ y*=0 at x=3.
+        let mut lp = LpProblem::minimize(vec![0.0, 1.0]);
+        lp.set_free(0);
+        lp.add_row(RowKind::Ge, -3.0, &[(1, 1.0), (0, -1.0)]); // y − x ≥ −3
+        lp.add_row(RowKind::Ge, 3.0, &[(1, 1.0), (0, 1.0)]); // y + x ≥ 3
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 0.0);
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x ≥ 0, −x ≤ −2 ⇔ x ≥ 2; min x ⇒ 2.
+        let mut lp = LpProblem::minimize(vec![1.0]);
+        lp.add_row(RowKind::Le, -2.0, &[(0, -1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LpProblem::minimize(vec![-1.0, -1.0]);
+        lp.add_row(RowKind::Le, 1.0, &[(0, 1.0)]);
+        lp.add_row(RowKind::Le, 1.0, &[(0, 1.0), (1, 0.0)]);
+        lp.add_row(RowKind::Le, 1.0, &[(1, 1.0)]);
+        lp.add_row(RowKind::Le, 2.0, &[(0, 1.0), (1, 1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -2.0);
+    }
+
+    #[test]
+    fn transportation_lp_matches_known_optimum() {
+        // 2 supplies (1,1) → 2 demands (1,1); costs: c00=1,c01=5,c10=4,c11=2.
+        // Optimal: x00=1, x11=1, cost 3.
+        let mut lp = LpProblem::minimize(vec![1.0, 5.0, 4.0, 2.0]);
+        lp.add_row(RowKind::Eq, 1.0, &[(0, 1.0), (1, 1.0)]);
+        lp.add_row(RowKind::Eq, 1.0, &[(2, 1.0), (3, 1.0)]);
+        lp.add_row(RowKind::Le, 1.0, &[(0, 1.0), (2, 1.0)]);
+        lp.add_row(RowKind::Le, 1.0, &[(1, 1.0), (3, 1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn min_max_assignment_relaxation() {
+        // Two items, two bins, each item's cheap bin distinct:
+        // integral optimum puts each item in its cheap bin, max load 1.
+        let mut lp = LpProblem::minimize(vec![0.0, 0.0, 0.0, 0.0, 1.0]);
+        lp.add_row(RowKind::Eq, 1.0, &[(0, 1.0), (1, 1.0)]);
+        lp.add_row(RowKind::Eq, 1.0, &[(2, 1.0), (3, 1.0)]);
+        lp.add_row(RowKind::Le, 0.0, &[(0, 3.0), (2, 1.0), (4, -1.0)]);
+        lp.add_row(RowKind::Le, 0.0, &[(1, 1.0), (3, 3.0), (4, -1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn min_max_relaxation_fractional_beats_integral() {
+        // One item, two bins of load 2: LP splits 50/50 ⇒ t* = 1, while any
+        // integral assignment gives 2 — the integrality gap of Section VI.
+        let mut lp = LpProblem::minimize(vec![0.0, 0.0, 1.0]);
+        lp.add_row(RowKind::Eq, 1.0, &[(0, 1.0), (1, 1.0)]);
+        lp.add_row(RowKind::Le, 0.0, &[(0, 2.0), (2, -1.0)]);
+        lp.add_row(RowKind::Le, 0.0, &[(1, 2.0), (2, -1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+        assert_close(s.x[0], 0.5);
+    }
+
+    #[test]
+    fn no_constraints_zero_or_unbounded() {
+        let lp = LpProblem::minimize(vec![1.0, 0.0]);
+        assert_eq!(lp.solve().status, LpStatus::Optimal);
+        let lp2 = LpProblem::minimize(vec![-1.0]);
+        assert_eq!(lp2.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn iteration_limit_is_honored() {
+        // A non-trivial LP with an absurdly low iteration cap reports
+        // IterationLimit instead of looping.
+        let n = 30;
+        let mut lp = LpProblem::minimize(vec![-1.0; n]);
+        for i in 0..n {
+            let row: Vec<_> = (0..n).map(|j| (j, if i == j { 2.0 } else { 1.0 })).collect();
+            lp.add_row(RowKind::Le, 10.0, &row);
+        }
+        lp.set_iteration_limit(3);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::IterationLimit);
+        assert!(s.iterations <= 3);
+    }
+
+    #[test]
+    fn solution_reports_iteration_count() {
+        let mut lp = LpProblem::minimize(vec![-1.0]);
+        lp.add_row(RowKind::Le, 5.0, &[(0, 1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(s.iterations >= 1);
+    }
+
+    #[test]
+    fn duplicate_coefficients_accumulate_rowwise() {
+        // add_row with the same variable twice keeps both entries; the
+        // constraint behaves as their sum (x + x ≤ 4 ⇒ x ≤ 2).
+        let mut lp = LpProblem::minimize(vec![-1.0]);
+        lp.add_row(RowKind::Le, 4.0, &[(0, 1.0), (0, 1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn larger_random_lp_agrees_with_feasibility() {
+        // A diagonally dominant feasible system: x_i ≥ i, minimize Σ x_i.
+        let n = 40;
+        let mut lp = LpProblem::minimize(vec![1.0; n]);
+        for i in 0..n {
+            lp.add_row(RowKind::Ge, i as f64, &[(i, 1.0)]);
+        }
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        let expect: f64 = (0..n).map(|i| i as f64).sum();
+        assert_close(s.objective, expect);
+    }
+}

@@ -1,0 +1,451 @@
+//! Min-cost network flow.
+//!
+//! Two entry points:
+//!
+//! * [`FlowNetwork::min_cost_flow`] — successive shortest augmenting paths
+//!   with Johnson potentials (Dijkstra inside); optimal for the flip-flop
+//!   assignment network of Section V (Fig. 4), which has non-negative costs
+//!   and integral capacities.
+//! * [`FlowNetwork::min_cost_circulation`] — negative-cycle canceling
+//!   (Klein), used for the dual of the weighted-sum skew optimization,
+//!   where arcs carry signed costs and no source/sink exists.
+//!
+//! Costs are `f64`; all comparisons use a small tolerance. Capacities are
+//! integral (`i64`), so augmentations preserve integrality and the
+//! assignment solutions are automatically 0/1.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Node handle in a [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Arc handle in a [`FlowNetwork`] (refers to the forward arc).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArcId(pub u32);
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: u32,
+    cap: i64,
+    cost: f64,
+}
+
+/// A directed flow network with paired residual arcs.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_solver::mcmf::FlowNetwork;
+///
+/// let mut net = FlowNetwork::new(4);
+/// let s = net.node(0);
+/// let t = net.node(3);
+/// net.add_arc(s, net.node(1), 1, 1.0);
+/// net.add_arc(s, net.node(2), 1, 2.0);
+/// net.add_arc(net.node(1), t, 1, 1.0);
+/// net.add_arc(net.node(2), t, 1, 1.0);
+/// let (flow, cost) = net.min_cost_flow(s, t, 2).expect("feasible");
+/// assert_eq!(flow, 2);
+/// assert!((cost - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<u32>>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { arcs: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Node handle for index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> NodeId {
+        assert!(i < self.adj.len(), "node {i} out of range");
+        NodeId(i as u32)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds an arc `from → to` with capacity `cap ≥ 0` and per-unit `cost`.
+    /// Returns a handle usable with [`Self::flow_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 0`.
+    pub fn add_arc(&mut self, from: NodeId, to: NodeId, cap: i64, cost: f64) -> ArcId {
+        assert!(cap >= 0, "negative capacity");
+        let id = self.arcs.len() as u32;
+        self.arcs.push(Arc { to: to.0, cap, cost });
+        self.arcs.push(Arc { to: from.0, cap: 0, cost: -cost });
+        self.adj[from.0 as usize].push(id);
+        self.adj[to.0 as usize].push(id + 1);
+        ArcId(id)
+    }
+
+    /// Flow currently on a forward arc (= residual capacity of its twin).
+    pub fn flow_on(&self, arc: ArcId) -> i64 {
+        self.arcs[arc.0 as usize ^ 1].cap
+    }
+
+    /// Sends up to `target` units from `s` to `t` at minimum cost.
+    /// Returns `(flow_sent, total_cost)`; `None` if *no* flow can be sent at
+    /// all. `flow_sent < target` means the network saturated early.
+    ///
+    /// Costs may be negative: potentials are initialized with Bellman–Ford,
+    /// then maintained by Dijkstra (Johnson's technique).
+    pub fn min_cost_flow(&mut self, s: NodeId, t: NodeId, target: i64) -> Option<(i64, f64)> {
+        let n = self.adj.len();
+        let mut potential = self.bellman_ford_potentials(s.0 as usize)?;
+        let mut total_flow = 0i64;
+        let mut total_cost = 0.0f64;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<u32>> = vec![None; n];
+
+        while total_flow < target {
+            // Dijkstra on reduced costs.
+            dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+            prev.iter_mut().for_each(|p| *p = None);
+            dist[s.0 as usize] = 0.0;
+            let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+            heap.push(HeapItem { dist: 0.0, node: s.0 });
+            while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+                if d > dist[u as usize] + EPS {
+                    continue;
+                }
+                for &ai in &self.adj[u as usize] {
+                    let arc = &self.arcs[ai as usize];
+                    if arc.cap <= 0 {
+                        continue;
+                    }
+                    let v = arc.to as usize;
+                    if potential[v].is_infinite() || potential[u as usize].is_infinite() {
+                        continue;
+                    }
+                    let rc = arc.cost + potential[u as usize] - potential[v];
+                    let nd = d + rc.max(0.0); // clamp tiny negatives from fp noise
+                    if nd + EPS < dist[v] {
+                        dist[v] = nd;
+                        prev[v] = Some(ai);
+                        heap.push(HeapItem { dist: nd, node: v as u32 });
+                    }
+                }
+            }
+            if dist[t.0 as usize].is_infinite() {
+                break;
+            }
+            for (v, d) in dist.iter().enumerate() {
+                if d.is_finite() && potential[v].is_finite() {
+                    potential[v] += d;
+                }
+            }
+            // Bottleneck along the path.
+            let mut push = target - total_flow;
+            let mut v = t.0 as usize;
+            while let Some(ai) = prev[v] {
+                push = push.min(self.arcs[ai as usize].cap);
+                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            }
+            // Apply.
+            let mut v = t.0 as usize;
+            while let Some(ai) = prev[v] {
+                self.arcs[ai as usize].cap -= push;
+                self.arcs[(ai ^ 1) as usize].cap += push;
+                total_cost += push as f64 * self.arcs[ai as usize].cost;
+                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            }
+            total_flow += push;
+        }
+        if total_flow == 0 && target > 0 {
+            None
+        } else {
+            Some((total_flow, total_cost))
+        }
+    }
+
+    /// Initial potentials via Bellman–Ford from `s` over residual arcs.
+    /// Unreachable nodes get `+∞`. Returns `None` on a negative cycle
+    /// reachable from `s` (cannot happen for well-formed inputs).
+    fn bellman_ford_potentials(&self, s: usize) -> Option<Vec<f64>> {
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[s] = 0.0;
+        for round in 0..n {
+            let mut changed = false;
+            for u in 0..n {
+                if dist[u].is_infinite() {
+                    continue;
+                }
+                for &ai in &self.adj[u] {
+                    let arc = &self.arcs[ai as usize];
+                    if arc.cap > 0 && dist[u] + arc.cost + EPS < dist[arc.to as usize] {
+                        dist[arc.to as usize] = dist[u] + arc.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Some(dist);
+            }
+            if round == n - 1 {
+                return None;
+            }
+        }
+        Some(dist)
+    }
+
+    /// Computes a minimum-cost circulation by canceling negative-cost
+    /// residual cycles (Klein's algorithm). Returns the total cost of the
+    /// circulation (≤ 0).
+    ///
+    /// After return, node *potentials* consistent with optimality
+    /// (`cost + π_u − π_v ≥ 0` on every residual arc) can be obtained from
+    /// [`Self::optimal_potentials`].
+    pub fn min_cost_circulation(&mut self) -> f64 {
+        let n = self.adj.len();
+        let mut total = 0.0;
+        loop {
+            // Bellman–Ford from a virtual super-source to find any negative
+            // residual cycle.
+            let mut dist = vec![0.0f64; n];
+            let mut prev_arc: Vec<Option<u32>> = vec![None; n];
+            let mut last_updated: Option<usize> = None;
+            for _ in 0..n {
+                last_updated = None;
+                for u in 0..n {
+                    for &ai in &self.adj[u] {
+                        let arc = &self.arcs[ai as usize];
+                        if arc.cap > 0 && dist[u] + arc.cost + 1e-7 < dist[arc.to as usize] {
+                            dist[arc.to as usize] = dist[u] + arc.cost;
+                            prev_arc[arc.to as usize] = Some(ai);
+                            last_updated = Some(arc.to as usize);
+                        }
+                    }
+                }
+                if last_updated.is_none() {
+                    break;
+                }
+            }
+            let Some(mut v) = last_updated else {
+                return total;
+            };
+            // Walk back n steps to land inside the cycle.
+            for _ in 0..n {
+                let ai = prev_arc[v].expect("updated node has a predecessor");
+                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            }
+            // Extract the cycle and its bottleneck.
+            let start = v;
+            let mut cycle = Vec::new();
+            let mut bottleneck = i64::MAX;
+            loop {
+                let ai = prev_arc[v].expect("cycle arc");
+                cycle.push(ai);
+                bottleneck = bottleneck.min(self.arcs[ai as usize].cap);
+                v = self.arcs[(ai ^ 1) as usize].to as usize;
+                if v == start {
+                    break;
+                }
+            }
+            for &ai in &cycle {
+                self.arcs[ai as usize].cap -= bottleneck;
+                self.arcs[(ai ^ 1) as usize].cap += bottleneck;
+                total += bottleneck as f64 * self.arcs[ai as usize].cost;
+            }
+        }
+    }
+
+    /// Potentials `π` with `cost + π_u − π_v ≥ −tol` on all residual arcs
+    /// of the current flow (valid after [`Self::min_cost_circulation`]).
+    /// Computed by Bellman–Ford from a virtual source connected to all
+    /// nodes with zero cost.
+    pub fn optimal_potentials(&self) -> Vec<f64> {
+        let n = self.adj.len();
+        let mut dist = vec![0.0f64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for u in 0..n {
+                for &ai in &self.adj[u] {
+                    let arc = &self.arcs[ai as usize];
+                    if arc.cap > 0 && dist[u] + arc.cost + 1e-9 < dist[arc.to as usize] {
+                        dist[arc.to as usize] = dist[u] + arc.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on dist.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_network_is_optimal() {
+        // 2 flip-flops × 2 rings, costs [[1,5],[4,2]], caps 1 ⇒ optimum 3.
+        let mut net = FlowNetwork::new(6);
+        let s = net.node(0);
+        let t = net.node(5);
+        let f = [net.node(1), net.node(2)];
+        let r = [net.node(3), net.node(4)];
+        for &fi in &f {
+            net.add_arc(s, fi, 1, 0.0);
+        }
+        let costs = [[1.0, 5.0], [4.0, 2.0]];
+        let mut arcs = Vec::new();
+        for i in 0..2 {
+            for j in 0..2 {
+                arcs.push(net.add_arc(f[i], r[j], 1, costs[i][j]));
+            }
+        }
+        for &rj in &r {
+            net.add_arc(rj, t, 1, 0.0);
+        }
+        let (flow, cost) = net.min_cost_flow(s, t, 2).expect("feasible");
+        assert_eq!(flow, 2);
+        assert!((cost - 3.0).abs() < 1e-9);
+        assert_eq!(net.flow_on(arcs[0]), 1); // f0→r0
+        assert_eq!(net.flow_on(arcs[3]), 1); // f1→r1
+    }
+
+    #[test]
+    fn capacity_limits_respected() {
+        // Both items prefer ring 0 but its capacity is 1.
+        let mut net = FlowNetwork::new(5);
+        let (s, t) = (net.node(0), net.node(4));
+        let f = [net.node(1), net.node(2)];
+        let r0 = net.node(3);
+        for &fi in &f {
+            net.add_arc(s, fi, 1, 0.0);
+            net.add_arc(fi, r0, 1, 1.0);
+        }
+        net.add_arc(r0, t, 1, 0.0);
+        let (flow, _) = net.min_cost_flow(s, t, 2).expect("partial");
+        assert_eq!(flow, 1, "ring capacity must cap the flow");
+    }
+
+    #[test]
+    fn saturates_early_when_target_too_large() {
+        let mut net = FlowNetwork::new(2);
+        let (s, t) = (net.node(0), net.node(1));
+        net.add_arc(s, t, 3, 2.0);
+        let (flow, cost) = net.min_cost_flow(s, t, 10).expect("some flow");
+        assert_eq!(flow, 3);
+        assert!((cost - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut net = FlowNetwork::new(2);
+        let (s, t) = (net.node(0), net.node(1));
+        assert!(net.min_cost_flow(s, t, 1).is_none());
+    }
+
+    #[test]
+    fn cheaper_long_path_beats_expensive_short_path() {
+        let mut net = FlowNetwork::new(4);
+        let (s, a, b, t) = (net.node(0), net.node(1), net.node(2), net.node(3));
+        net.add_arc(s, t, 1, 10.0);
+        net.add_arc(s, a, 1, 1.0);
+        net.add_arc(a, b, 1, 1.0);
+        net.add_arc(b, t, 1, 1.0);
+        let (flow, cost) = net.min_cost_flow(s, t, 1).expect("feasible");
+        assert_eq!(flow, 1);
+        assert!((cost - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_costs_supported_via_bellman_ford_init() {
+        let mut net = FlowNetwork::new(3);
+        let (s, a, t) = (net.node(0), net.node(1), net.node(2));
+        net.add_arc(s, a, 1, 5.0);
+        net.add_arc(a, t, 1, -3.0);
+        let (flow, cost) = net.min_cost_flow(s, t, 1).expect("feasible");
+        assert_eq!(flow, 1);
+        assert!((cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circulation_cancels_negative_cycle() {
+        // Cycle 0→1→2→0 with total cost −3 and bottleneck 2 ⇒ cost −6.
+        let mut net = FlowNetwork::new(3);
+        let (a, b, c) = (net.node(0), net.node(1), net.node(2));
+        net.add_arc(a, b, 2, -1.0);
+        net.add_arc(b, c, 2, -1.0);
+        net.add_arc(c, a, 2, -1.0);
+        let cost = net.min_cost_circulation();
+        assert!((cost + 6.0).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn circulation_on_positive_graph_is_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(net.node(0), net.node(1), 5, 1.0);
+        net.add_arc(net.node(1), net.node(2), 5, 1.0);
+        net.add_arc(net.node(2), net.node(0), 5, 1.0);
+        assert_eq!(net.min_cost_circulation(), 0.0);
+    }
+
+    #[test]
+    fn optimal_potentials_certify_no_negative_reduced_cost() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(net.node(0), net.node(1), 3, -2.0);
+        net.add_arc(net.node(1), net.node(2), 3, 1.0);
+        net.add_arc(net.node(2), net.node(0), 3, 0.5);
+        net.add_arc(net.node(2), net.node(3), 1, -1.0);
+        net.add_arc(net.node(3), net.node(0), 1, 0.5);
+        net.min_cost_circulation();
+        let pi = net.optimal_potentials();
+        for u in 0..net.num_nodes() {
+            for &ai in &net.adj[u] {
+                let arc = &net.arcs[ai as usize];
+                if arc.cap > 0 {
+                    let rc = arc.cost + pi[u] - pi[arc.to as usize];
+                    assert!(rc >= -1e-6, "residual arc with negative reduced cost: {rc}");
+                }
+            }
+        }
+    }
+}

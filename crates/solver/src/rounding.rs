@@ -1,0 +1,103 @@
+//! Greedy rounding of a fractional assignment (paper Fig. 5).
+//!
+//! Given the LP-relaxation solution `x_ij` of an assignment problem
+//! (each item `i` fractionally spread over choices `j`), produce a 0/1
+//! solution: keep already-integral rows, otherwise pick the choice with
+//! the largest fractional value. Feasibility of the assignment constraints
+//! (`Σ_j x_ij = 1`) is preserved by construction; the procedure is linear
+//! in the number of nonzero fractions.
+
+/// Rounds a fractional assignment to an integral one.
+///
+/// `fractions[i]` lists the candidate choices of item `i` as
+/// `(choice, value)` pairs (values from the LP relaxation, in `[0, 1]`).
+/// Returns the chosen `choice` per item — the `argmax` rule of Fig. 5
+/// ("find j_max such that x_ij_max ≥ x_ij ∀j; set x_ij_max = 1").
+///
+/// Ties are broken toward the smaller choice index, making the procedure
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if any item has an empty candidate list.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_solver::greedy_round;
+///
+/// let fractions = vec![
+///     vec![(0, 1.0)],                 // already integral: kept (step 1.1)
+///     vec![(0, 0.4), (2, 0.6)],       // fractional: argmax (step 1.2)
+/// ];
+/// assert_eq!(greedy_round(&fractions), vec![0, 2]);
+/// ```
+pub fn greedy_round(fractions: &[Vec<(usize, f64)>]) -> Vec<usize> {
+    fractions
+        .iter()
+        .enumerate()
+        .map(|(i, cands)| {
+            assert!(!cands.is_empty(), "item {i} has no candidates");
+            // Step 1.1: an (almost) integral x_ij stays put.
+            if let Some(&(j, _)) = cands.iter().find(|&&(_, v)| v >= 1.0 - 1e-9) {
+                return j;
+            }
+            // Step 1.2: greedy argmax.
+            let mut best = cands[0];
+            for &(j, v) in &cands[1..] {
+                if v > best.1 + 1e-15 || (v >= best.1 - 1e-15 && j < best.0) {
+                    best = (j, v);
+                }
+            }
+            best.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_rows_are_kept() {
+        let f = vec![vec![(3, 0.0), (5, 1.0)]];
+        assert_eq!(greedy_round(&f), vec![5]);
+    }
+
+    #[test]
+    fn fractional_rows_take_argmax() {
+        let f = vec![vec![(0, 0.2), (1, 0.5), (2, 0.3)]];
+        assert_eq!(greedy_round(&f), vec![1]);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_index() {
+        let f = vec![vec![(7, 0.5), (2, 0.5)]];
+        assert_eq!(greedy_round(&f), vec![2]);
+    }
+
+    #[test]
+    fn every_item_gets_exactly_one_choice() {
+        let f: Vec<Vec<(usize, f64)>> = (0..50)
+            .map(|i| (0..4).map(|j| (j, ((i * 31 + j * 17) % 10) as f64 / 10.0)).collect())
+            .collect();
+        let r = greedy_round(&f);
+        assert_eq!(r.len(), 50);
+        for (i, &j) in r.iter().enumerate() {
+            assert!(f[i].iter().any(|&(c, _)| c == j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn empty_candidate_list_panics() {
+        let _ = greedy_round(&[vec![]]);
+    }
+
+    #[test]
+    fn near_one_counts_as_integral() {
+        let f = vec![vec![(1, 1.0 - 1e-12), (0, 0.9)]];
+        // 1−1e-12 ≥ 1−1e-9 is false... it IS ≥; the integral branch fires.
+        assert_eq!(greedy_round(&f), vec![1]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Static timing analysis substrate for the rotary-clocking flow.
+//!
+//! The paper's skew optimization (Section VII) needs, for every pair of
+//! **sequentially adjacent** flip-flops `i ↦ j` (flip-flops with only
+//! combinational logic between them), the maximum and minimum combinational
+//! delays `D_max^ij` / `D_min^ij`. Together with the clock period, setup and
+//! hold times these define the *permissible range* of the skew
+//! `t̂_i − t̂_j` (Fishburn \[4\]):
+//!
+//! ```text
+//! t̂_i − t̂_j ≤ T − D_max^ij − t_setup      (long-path / setup)
+//! t̂_i − t̂_j ≥ t_hold − D_min^ij           (short-path / hold)
+//! ```
+//!
+//! This crate implements the Elmore-delay timing model the paper states it
+//! used (\[21\]), a forward topological STA over the combinational DAG, and
+//! the extraction of the sequential-adjacency graph.
+//!
+//! # Examples
+//!
+//! ```
+//! use rotary_netlist::BenchmarkSuite;
+//! use rotary_timing::{SequentialGraph, Technology};
+//!
+//! let circuit = BenchmarkSuite::S9234.circuit(1);
+//! let tech = Technology::default();
+//! let graph = SequentialGraph::extract(&circuit, &tech);
+//! assert!(!graph.pairs().is_empty());
+//! for p in graph.pairs() {
+//!     assert!(p.d_max >= p.d_min);
+//! }
+//! ```
+
+pub mod adjacency;
+pub mod elmore;
+pub mod sta;
+pub mod tech;
+
+pub use adjacency::{AdjacentPair, SequentialGraph};
+pub use elmore::{net_load_cap, sink_edge_delay};
+pub use sta::{Sta, StaReport};
+pub use tech::Technology;

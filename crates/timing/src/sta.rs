@@ -1,0 +1,240 @@
+//! Forward topological static timing analysis over the combinational DAG.
+//!
+//! Edge delays (driver output → sink input) are computed once from the
+//! current placement with the Elmore model; longest/shortest path sweeps
+//! then run in `O(V + E)` per source.
+
+use crate::elmore::sink_edge_delay;
+use crate::tech::Technology;
+use rotary_netlist::{CellId, CellKind, Circuit, NetId};
+
+/// Pre-computed timing view of a placed circuit.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_netlist::BenchmarkSuite;
+/// use rotary_timing::{Sta, Technology};
+///
+/// let c = BenchmarkSuite::S9234.circuit(1);
+/// let sta = Sta::build(&c, &Technology::default());
+/// let report = sta.critical_paths();
+/// assert!(report.max_delay > 0.0);
+/// assert!(report.min_delay <= report.max_delay);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sta {
+    /// Topological order (flip-flops and primary inputs first).
+    order: Vec<CellId>,
+    /// For each cell: outgoing edges `(sink, delay)`.
+    edges: Vec<Vec<(CellId, f64)>>,
+    /// Kind of every cell (copied for cheap access).
+    kinds: Vec<CellKind>,
+}
+
+/// Whole-circuit critical-path summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaReport {
+    /// Longest register-to-register combinational delay, ns.
+    pub max_delay: f64,
+    /// Shortest register-to-register combinational delay, ns.
+    pub min_delay: f64,
+    /// Number of flip-flop→flip-flop paths summarized.
+    pub path_endpoints: usize,
+}
+
+impl Sta {
+    /// Builds the timing view for the circuit's current placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combinational subgraph has a cycle (call
+    /// [`Circuit::validate`] first to obtain a proper error).
+    pub fn build(circuit: &Circuit, tech: &Technology) -> Self {
+        let order = circuit
+            .topological_order()
+            .expect("combinational cycle: validate() the circuit first");
+        let mut edges = vec![Vec::new(); circuit.cell_count()];
+        for i in 0..circuit.net_count() {
+            let net = NetId(i as u32);
+            let n = circuit.net(net);
+            for &s in &n.sinks {
+                let d = sink_edge_delay(circuit, net, s, tech);
+                edges[n.driver.index()].push((s, d));
+            }
+        }
+        let kinds = circuit.cells.iter().map(|c| c.kind).collect();
+        Self { order, edges, kinds }
+    }
+
+    /// Number of cells in the analyzed circuit.
+    pub fn cell_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Propagates max (`longest = true`) or min arrival times from a single
+    /// source flip-flop, returning for every *flip-flop* data endpoint `j`
+    /// reached from `src` the path delay. The source's clk→q delay is
+    /// included.
+    ///
+    /// Arrival vectors are dense scratch space reused across calls via
+    /// `scratch` to avoid re-allocation in the per-source adjacency sweep.
+    pub fn propagate_from(
+        &self,
+        src: CellId,
+        clk_to_q: f64,
+        longest: bool,
+        scratch: &mut Vec<f64>,
+    ) -> Vec<(CellId, f64)> {
+        let n = self.kinds.len();
+        let unset = if longest { f64::NEG_INFINITY } else { f64::INFINITY };
+        scratch.clear();
+        scratch.resize(n, unset);
+        scratch[src.index()] = clk_to_q;
+        let mut endpoints = Vec::new();
+        for &u in &self.order {
+            let au = scratch[u.index()];
+            if au == unset {
+                continue;
+            }
+            if self.kinds[u.index()] == CellKind::FlipFlop && u != src {
+                // Arrival at an FF data pin terminates the path; collected
+                // below, do not propagate through.
+                continue;
+            }
+            for &(v, d) in &self.edges[u.index()] {
+                let cand = au + d;
+                let slot = &mut scratch[v.index()];
+                if (longest && cand > *slot) || (!longest && cand < *slot) {
+                    *slot = cand;
+                }
+            }
+        }
+        for (i, &a) in scratch.iter().enumerate() {
+            if a != unset && self.kinds[i] == CellKind::FlipFlop && CellId(i as u32) != src {
+                endpoints.push((CellId(i as u32), a));
+            }
+        }
+        endpoints
+    }
+
+    /// Longest and shortest register-to-register delays over the whole
+    /// circuit (summary used to sanity-check the clock period).
+    pub fn critical_paths(&self) -> StaReport {
+        let mut max_delay = f64::NEG_INFINITY;
+        let mut min_delay = f64::INFINITY;
+        let mut endpoints = 0;
+        let mut scratch = Vec::new();
+        for i in 0..self.kinds.len() {
+            if self.kinds[i] != CellKind::FlipFlop {
+                continue;
+            }
+            let src = CellId(i as u32);
+            for (_, d) in self.propagate_from(src, 0.0, true, &mut scratch) {
+                max_delay = max_delay.max(d);
+                endpoints += 1;
+            }
+            for (_, d) in self.propagate_from(src, 0.0, false, &mut scratch) {
+                min_delay = min_delay.min(d);
+            }
+        }
+        if endpoints == 0 {
+            StaReport { max_delay: 0.0, min_delay: 0.0, path_endpoints: 0 }
+        } else {
+            StaReport { max_delay, min_delay, path_endpoints: endpoints }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_netlist::geom::{Point, Rect};
+    use rotary_netlist::{Cell, Net};
+
+    fn cell(kind: CellKind) -> Cell {
+        Cell {
+            kind,
+            width: 2.0,
+            height: 8.0,
+            input_cap: 0.004,
+            drive_resistance: 2.0,
+            intrinsic_delay: 0.05,
+        }
+    }
+
+    /// ff0 → g1 → ff3 and ff0 → g1 → g2 → ff3: a long and a short path.
+    fn diamond() -> Circuit {
+        let mut c = Circuit::new("d", Rect::from_size(1000.0, 1000.0));
+        let ff0 = c.add_cell(cell(CellKind::FlipFlop), Point::new(0.0, 0.0));
+        let g1 = c.add_cell(cell(CellKind::Combinational), Point::new(100.0, 0.0));
+        let g2 = c.add_cell(cell(CellKind::Combinational), Point::new(200.0, 0.0));
+        let ff3 = c.add_cell(cell(CellKind::FlipFlop), Point::new(300.0, 0.0));
+        c.add_net(Net { driver: ff0, sinks: vec![g1] });
+        c.add_net(Net { driver: g1, sinks: vec![g2, ff3] });
+        c.add_net(Net { driver: g2, sinks: vec![ff3] });
+        c
+    }
+
+    #[test]
+    fn longest_path_exceeds_shortest() {
+        let c = diamond();
+        let sta = Sta::build(&c, &Technology::default());
+        let mut scratch = Vec::new();
+        let max = sta.propagate_from(CellId(0), 0.0, true, &mut scratch);
+        let min = sta.propagate_from(CellId(0), 0.0, false, &mut scratch);
+        assert_eq!(max.len(), 1);
+        assert_eq!(max[0].0, CellId(3));
+        assert!(max[0].1 > min[0].1, "3-hop path should beat 2-hop path");
+    }
+
+    #[test]
+    fn clk_to_q_shifts_arrivals() {
+        let c = diamond();
+        let sta = Sta::build(&c, &Technology::default());
+        let mut scratch = Vec::new();
+        let a = sta.propagate_from(CellId(0), 0.0, true, &mut scratch)[0].1;
+        let b = sta.propagate_from(CellId(0), 0.25, true, &mut scratch)[0].1;
+        assert!((b - a - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paths_do_not_cross_flip_flops() {
+        // ff0 → g1 → ff2 → g3 → ff4: from ff0 only ff2 is reachable.
+        let mut c = Circuit::new("chain", Rect::from_size(1000.0, 1000.0));
+        let ff0 = c.add_cell(cell(CellKind::FlipFlop), Point::new(0.0, 0.0));
+        let g1 = c.add_cell(cell(CellKind::Combinational), Point::new(50.0, 0.0));
+        let ff2 = c.add_cell(cell(CellKind::FlipFlop), Point::new(100.0, 0.0));
+        let g3 = c.add_cell(cell(CellKind::Combinational), Point::new(150.0, 0.0));
+        let ff4 = c.add_cell(cell(CellKind::FlipFlop), Point::new(200.0, 0.0));
+        c.add_net(Net { driver: ff0, sinks: vec![g1] });
+        c.add_net(Net { driver: g1, sinks: vec![ff2] });
+        c.add_net(Net { driver: ff2, sinks: vec![g3] });
+        c.add_net(Net { driver: g3, sinks: vec![ff4] });
+        let sta = Sta::build(&c, &Technology::default());
+        let mut scratch = Vec::new();
+        let ends = sta.propagate_from(ff0, 0.0, true, &mut scratch);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(ends[0].0, ff2);
+    }
+
+    #[test]
+    fn critical_path_report() {
+        let c = diamond();
+        let sta = Sta::build(&c, &Technology::default());
+        let r = sta.critical_paths();
+        assert_eq!(r.path_endpoints, 1);
+        assert!(r.max_delay > r.min_delay);
+        assert!(r.min_delay > 0.0);
+    }
+
+    #[test]
+    fn empty_reachability_yields_zero_report() {
+        let mut c = Circuit::new("iso", Rect::from_size(10.0, 10.0));
+        c.add_cell(cell(CellKind::FlipFlop), Point::new(1.0, 1.0));
+        let sta = Sta::build(&c, &Technology::default());
+        let r = sta.critical_paths();
+        assert_eq!(r.path_endpoints, 0);
+        assert_eq!(r.max_delay, 0.0);
+    }
+}

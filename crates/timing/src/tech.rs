@@ -1,0 +1,119 @@
+//! Technology constants (bptm-style 180 nm-class defaults).
+//!
+//! The paper obtained interconnect parameters from bptm (Berkeley Predictive
+//! Technology Model) and ran all circuits at 1 GHz. bptm is not available
+//! offline, so we provide documented constants of the same order of
+//! magnitude; every experiment only depends on *ratios* of these values.
+
+use serde::{Deserialize, Serialize};
+
+/// Process/technology constants shared by timing, power, and clock-network
+/// construction.
+///
+/// Units: ns, µm, kΩ, pF, V, mW (so `kΩ·pF = ns` and `pF·V²·GHz = mW`).
+///
+/// # Examples
+///
+/// ```
+/// use rotary_timing::Technology;
+///
+/// let t = Technology::default();
+/// assert_eq!(t.clock_period, 1.0);
+/// assert!(t.wire_res > 0.0 && t.wire_cap > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Clock period `T` in ns. 1.0 ns ⇒ the paper's 1 GHz operating point.
+    pub clock_period: f64,
+    /// Wire resistance per unit length, kΩ/µm.
+    pub wire_res: f64,
+    /// Wire capacitance per unit length, pF/µm.
+    pub wire_cap: f64,
+    /// Flip-flop setup time, ns.
+    pub setup: f64,
+    /// Flip-flop hold time, ns.
+    pub hold: f64,
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Switching activity of clock nets (`α = 1`, Section VIII).
+    pub clock_activity: f64,
+    /// Switching activity of signal nets (`α = 0.15`, Section VIII, \[30\]).
+    pub signal_activity: f64,
+    /// Input capacitance of a repeater/buffer, pF.
+    pub buffer_cap: f64,
+    /// Critical wirelength beyond which a buffer is inserted every
+    /// `buffer_interval` µm (floorplan-level estimate per \[31\]).
+    pub buffer_interval: f64,
+    /// Unit leakage current per µm of gate width, mA (eq. 9).
+    pub leak_current: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self {
+            clock_period: 1.0,
+            wire_res: 0.0008, // 0.8 Ω/µm global-layer wire
+            wire_cap: 0.0002, // 0.2 fF/µm
+            setup: 0.05,
+            hold: 0.03,
+            vdd: 1.8,
+            clock_activity: 1.0,
+            signal_activity: 0.15,
+            buffer_cap: 0.010,
+            buffer_interval: 1500.0,
+            leak_current: 1e-6,
+        }
+    }
+}
+
+impl Technology {
+    /// Clock frequency in GHz.
+    pub fn clock_freq(&self) -> f64 {
+        1.0 / self.clock_period
+    }
+
+    /// Dynamic power of a capacitive load, per eq. (8) of the paper:
+    /// `P = ½·α·V_dd²·f_clk·C_load`, in mW for `C_load` in pF and `f` GHz.
+    pub fn dynamic_power(&self, activity: f64, load_cap: f64) -> f64 {
+        0.5 * activity * self.vdd * self.vdd * self.clock_freq() * load_cap
+    }
+
+    /// Number of buffers the floorplan-level estimator of \[31\] predicts for
+    /// a wire of length `l` µm: one every `buffer_interval`.
+    pub fn buffer_count(&self, l: f64) -> usize {
+        if l <= self.buffer_interval {
+            0
+        } else {
+            (l / self.buffer_interval).floor() as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_power_linear_in_cap_and_activity() {
+        let t = Technology::default();
+        let p1 = t.dynamic_power(1.0, 2.0);
+        assert!((t.dynamic_power(1.0, 4.0) - 2.0 * p1).abs() < 1e-12);
+        assert!((t.dynamic_power(0.5, 2.0) - 0.5 * p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_power_magnitude_sane() {
+        // 1 pF at 1 GHz, 1.8 V, α=1 → ½·3.24·1·1 = 1.62 mW.
+        let t = Technology::default();
+        assert!((t.dynamic_power(1.0, 1.0) - 1.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_count_thresholds() {
+        let t = Technology::default();
+        assert_eq!(t.buffer_count(100.0), 0);
+        assert_eq!(t.buffer_count(1500.0), 0);
+        assert_eq!(t.buffer_count(1501.0), 1);
+        assert_eq!(t.buffer_count(4600.0), 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! Future-work extensions of the paper's Section IX, implemented:
+//!
+//! 1. **Local clock trees** — one shared tapping point driving a zero-skew
+//!    subtree over a cluster of flip-flops with compatible skew targets.
+//! 2. **Ring-count selection** — sweep the ring-array grid and keep the
+//!    cheapest, instead of taking the ring count as a fixed input.
+//!
+//! ```sh
+//! cargo run --release -p rotary --example local_trees
+//! ```
+
+use rotary::core::flow::{Flow, FlowConfig};
+use rotary::core::local_tree::{build_local_trees, LocalTreeConfig};
+use rotary::prelude::*;
+
+fn main() {
+    let suite = BenchmarkSuite::S9234;
+    let cfg = FlowConfig::default();
+    let flow = Flow::new(cfg);
+
+    // --- extension 2: choose the ring grid --------------------------------
+    let mut circuit = suite.circuit(13);
+    let (best, runs) = flow.sweep_ring_grids(&mut circuit, &[3, 4, 5]);
+    println!("ring-grid sweep:");
+    for (k, (grid, out)) in runs.iter().enumerate() {
+        let s = out.final_snapshot();
+        println!(
+            "  {grid}x{grid}: tapping WL {:>8.0} µm, AFD {:>6.1} µm, overall cost {:>9.0}{}",
+            s.tapping_wl,
+            s.afd,
+            s.overall_cost(flow.config().tapping_weight),
+            if k == best { "   <- selected" } else { "" }
+        );
+    }
+    let (grid, winner) = &runs[best];
+
+    // --- extension 1: local trees on the winning run ----------------------
+    let period = winner.schedule.period;
+    let tech = Technology { clock_period: period, ..flow.config().tech };
+    let params = RingParams { period, ..flow.config().ring_params };
+    let array = RingArray::generate(circuit.die, *grid, params);
+    let out = build_local_trees(
+        &circuit,
+        &array,
+        &winner.schedule,
+        &winner.taps,
+        &tech,
+        &LocalTreeConfig::default(),
+    );
+    println!(
+        "\nlocal trees: {} clusters over {} flip-flops",
+        out.clusters.len(),
+        out.clusters.iter().map(|c| c.members.len()).sum::<usize>(),
+    );
+    for cl in out.clusters.iter().take(5) {
+        println!(
+            "  ring {} cluster of {}: {:.1} µm shared vs {:.1} µm direct (saves {:.1})",
+            cl.ring,
+            cl.members.len(),
+            cl.wirelength,
+            cl.direct_wirelength,
+            cl.saving()
+        );
+    }
+    println!(
+        "tapping wirelength {:.0} → {:.0} µm ({:+.1}%)",
+        out.direct_wirelength,
+        out.total_wirelength,
+        -out.improvement() * 100.0
+    );
+}

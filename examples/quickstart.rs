@@ -1,0 +1,59 @@
+//! Quickstart: run the integrated placement + skew optimization flow on a
+//! paper benchmark and print the headline metrics.
+//!
+//! ```sh
+//! cargo run --release -p rotary --example quickstart [suite] [seed]
+//! ```
+
+use rotary::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let suite = args
+        .get(1)
+        .and_then(|s| BenchmarkSuite::from_name(s))
+        .unwrap_or(BenchmarkSuite::S9234);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("suite: {suite}, seed: {seed}");
+    let mut circuit = suite.circuit(seed);
+    println!(
+        "  {} cells, {} flip-flops, {} nets, {}x{} ring array",
+        circuit.combinational_count(),
+        circuit.flip_flop_count(),
+        circuit.net_count(),
+        suite.ring_grid(),
+        suite.ring_grid()
+    );
+
+    let flow = Flow::new(FlowConfig::default());
+    let out = flow.run(&mut circuit, suite.ring_grid());
+
+    println!("\nscheduled clock period: {:.3} ns", out.schedule.period);
+    println!(
+        "base case   : AFD {:7.1} µm | tapping WL {:9.0} µm | signal WL {:9.0} µm",
+        out.base.afd, out.base.tapping_wl, out.base.signal_wl
+    );
+    for (k, it) in out.iterations.iter().enumerate() {
+        println!(
+            "iteration {k} : AFD {:7.1} µm | tapping WL {:9.0} µm | signal WL {:9.0} µm | slack {:.3} ns",
+            it.snapshot.afd, it.snapshot.tapping_wl, it.snapshot.signal_wl, it.max_slack
+        );
+    }
+    println!(
+        "\ntapping improvement : {:5.1}%   (paper band: 33–53%)",
+        out.tapping_improvement() * 100.0
+    );
+    println!(
+        "signal WL change    : {:+5.1}%   (paper: -1.3% .. -4.1%)",
+        out.signal_wl_improvement() * 100.0
+    );
+    println!(
+        "total WL change     : {:+5.1}%",
+        out.total_wl_improvement() * 100.0
+    );
+    println!(
+        "runtime             : stages {:.1}s, placer {:.1}s",
+        out.stage_seconds, out.placer_seconds
+    );
+}

@@ -1,0 +1,68 @@
+//! Skew explorer: inspect the flexible-tapping curve of Fig. 2 and the
+//! permissible-range structure of a circuit.
+//!
+//! Prints (a) the `t_f(x)` curve of one flip-flop against one ring segment
+//! — the two joined parabolas of Fig. 2 — and (b) the distribution of
+//! permissible skew ranges of a benchmark at 1 GHz.
+//!
+//! ```sh
+//! cargo run --release -p rotary --example skew_explorer
+//! ```
+
+use rotary::netlist::geom::Point;
+use rotary::prelude::*;
+use rotary::ring::{Ring, RingDirection};
+
+fn main() {
+    // --- Fig. 2: the tapping curve -------------------------------------
+    let params = RingParams::default();
+    let ring = Ring::new(Point::new(250.0, 250.0), 200.0, RingDirection::Ccw, params);
+    let ff = Point::new(300.0, 120.0); // below the bottom segment
+    let cap = 0.012;
+    let seg = ring
+        .segments()
+        .into_iter()
+        .find(|s| !s.complementary && s.side == 0)
+        .expect("bottom segment");
+
+    println!("t_f(x) along the bottom segment (FF at {ff}, C_ff = {cap} pF):");
+    println!("{:>8} {:>10} {:>10}", "x (µm)", "l (µm)", "t_f (ns)");
+    let (xf, yf) = seg.local_coords(ff);
+    let b = seg.length();
+    for k in 0..=20 {
+        let x = b * k as f64 / 20.0;
+        let l = (x - xf).abs() + yf;
+        let t = seg.t_start + ring.rho() * x + params.stub_delay(l, cap);
+        println!("{x:8.1} {l:10.1} {t:10.4}");
+    }
+
+    println!("\nfour solution cases for increasing targets:");
+    for target in [0.02, 0.10, 0.25, 0.60, 0.95] {
+        let sol = ring.tap_for_target(ff, cap, target);
+        println!(
+            "  target {target:.2} ns → case {:?}, side {}, complementary {}, wirelength {:.1} µm, {} period(s) borrowed",
+            sol.case, sol.side, sol.complementary, sol.wirelength, sol.periods_borrowed
+        );
+    }
+
+    // --- permissible ranges ---------------------------------------------
+    let circuit = BenchmarkSuite::S9234.circuit(3);
+    let mut placed = circuit.clone();
+    Placer::new(PlacerConfig::default()).place(&mut placed);
+    let tech = Technology::default();
+    let graph = SequentialGraph::extract(&placed, &tech);
+    let mut widths: Vec<f64> = graph
+        .pairs()
+        .iter()
+        .map(|p| p.skew_upper(&tech) - p.skew_lower(&tech))
+        .collect();
+    widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = widths.len();
+    println!(
+        "\n{} sequentially adjacent pairs on {} (placed)",
+        n, placed.name
+    );
+    for (label, q) in [("min", 0), ("p25", n / 4), ("median", n / 2), ("p75", 3 * n / 4), ("max", n - 1)] {
+        println!("  permissible-range width {label}: {:.3} ns", widths[q]);
+    }
+}

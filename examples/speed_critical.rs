@@ -1,0 +1,58 @@
+//! Speed-critical design: compare the two flip-flop assignment objectives.
+//!
+//! The network-flow formulation (Section V) minimizes total tapping
+//! wirelength; the ILP + greedy-rounding formulation (Section VI)
+//! minimizes the *maximum ring load capacitance*, which directly bounds
+//! the achievable oscillation frequency (eq. 2). This example runs both on
+//! the same circuit and reports wirelength, max load, the resulting ring
+//! frequency, and the wirelength–capacitance product of Table VII.
+//!
+//! ```sh
+//! cargo run --release -p rotary --example speed_critical [suite] [seed]
+//! ```
+
+use rotary::core::flow::AssignmentObjective;
+use rotary::core::metrics::wirelength_capacitance_product;
+use rotary::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let suite = args
+        .get(1)
+        .and_then(|s| BenchmarkSuite::from_name(s))
+        .unwrap_or(BenchmarkSuite::S5378);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+    println!("suite: {suite}, seed: {seed}\n");
+
+    let mut results = Vec::new();
+    for (label, objective) in [
+        ("network-flow (min tapping WL)", AssignmentObjective::TappingCost),
+        ("ILP+rounding (min max cap)  ", AssignmentObjective::MaxLoadCap),
+    ] {
+        let mut circuit = suite.circuit(seed);
+        let cfg = FlowConfig { objective, ..FlowConfig::default() };
+        let ring_params = cfg.ring_params;
+        let out = Flow::new(cfg).run(&mut circuit, suite.ring_grid());
+        let s = out.final_snapshot();
+        let f_osc = ring_params.oscillation_frequency(s.max_ring_cap);
+        println!(
+            "{label}: AFD {:6.1} µm | max cap {:.3} pF | f_osc {:.2} GHz | total WL {:9.0} µm",
+            s.afd, s.max_ring_cap, f_osc, s.total_wl()
+        );
+        results.push((label, s));
+    }
+
+    let (nf, ilp) = (&results[0].1, &results[1].1);
+    println!(
+        "\nmax-cap reduction (ILP vs flow): {:.1}%  (paper: 25.7–48.3%)",
+        (1.0 - ilp.max_ring_cap / nf.max_ring_cap) * 100.0
+    );
+    let wcp_nf = wirelength_capacitance_product(nf.total_wl(), nf.max_ring_cap);
+    let wcp_ilp = wirelength_capacitance_product(ilp.total_wl(), ilp.max_ring_cap);
+    println!(
+        "WCP: {:.0} (flow) vs {:.0} (ILP) — ILP better by {:.1}% (paper: 25.5–44.7%)",
+        wcp_nf,
+        wcp_ilp,
+        (1.0 - wcp_ilp / wcp_nf) * 100.0
+    );
+}

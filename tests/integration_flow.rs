@@ -1,0 +1,117 @@
+//! End-to-end integration tests of the Fig. 3 flow across crates.
+
+use rotary::core::flow::{AssignmentObjective, Flow, FlowConfig, SkewVariant};
+use rotary::prelude::*;
+
+fn small_suite_flow(objective: AssignmentObjective, variant: SkewVariant) -> FlowOutcome {
+    let mut circuit = BenchmarkSuite::S9234.circuit(11);
+    let cfg = FlowConfig { objective, skew_variant: variant, ..FlowConfig::default() };
+    Flow::new(cfg).run(&mut circuit, BenchmarkSuite::S9234.ring_grid())
+}
+
+#[test]
+fn full_flow_on_s9234_reduces_tapping_cost_in_paper_band() {
+    let out = small_suite_flow(AssignmentObjective::TappingCost, SkewVariant::WeightedSum);
+    let imp = out.tapping_improvement();
+    assert!(
+        imp > 0.20,
+        "tapping improvement {:.1}% below the expected band",
+        imp * 100.0
+    );
+    // Signal wirelength may degrade slightly but not collapse (paper: ≤ ~4%).
+    assert!(out.signal_wl_improvement() > -0.15);
+}
+
+#[test]
+fn flow_keeps_placement_legal_and_circuit_valid() {
+    let mut circuit = BenchmarkSuite::S9234.circuit(3);
+    Flow::new(FlowConfig::default()).run(&mut circuit, 4);
+    circuit.validate().expect("circuit valid after flow");
+    assert_eq!(rotary::place::overlap_count(&circuit), 0, "placement must stay legal");
+}
+
+#[test]
+fn every_flip_flop_is_assigned_and_tapped() {
+    let mut circuit = BenchmarkSuite::S9234.circuit(5);
+    let out = Flow::new(FlowConfig::default()).run(&mut circuit, 4);
+    assert_eq!(out.assignment.rings.len(), circuit.flip_flop_count());
+    assert_eq!(out.taps.solutions.len(), circuit.flip_flop_count());
+    for sol in &out.taps.solutions {
+        assert!(sol.wirelength.is_finite() && sol.wirelength >= 0.0);
+    }
+}
+
+#[test]
+fn tap_solutions_satisfy_delay_targets_modulo_period() {
+    let mut circuit = BenchmarkSuite::S9234.circuit(7);
+    let cfg = FlowConfig::default();
+    let out = Flow::new(cfg).run(&mut circuit, 4);
+    let array = RingArray::generate(
+        circuit.die,
+        4,
+        RingParams { period: out.schedule.period, ..cfg.ring_params },
+    );
+    let period = out.schedule.period;
+    for ((&ff, &ring), (sol, &target)) in out
+        .taps
+        .flip_flops
+        .iter()
+        .zip(&out.taps.rings)
+        .zip(out.taps.solutions.iter().zip(&out.schedule.targets))
+    {
+        let got = array
+            .ring(ring)
+            .delay_through_tap(sol, circuit.cell(ff).input_cap);
+        let tau = target.rem_euclid(period);
+        let err = (got - tau).abs().min(period - (got - tau).abs());
+        assert!(err < 1e-5, "ff {ff}: wanted {tau:.6}, got {got:.6}");
+    }
+}
+
+#[test]
+fn ring_capacities_respected_by_network_flow_assignment() {
+    let mut circuit = BenchmarkSuite::S9234.circuit(9);
+    let cfg = FlowConfig::default();
+    let out = Flow::new(cfg).run(&mut circuit, 4);
+    let array = RingArray::generate(
+        circuit.die,
+        4,
+        RingParams { period: out.schedule.period, ..cfg.ring_params },
+    );
+    let caps = array.capacities();
+    let occ = rotary::core::assign::ring_occupancy(&out.assignment, caps.len());
+    for (j, (&o, &u)) in occ.iter().zip(&caps).enumerate() {
+        assert!(o <= u, "ring {j} over capacity: {o} > {u}");
+    }
+}
+
+#[test]
+fn max_load_cap_objective_yields_lower_max_cap_than_network_flow() {
+    let nf = small_suite_flow(AssignmentObjective::TappingCost, SkewVariant::WeightedSum);
+    let ilp = small_suite_flow(AssignmentObjective::MaxLoadCap, SkewVariant::WeightedSum);
+    let (c_nf, c_ilp) = (
+        nf.final_snapshot().max_ring_cap,
+        ilp.final_snapshot().max_ring_cap,
+    );
+    assert!(
+        c_ilp < c_nf,
+        "ILP formulation should reduce max cap: {c_ilp} !< {c_nf}"
+    );
+    // And it should cost some wirelength (the Table V trade-off).
+    assert!(ilp.final_snapshot().tapping_wl >= nf.final_snapshot().tapping_wl * 0.8);
+}
+
+#[test]
+fn minimax_variant_runs_end_to_end() {
+    let out = small_suite_flow(AssignmentObjective::TappingCost, SkewVariant::Minimax);
+    assert!(!out.iterations.is_empty());
+    assert!(out.final_snapshot().tapping_wl.is_finite());
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let a = small_suite_flow(AssignmentObjective::TappingCost, SkewVariant::WeightedSum);
+    let b = small_suite_flow(AssignmentObjective::TappingCost, SkewVariant::WeightedSum);
+    assert_eq!(a.final_snapshot().tapping_wl, b.final_snapshot().tapping_wl);
+    assert_eq!(a.assignment.rings, b.assignment.rings);
+}

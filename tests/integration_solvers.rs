@@ -1,0 +1,212 @@
+//! Cross-solver integration tests: the independent optimization kernels
+//! must agree with each other on problems where both apply.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rotary::solver::lp::{LpProblem, LpStatus, RowKind};
+use rotary::solver::mcmf::FlowNetwork;
+use rotary::solver::DifferenceSystem;
+
+/// Random assignment instances: min-cost flow must match the LP optimum of
+/// the transportation relaxation (which is integral for assignment
+/// polytopes).
+#[test]
+fn mcmf_matches_lp_on_random_assignment_instances() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for round in 0..8 {
+        let f = rng.gen_range(3..7);
+        let r = rng.gen_range(2..5);
+        let caps: Vec<i64> = (0..r).map(|_| rng.gen_range(1..4)).collect();
+        if caps.iter().sum::<i64>() < f as i64 {
+            continue;
+        }
+        let costs: Vec<Vec<f64>> = (0..f)
+            .map(|_| (0..r).map(|_| rng.gen_range(1.0..50.0f64).round()).collect())
+            .collect();
+
+        // Min-cost flow.
+        let mut net = FlowNetwork::new(2 + f + r);
+        let (s, t) = (net.node(0), net.node(1));
+        for i in 0..f {
+            net.add_arc(s, net.node(2 + i), 1, 0.0);
+            for j in 0..r {
+                net.add_arc(net.node(2 + i), net.node(2 + f + j), 1, costs[i][j]);
+            }
+        }
+        for j in 0..r {
+            net.add_arc(net.node(2 + f + j), t, caps[j], 0.0);
+        }
+        let (flow, flow_cost) = net.min_cost_flow(s, t, f as i64).expect("feasible");
+        assert_eq!(flow, f as i64, "round {round}");
+
+        // LP.
+        let mut obj = Vec::new();
+        for i in 0..f {
+            for j in 0..r {
+                obj.push(costs[i][j]);
+            }
+        }
+        let mut lp = LpProblem::minimize(obj);
+        for i in 0..f {
+            let row: Vec<_> = (0..r).map(|j| (i * r + j, 1.0)).collect();
+            lp.add_row(RowKind::Eq, 1.0, &row);
+        }
+        for j in 0..r {
+            let row: Vec<_> = (0..f).map(|i| (i * r + j, 1.0)).collect();
+            lp.add_row(RowKind::Le, caps[j] as f64, &row);
+        }
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal, "round {round}");
+        assert!(
+            (sol.objective - flow_cost).abs() < 1e-6,
+            "round {round}: LP {} vs flow {}",
+            sol.objective,
+            flow_cost
+        );
+    }
+}
+
+/// Difference-constraint feasibility must agree with the LP's verdict.
+#[test]
+fn difference_system_agrees_with_lp_feasibility() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..10 {
+        let n = rng.gen_range(3..6);
+        let m = rng.gen_range(3..9);
+        let mut sys = DifferenceSystem::new(n);
+        let mut lp = LpProblem::minimize(vec![0.0; n]);
+        for j in 0..n {
+            lp.set_free(j);
+        }
+        for _ in 0..m {
+            let i = rng.gen_range(0..n);
+            let j = (i + rng.gen_range(1..n)) % n;
+            let b: f64 = rng.gen_range(-3.0..3.0);
+            sys.add(i, j, b);
+            lp.add_row(RowKind::Le, b, &[(i, 1.0), (j, -1.0)]);
+        }
+        let lp_feasible = lp.solve().status == LpStatus::Optimal;
+        assert_eq!(sys.is_feasible(), lp_feasible);
+    }
+}
+
+/// Greedy rounding must preserve assignment feasibility and stay within a
+/// factor-#items bound of the LP optimum for min-max instances.
+#[test]
+fn rounding_quality_bound_on_min_max_instances() {
+    use rotary::core::tapping::CandidateCosts;
+    use rotary::netlist::CellId;
+    use rotary::ring::RingId;
+
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..6 {
+        let f = rng.gen_range(4..9);
+        let r = rng.gen_range(2..4);
+        let candidates: Vec<Vec<(RingId, f64, f64)>> = (0..f)
+            .map(|_| {
+                (0..r)
+                    .map(|j| (RingId(j as u32), 1.0, rng.gen_range(0.05..0.5)))
+                    .collect()
+            })
+            .collect();
+        let costs = CandidateCosts {
+            flip_flops: (0..f as u32).map(CellId).collect(),
+            candidates,
+        };
+        let out = rotary::core::assign::assign_min_max_cap(&costs, r).expect("solved");
+        assert_eq!(out.assignment.rings.len(), f);
+        assert!(out.integrality_gap >= 1.0 - 1e-9);
+        // Crude upper bound: rounding can exceed OPT(LP) by at most the
+        // largest single load (each item adds ≤ max load to one ring).
+        let max_single: f64 = costs
+            .candidates
+            .iter()
+            .flat_map(|c| c.iter().map(|&(_, _, l)| l))
+            .fold(0.0, f64::max);
+        assert!(out.achieved <= out.lp_optimum + f as f64 * max_single + 1e-9);
+    }
+}
+
+/// The weighted skew dual must match the explicit LP on random constraint
+/// systems (not just pipelines).
+#[test]
+fn weighted_skew_dual_matches_lp_on_random_systems() {
+    use rotary::core::skew::weighted_schedule;
+    use rotary::netlist::geom::{Point, Rect};
+    use rotary::netlist::{Cell, CellKind, Circuit, Net};
+    use rotary::timing::{SequentialGraph, Technology};
+
+    let cell = |kind: CellKind| Cell {
+        kind,
+        width: 2.0,
+        height: 8.0,
+        input_cap: 0.004,
+        drive_resistance: 0.4,
+        intrinsic_delay: 0.02,
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    for round in 0..4 {
+        // Random sparse FF network with gates between random FF pairs.
+        let n = rng.gen_range(4..8);
+        let mut c = Circuit::new("rand", Rect::from_size(2000.0, 2000.0));
+        let ffs: Vec<_> = (0..n)
+            .map(|k| {
+                c.add_cell(
+                    cell(CellKind::FlipFlop),
+                    Point::new(100.0 + 70.0 * k as f64, 100.0 + 40.0 * (k % 3) as f64),
+                )
+            })
+            .collect();
+        for _ in 0..n + 2 {
+            let a = rng.gen_range(0..n);
+            let b = (a + rng.gen_range(1..n)) % n;
+            let g = c.add_cell(
+                cell(CellKind::Combinational),
+                Point::new(rng.gen_range(100.0..600.0), rng.gen_range(100.0..600.0)),
+            );
+            c.add_net(Net { driver: ffs[a], sinks: vec![g] });
+            c.add_net(Net { driver: g, sinks: vec![ffs[b]] });
+        }
+        let tech = Technology::default();
+        let graph = SequentialGraph::extract(&c, &tech);
+        if graph.pairs().is_empty() {
+            continue;
+        }
+        let ideal: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..0.9)).collect();
+        let weight: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0f64)).collect();
+        let sched = weighted_schedule(&graph, &tech, &ideal, &weight, 0.0);
+        let dual_obj: f64 = sched
+            .targets
+            .iter()
+            .zip(&ideal)
+            .zip(&weight)
+            .map(|((t, i), w)| w * (t - i).abs())
+            .sum();
+
+        // Explicit LP.
+        let mut obj = vec![0.0; n];
+        obj.extend(weight.iter().cloned());
+        let mut lp = LpProblem::minimize(obj);
+        for j in 0..n {
+            lp.set_free(j);
+        }
+        let idx = |id| graph.flip_flops().binary_search(&id).unwrap();
+        for p in graph.pairs() {
+            let (i, j) = (idx(p.from), idx(p.to));
+            lp.add_row(RowKind::Le, p.skew_upper(&tech), &[(i, 1.0), (j, -1.0)]);
+            lp.add_row(RowKind::Le, -p.skew_lower(&tech), &[(i, -1.0), (j, 1.0)]);
+        }
+        for i in 0..n {
+            lp.add_row(RowKind::Le, ideal[i], &[(i, 1.0), (n + i, -1.0)]);
+            lp.add_row(RowKind::Le, -ideal[i], &[(i, -1.0), (n + i, -1.0)]);
+        }
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal, "round {round}");
+        assert!(
+            dual_obj <= sol.objective + 0.05 * sol.objective.abs().max(0.05),
+            "round {round}: dual {} vs LP {}",
+            dual_obj,
+            sol.objective
+        );
+    }
+}

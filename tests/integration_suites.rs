@@ -1,0 +1,93 @@
+//! Benchmark-suite integration tests: Table II statistics, clock-tree
+//! baseline, and cross-crate consistency on the paper's circuits.
+
+use rotary::prelude::*;
+
+#[test]
+fn all_five_suites_match_table2_counts() {
+    let expect = [
+        (BenchmarkSuite::S9234, 1510, 135, 1471, 16),
+        (BenchmarkSuite::S5378, 1112, 164, 1063, 25),
+        (BenchmarkSuite::S15850, 3549, 566, 3462, 36),
+        (BenchmarkSuite::S38417, 11651, 1463, 11545, 49),
+        (BenchmarkSuite::S35932, 17005, 1728, 16685, 49),
+    ];
+    for (suite, cells, ffs, nets, rings) in expect {
+        let c = suite.circuit(1);
+        assert_eq!(c.combinational_count(), cells, "{suite} cells");
+        assert_eq!(c.flip_flop_count(), ffs, "{suite} ffs");
+        assert_eq!(c.net_count(), nets, "{suite} nets");
+        assert_eq!(suite.ring_count(), rings, "{suite} rings");
+    }
+}
+
+#[test]
+fn large_suites_validate() {
+    for suite in [BenchmarkSuite::S15850, BenchmarkSuite::S38417, BenchmarkSuite::S35932] {
+        suite.circuit(0).validate().unwrap_or_else(|e| panic!("{suite}: {e}"));
+    }
+}
+
+#[test]
+fn clock_tree_baseline_is_zero_skew_on_placed_suite() {
+    let mut c = BenchmarkSuite::S5378.circuit(2);
+    Placer::new(PlacerConfig::default()).place(&mut c);
+    let tech = Technology::default();
+    let tree = ClockTree::build(&c, &tech);
+    assert_eq!(tree.sink_count(), 164);
+    assert!(tree.skew() < 1e-6, "skew {}", tree.skew());
+    // PL should land in the same order of magnitude as the die scale.
+    let pl = tree.average_path_length();
+    assert!(pl > 0.5 * c.die.width() && pl < 10.0 * c.die.width(), "PL {pl}");
+}
+
+#[test]
+fn rotary_afd_beats_conventional_tree_path_length() {
+    // The paper's core observation (Table III vs Table II): the average
+    // flip-flop distance under rotary clocking is an order of magnitude
+    // smaller than conventional source-sink path lengths.
+    let suite = BenchmarkSuite::S9234;
+    let mut c = suite.circuit(4);
+    let out = rotary::core::flow::Flow::new(rotary::core::flow::FlowConfig::default())
+        .run(&mut c, suite.ring_grid());
+    let tech = Technology::default();
+    let tree = ClockTree::build(&c, &tech);
+    assert!(
+        out.final_snapshot().afd < 0.3 * tree.average_path_length(),
+        "AFD {} should be far below PL {}",
+        out.final_snapshot().afd,
+        tree.average_path_length()
+    );
+}
+
+#[test]
+fn sequential_graphs_nontrivial_on_all_small_suites() {
+    let tech = Technology::default();
+    for suite in [BenchmarkSuite::S9234, BenchmarkSuite::S5378] {
+        let mut c = suite.circuit(1);
+        Placer::new(PlacerConfig::default()).place(&mut c);
+        let g = SequentialGraph::extract(&c, &tech);
+        assert!(
+            g.pairs().len() >= c.flip_flop_count(),
+            "{suite}: suspiciously few adjacent pairs ({})",
+            g.pairs().len()
+        );
+    }
+}
+
+#[test]
+fn power_model_produces_sane_magnitudes() {
+    // Paper Table III: clock power a few mW to ~70 mW, signal power of the
+    // same order. Check we are within those decades, not exact values.
+    let suite = BenchmarkSuite::S9234;
+    let mut c = suite.circuit(1);
+    let out = rotary::core::flow::Flow::new(rotary::core::flow::FlowConfig::default())
+        .run(&mut c, suite.ring_grid());
+    let model = PowerModel::new(Technology::default());
+    let clock = model.rotary_clock_power(&c, &out.taps.wirelengths());
+    let signal = model.signal_power(&c);
+    assert!(clock.total_mw > 0.01 && clock.total_mw < 1000.0);
+    assert!(signal.total_mw > 0.1 && signal.total_mw < 10000.0);
+    // Clock wire power scales with tapping WL: optimized < 2x the raw pin power floor.
+    assert!(clock.wire_mw < signal.total_mw);
+}

@@ -1,0 +1,145 @@
+//! Property-based tests (proptest) over the core data structures and
+//! numerical kernels.
+
+use proptest::prelude::*;
+use rotary::netlist::geom::{BoundingBox, Point, Rect};
+use rotary::ring::{Ring, RingDirection, RingParams};
+use rotary::solver::greedy_round;
+use rotary::solver::lp::{LpProblem, LpStatus, RowKind};
+use rotary::solver::DifferenceSystem;
+
+proptest! {
+    /// Manhattan distance is a metric: symmetry + triangle inequality.
+    #[test]
+    fn manhattan_is_a_metric(
+        ax in -1e4..1e4f64, ay in -1e4..1e4f64,
+        bx in -1e4..1e4f64, by in -1e4..1e4f64,
+        cx in -1e4..1e4f64, cy in -1e4..1e4f64,
+    ) {
+        let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+        prop_assert!((a.manhattan(b) - b.manhattan(a)).abs() < 1e-9);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-9);
+        prop_assert!(a.manhattan(a).abs() < 1e-12);
+    }
+
+    /// HPWL of a point set equals the half-perimeter of its extremes and is
+    /// invariant under permutation.
+    #[test]
+    fn bounding_box_permutation_invariant(pts in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..20)) {
+        let bb: BoundingBox = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut rev = pts.clone();
+        rev.reverse();
+        let bb2: BoundingBox = rev.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        prop_assert!((bb.half_perimeter() - bb2.half_perimeter()).abs() < 1e-9);
+    }
+
+    /// Rect::clamp always lands inside the rectangle and is idempotent.
+    #[test]
+    fn rect_clamp_idempotent(px in -500.0..1500.0f64, py in -500.0..1500.0f64,
+                             w in 1.0..800.0f64, h in 1.0..800.0f64) {
+        let r = Rect::from_size(w, h);
+        let q = r.clamp(Point::new(px, py));
+        prop_assert!(r.contains(q));
+        prop_assert_eq!(r.clamp(q), q);
+    }
+
+    /// Every delay target is exactly realizable by the flexible-tapping
+    /// solver (mod the period) for any flip-flop position around a ring,
+    /// and the wirelength is at least the Manhattan distance to the tap.
+    #[test]
+    fn tapping_always_meets_target(
+        fx in 0.0..1000.0f64, fy in 0.0..1000.0f64,
+        target in 0.0..3.0f64,
+        cap in 0.004..0.03f64,
+    ) {
+        let ring = Ring::new(Point::new(500.0, 500.0), 150.0, RingDirection::Ccw,
+                             RingParams::default());
+        let ff = Point::new(fx, fy);
+        let sol = ring.tap_for_target(ff, cap, target);
+        let period = ring.params().period;
+        let got = ring.delay_through_tap(&sol, cap);
+        let tau = target.rem_euclid(period);
+        let err = (got - tau).abs().min(period - (got - tau).abs());
+        prop_assert!(err < 1e-6, "err {} case {:?}", err, sol.case);
+        prop_assert!(sol.wirelength >= sol.point.manhattan(ff) - 1e-6);
+    }
+
+    /// The stub-delay inverse is a true inverse over its domain.
+    #[test]
+    fn stub_delay_roundtrip(l in 0.0..5000.0f64, cap in 0.001..0.05f64) {
+        let p = RingParams::default();
+        let d = p.stub_delay(l, cap);
+        let back = p.stub_length_for_delay(d, cap).expect("nonnegative");
+        prop_assert!((back - l).abs() < 1e-6 * l.max(1.0));
+    }
+
+    /// Feasible difference systems produce solutions that check out; the
+    /// solver never returns an infeasible assignment.
+    #[test]
+    fn difference_solutions_verify(
+        n in 2usize..7,
+        edges in prop::collection::vec((0usize..6, 0usize..6, -5.0..5.0f64), 1..15)
+    ) {
+        let mut sys = DifferenceSystem::new(n);
+        for (i, j, b) in edges {
+            let (i, j) = (i % n, j % n);
+            if i != j {
+                sys.add(i, j, b);
+            }
+        }
+        if let Some(y) = sys.solve() {
+            prop_assert!(sys.check(&y, 1e-9));
+        }
+    }
+
+    /// Greedy rounding always returns a candidate of each item.
+    #[test]
+    fn greedy_round_feasibility(rows in prop::collection::vec(
+        prop::collection::vec((0usize..8, 0.0..1.0f64), 1..6), 1..12)) {
+        let picked = greedy_round(&rows);
+        for (row, &choice) in rows.iter().zip(&picked) {
+            prop_assert!(row.iter().any(|&(c, _)| c == choice));
+        }
+    }
+
+    /// LP optima are feasible: every returned Optimal solution satisfies
+    /// its constraints (on random bounded LPs).
+    #[test]
+    fn lp_solutions_are_feasible(
+        n in 1usize..5,
+        rows in prop::collection::vec(
+            (prop::collection::vec(-3.0..3.0f64, 5), -5.0..5.0f64), 1..6),
+    ) {
+        let mut lp = LpProblem::minimize(vec![1.0; n]);
+        let mut stored = Vec::new();
+        for (coef, rhs) in &rows {
+            let r: Vec<(usize, f64)> = coef.iter().take(n).enumerate()
+                .map(|(j, &a)| (j, a)).collect();
+            lp.add_row(RowKind::Le, *rhs, &r);
+            stored.push((r, *rhs));
+        }
+        let sol = lp.solve();
+        if sol.status == LpStatus::Optimal {
+            for (r, rhs) in stored {
+                let lhs: f64 = r.iter().map(|&(j, a)| a * sol.x[j]).sum();
+                prop_assert!(lhs <= rhs + 1e-6, "violated: {lhs} > {rhs}");
+            }
+            for &x in &sol.x {
+                prop_assert!(x >= -1e-7);
+            }
+        }
+    }
+
+    /// Zero-skew clock trees stay zero-skew for arbitrary sink sets.
+    #[test]
+    fn clock_tree_zero_skew_property(sinks in prop::collection::vec(
+        ((0.0..2000.0f64, 0.0..2000.0f64), 0.005..0.02f64), 1..40)) {
+        use rotary::cts::ClockTree;
+        use rotary::timing::Technology;
+        let pts: Vec<(Point, f64)> = sinks.iter()
+            .map(|&((x, y), c)| (Point::new(x, y), c)).collect();
+        let tree = ClockTree::build_over(&pts, &Technology::default());
+        prop_assert!(tree.skew() < 1e-6, "skew {}", tree.skew());
+        prop_assert_eq!(tree.sink_count(), pts.len());
+    }
+}
