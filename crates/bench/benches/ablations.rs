@@ -31,7 +31,9 @@ fn quality_report() {
             out.final_snapshot().signal_wl
         );
     }
-    for (label, variant) in [("weighted", SkewVariant::WeightedSum), ("minimax", SkewVariant::Minimax)] {
+    for (label, variant) in
+        [("weighted", SkewVariant::WeightedSum), ("minimax", SkewVariant::Minimax)]
+    {
         let mut c = suite.circuit(TABLE_SEED);
         let cfg = FlowConfig { skew_variant: variant, ..FlowConfig::default() };
         let out = Flow::new(cfg).run(&mut c, suite.ring_grid());
@@ -66,7 +68,9 @@ fn bench_skew_variant(c: &mut Criterion) {
     let suite = BenchmarkSuite::S9234;
     let mut group = c.benchmark_group("ablation/skew_variant");
     group.sample_size(10);
-    for (label, variant) in [("weighted", SkewVariant::WeightedSum), ("minimax", SkewVariant::Minimax)] {
+    for (label, variant) in
+        [("weighted", SkewVariant::WeightedSum), ("minimax", SkewVariant::Minimax)]
+    {
         group.bench_function(label, |b| {
             b.iter_batched(
                 || suite.circuit(TABLE_SEED),

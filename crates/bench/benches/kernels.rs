@@ -11,10 +11,13 @@ use rotary_core::tapping::CandidateCosts;
 use rotary_netlist::geom::Point;
 use rotary_netlist::BenchmarkSuite;
 use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
+use rotary_solver::graph::{Source, SpfaGraph};
+use rotary_solver::sparse::{CsrMatrix, SparseLu};
 use rotary_timing::{SequentialGraph, Technology};
 
 fn bench_tapping(c: &mut Criterion) {
-    let ring = Ring::new(Point::new(500.0, 500.0), 150.0, RingDirection::Ccw, RingParams::default());
+    let ring =
+        Ring::new(Point::new(500.0, 500.0), 150.0, RingDirection::Ccw, RingParams::default());
     c.bench_function("tapping/solve_one_flip_flop", |b| {
         let mut k = 0u64;
         b.iter(|| {
@@ -70,9 +73,7 @@ fn bench_skew(c: &mut Criterion) {
     let ideal: Vec<f64> = (0..n).map(|i| 0.13 * (i % 7) as f64).collect();
     let weight: Vec<f64> = (0..n).map(|i| 10.0 + (i % 5) as f64).collect();
     c.bench_function("skew/weighted_dual_s9234", |b| {
-        b.iter(|| {
-            std::hint::black_box(weighted_schedule(&graph, &tech_eff, &ideal, &weight, 0.0))
-        })
+        b.iter(|| std::hint::black_box(weighted_schedule(&graph, &tech_eff, &ideal, &weight, 0.0)))
     });
 }
 
@@ -85,9 +86,156 @@ fn bench_sta(c: &mut Criterion) {
     let _ = TABLE_SEED;
 }
 
+/// Simplex-basis-like sparse matrix: diagonally dominant, ~4 off-diagonal
+/// entries per row at pseudo-random columns (deterministic LCG).
+fn basis_like_matrix(m: usize) -> CsrMatrix {
+    let mut triplets = Vec::with_capacity(5 * m);
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for i in 0..m {
+        triplets.push((i, i, 4.0));
+        for k in 0..4 {
+            let j = next() % m;
+            if j != i {
+                triplets.push((i, j, if k % 2 == 0 { -0.5 } else { 0.25 }));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(m, m, &triplets)
+}
+
+/// Dense Gauss–Jordan inverse — the refactorization step of the dense
+/// basis-inverse simplex that `solver::sparse` replaced. Re-implemented
+/// here so the speedup stays measurable after the dense path's deletion.
+fn dense_inverse(a: &CsrMatrix) -> Vec<Vec<f64>> {
+    let m = a.nrows();
+    let mut aug: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            let mut row = vec![0.0; 2 * m];
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                row[j as usize] += v;
+            }
+            row[m + i] = 1.0;
+            row
+        })
+        .collect();
+    for col in 0..m {
+        let piv = (col..m)
+            .max_by(|&r, &s| aug[r][col].abs().partial_cmp(&aug[s][col].abs()).unwrap())
+            .unwrap();
+        aug.swap(col, piv);
+        let d = aug[col][col];
+        for v in aug[col].iter_mut() {
+            *v /= d;
+        }
+        let pivot_row = aug[col].clone();
+        for (r, row) in aug.iter_mut().enumerate() {
+            if r != col && row[col] != 0.0 {
+                let f = row[col];
+                for (dst, &p) in row.iter_mut().zip(&pivot_row) {
+                    *dst -= f * p;
+                }
+            }
+        }
+    }
+    aug.into_iter().map(|row| row[m..].to_vec()).collect()
+}
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let m = 300;
+    let a = basis_like_matrix(m);
+    let rhs: Vec<f64> = (0..m).map(|i| 1.0 + (i % 9) as f64 * 0.125).collect();
+
+    c.bench_function("sparse/lu_factor_solve_m300", |b| {
+        b.iter(|| {
+            let lu = SparseLu::factor(&a).expect("nonsingular");
+            let mut x = vec![0.0; m];
+            lu.ftran_dense(&rhs, &mut x);
+            std::hint::black_box(x)
+        })
+    });
+    c.bench_function("sparse/dense_inverse_solve_m300", |b| {
+        b.iter(|| {
+            let inv = dense_inverse(&a);
+            let x: Vec<f64> =
+                inv.iter().map(|row| row.iter().zip(&rhs).map(|(a, b)| a * b).sum()).collect();
+            std::hint::black_box(x)
+        })
+    });
+}
+
+/// Difference-constraint-style graph: `n` nodes, ~4n arcs. A node
+/// potential `phi` generates the weights (`w = phi(i) − phi(j) + slack`,
+/// `slack ≥ 0`), so every cycle is non-negative, while a tight chain
+/// (slack 0 along `v → v+1`) forces an `n`-deep shortest-path tree — the
+/// structure long FF-to-FF timing paths induce in the skew constraint
+/// systems. Arc order is shuffled so pass-based relaxation cannot sweep
+/// the chain in one scan.
+fn difference_graph(n: usize) -> SpfaGraph {
+    let phi = |v: usize| 0.1 * v as f64;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut arcs: Vec<(usize, usize, f64)> = Vec::with_capacity(4 * n);
+    for v in 0..n - 1 {
+        arcs.push((v, v + 1, phi(v) - phi(v + 1)));
+    }
+    for _ in 0..3 * n {
+        let i = next() % n;
+        let j = next() % n;
+        let slack = ((next() % 64) as f64) / 8.0 * 0.25;
+        arcs.push((i, j, phi(i) - phi(j) + slack));
+    }
+    for k in (1..arcs.len()).rev() {
+        arcs.swap(k, next() % (k + 1));
+    }
+    let mut g = SpfaGraph::new(n);
+    for (i, j, w) in arcs {
+        g.add_arc(i, j, w);
+    }
+    g
+}
+
+/// The hand-rolled loop `solver::graph` replaced: full-arc relaxation
+/// passes until quiescent (textbook Bellman–Ford, no queue).
+fn naive_bellman_ford(g: &SpfaGraph, eps: f64) -> Vec<f64> {
+    let n = g.num_nodes();
+    let arcs: Vec<(usize, usize, f64)> = (0..g.num_arcs()).map(|id| g.arc(id)).collect();
+    let mut dist = vec![0.0; n];
+    for _ in 0..=n {
+        let mut changed = false;
+        for &(f, t, w) in &arcs {
+            if dist[f] + w < dist[t] - eps {
+                dist[t] = dist[f] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+fn bench_spfa(c: &mut Criterion) {
+    let g = difference_graph(2000);
+    c.bench_function("graph/spfa_virtual_n2000", |b| {
+        b.iter(|| std::hint::black_box(g.run(Source::Virtual, 1e-12).into_dist()))
+    });
+    c.bench_function("graph/naive_bellman_ford_n2000", |b| {
+        b.iter(|| std::hint::black_box(naive_bellman_ford(&g, 1e-12)))
+    });
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_tapping, bench_assignment, bench_skew, bench_sta
+    targets = bench_tapping, bench_assignment, bench_skew, bench_sta, bench_sparse_lu, bench_spfa
 }
 criterion_main!(kernels);

@@ -87,6 +87,56 @@ fn main() {
             other => eprintln!("unknown target {other}"),
         }
     }
+
+    telemetry(&ctx);
+}
+
+/// Prints the per-stage flow telemetry of every suite battery the targets
+/// above ran, and dumps the same data as JSON to `BENCH_flow.json` so
+/// future sessions get a perf trajectory.
+fn telemetry(ctx: &Ctx) {
+    if ctx.results.is_empty() {
+        return;
+    }
+    header("FLOW TELEMETRY — wall time / problem size / solver iterations per stage");
+    for (name, r) in &ctx.results {
+        for (label, out) in [("network-flow", &r.nf), ("ilp", &r.ilp)] {
+            println!(
+                "{name} [{label}]: {} iteration(s), stages 2-5 {:.2}s, placer {:.2}s",
+                out.telemetry.iterations(),
+                out.stage_seconds(),
+                out.placer_seconds(),
+            );
+            for (stage, secs, passes, iters) in out.telemetry.totals_by_stage() {
+                if passes == 0 {
+                    continue;
+                }
+                println!(
+                    "  {}. {:<22} {:>9.3}s  {:>2} pass(es)  {:>6} solver iters",
+                    stage.number(),
+                    stage.name(),
+                    secs,
+                    passes,
+                    iters,
+                );
+            }
+        }
+    }
+    let mut json = String::from("{\n");
+    let n = ctx.results.len();
+    for (k, (name, r)) in ctx.results.iter().enumerate() {
+        json.push_str(&format!(
+            "\"{name}\": {{\n\"network_flow\": {},\n\"ilp\": {}\n}}{}\n",
+            r.nf.telemetry.to_json().trim_end(),
+            r.ilp.telemetry.to_json().trim_end(),
+            if k + 1 < n { "," } else { "" },
+        ));
+    }
+    json.push_str("}\n");
+    match std::fs::write("BENCH_flow.json", &json) {
+        Ok(()) => println!("(telemetry JSON written to BENCH_flow.json)"),
+        Err(e) => eprintln!("could not write BENCH_flow.json: {e}"),
+    }
 }
 
 fn header(title: &str) {
@@ -96,17 +146,11 @@ fn header(title: &str) {
 /// Table I: IG of greedy rounding vs a time-bounded generic ILP solver.
 fn table1(ctx: &mut Ctx) {
     header("TABLE I — integrality gap: greedy rounding vs generic ILP (B&B)");
-    println!(
-        "{:<8} | {:>8} {:>9} | {:>10} {:>9}",
-        "Circuit", "IG", "CPU(s)", "IG", "CPU"
-    );
+    println!("{:<8} | {:>8} {:>9} | {:>10} {:>9}", "Circuit", "IG", "CPU(s)", "IG", "CPU");
     println!("{:<8} | {:^18} | {:^20}", "", "Greedy Rounding", "ILP-Solver (B&B)");
     for suite in ctx.suites.clone() {
         let row = table1_row(suite, ctx.bnb_budget);
-        let bnb_ig = row
-            .bnb_ig
-            .map(|g| format!("{g:.2}"))
-            .unwrap_or_else(|| "—".into());
+        let bnb_ig = row.bnb_ig.map(|g| format!("{g:.2}")).unwrap_or_else(|| "—".into());
         let bnb_cpu = if row.bnb_timed_out {
             format!("> {:.0}s", ctx.bnb_budget.as_secs_f64())
         } else {
@@ -174,7 +218,16 @@ fn table4(ctx: &mut Ctx) {
     header("TABLE IV — network-flow based optimization (full Fig. 3 loop)");
     println!(
         "{:<8} {:>7} | {:>9} {:>8} | {:>10} {:>8} | {:>10} {:>8} | {:>8} {:>8}",
-        "Circuit", "AFD", "Tap.WL", "Imp", "SignalWL", "Imp", "Tot.WL", "Imp", "Stg2-5s", "Placer-s"
+        "Circuit",
+        "AFD",
+        "Tap.WL",
+        "Imp",
+        "SignalWL",
+        "Imp",
+        "Tot.WL",
+        "Imp",
+        "Stg2-5s",
+        "Placer-s"
     );
     for suite in ctx.suites.clone() {
         let r = ctx.results_for(suite).clone();
@@ -229,7 +282,19 @@ fn table6(ctx: &mut Ctx) {
     header("TABLE VI — power (mW), network flow and ILP formulations vs base");
     println!(
         "{:<8} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "Circuit", "Clk", "Imp", "Sig", "Imp", "Tot", "Imp", "Clk", "Imp", "Sig", "Imp", "Tot", "Imp"
+        "Circuit",
+        "Clk",
+        "Imp",
+        "Sig",
+        "Imp",
+        "Tot",
+        "Imp",
+        "Clk",
+        "Imp",
+        "Sig",
+        "Imp",
+        "Tot",
+        "Imp"
     );
     println!("{:<8} | {:^47} | {:^47}", "", "Network Flow Formulation", "ILP Formulation");
     let mut sums = [0.0f64; 6];
@@ -280,23 +345,14 @@ fn table6(ctx: &mut Ctx) {
 /// Table VII: wirelength-capacitance product.
 fn table7(ctx: &mut Ctx) {
     header("TABLE VII — wirelength-capacitance product (µm·pF)");
-    println!(
-        "{:<8} {:>16} {:>16} {:>8}",
-        "Circuit", "NetworkFlow WCP", "ILP WCP", "Imp"
-    );
+    println!("{:<8} {:>16} {:>16} {:>8}", "Circuit", "NetworkFlow WCP", "ILP WCP", "Imp");
     for suite in ctx.suites.clone() {
         let r = ctx.results_for(suite).clone();
         let nf = r.nf.final_snapshot();
         let il = r.ilp.final_snapshot();
         let w_nf = wirelength_capacitance_product(nf.total_wl(), nf.max_ring_cap);
         let w_il = wirelength_capacitance_product(il.total_wl(), il.max_ring_cap);
-        println!(
-            "{:<8} {:>16.0} {:>16.0} {:>8}",
-            suite.name(),
-            w_nf,
-            w_il,
-            imp(w_nf, w_il)
-        );
+        println!("{:<8} {:>16.0} {:>16.0} {:>8}", suite.name(), w_nf, w_il, imp(w_nf, w_il));
     }
 }
 
@@ -323,11 +379,9 @@ fn fig1() {
     println!("4×4 array; propagation directions (CCW/CW checkerboard):");
     for j in (0..4).rev() {
         let row: Vec<&str> = (0..4)
-            .map(|i| {
-                match array.ring(rotary_ring::RingId((j * 4 + i) as u32)).direction() {
-                    RingDirection::Ccw => "CCW",
-                    RingDirection::Cw => " CW",
-                }
+            .map(|i| match array.ring(rotary_ring::RingId((j * 4 + i) as u32)).direction() {
+                RingDirection::Ccw => "CCW",
+                RingDirection::Cw => " CW",
             })
             .collect();
         println!("  {}", row.join(" "));
@@ -337,14 +391,12 @@ fn fig1() {
 /// Fig. 2: the tapping curve t_f(x) — two joined parabolas.
 fn fig2() {
     header("FIG 2 — tapping delay curve t_f(x) (CSV)");
-    let ring = Ring::new(Point::new(500.0, 500.0), 200.0, RingDirection::Ccw, RingParams::default());
+    let ring =
+        Ring::new(Point::new(500.0, 500.0), 200.0, RingDirection::Ccw, RingParams::default());
     let ff = Point::new(560.0, 180.0); // below the bottom side
     let cap = 0.012;
-    let seg = ring
-        .segments()
-        .into_iter()
-        .find(|s| !s.complementary && s.side == 0)
-        .expect("bottom side");
+    let seg =
+        ring.segments().into_iter().find(|s| !s.complementary && s.side == 0).expect("bottom side");
     let (xf, yf) = seg.local_coords(ff);
     println!("x_um,l_um,t_f_ns   (joint at x_f = {xf:.1})");
     let b = seg.length();
@@ -355,7 +407,12 @@ fn fig2() {
         println!("{x:.1},{l:.1},{t:.5}");
     }
     println!("-- solution cases for four representative targets:");
-    for (label, target) in [("t_f1 (below curve)", 0.05), ("t_f2 (two roots)", 0.16), ("t_f3 (unique)", 0.40), ("t_f4 (above curve)", 0.95)] {
+    for (label, target) in [
+        ("t_f1 (below curve)", 0.05),
+        ("t_f2 (two roots)", 0.16),
+        ("t_f3 (unique)", 0.40),
+        ("t_f4 (above curve)", 0.95),
+    ] {
         let sol = ring.tap_on_segment(&seg, ff, cap, target).expect("solvable");
         println!(
             "  {label}: target {target:.2} → case {:?}, x = {:.1}, wirelength {:.1} µm, k = {}",

@@ -62,22 +62,18 @@ pub struct SuiteResults {
 /// Runs the complete experiment battery for one suite. Deterministic.
 pub fn run_suite(suite: BenchmarkSuite) -> SuiteResults {
     let cfg = FlowConfig::default();
-    let model_for = |period: f64| {
-        PowerModel::new(Technology { clock_period: period, ..cfg.tech })
-    };
+    let model_for = |period: f64| PowerModel::new(Technology { clock_period: period, ..cfg.tech });
 
     // Network-flow route (also yields the base case).
     let t0 = Instant::now();
     let mut c_nf = suite.circuit(TABLE_SEED);
     let nf = Flow::new(cfg).run(&mut c_nf, suite.ring_grid());
-    let nf_cpu = (nf.stage_seconds, nf.placer_seconds);
+    let nf_cpu = (nf.stage_seconds(), nf.placer_seconds());
     let _ = t0;
 
     let model = model_for(nf.schedule.period);
     let base_power = PowerRow {
-        clock_mw: model
-            .rotary_clock_power(&c_nf, &nf.base_tap_wirelengths)
-            .total_mw,
+        clock_mw: model.rotary_clock_power(&c_nf, &nf.base_tap_wirelengths).total_mw,
         signal_mw: nf.base_signal_power.total_mw,
     };
     let nf_power = PowerRow {
@@ -108,9 +104,7 @@ pub fn run_suite(suite: BenchmarkSuite) -> SuiteResults {
     let _ilp_total = t_ilp.elapsed().as_secs_f64();
     let model_ilp = model_for(ilp.schedule.period);
     let ilp_power = PowerRow {
-        clock_mw: model_ilp
-            .rotary_clock_power(&c_ilp, &ilp.taps.wirelengths())
-            .total_mw,
+        clock_mw: model_ilp.rotary_clock_power(&c_ilp, &ilp.taps.wirelengths()).total_mw,
         signal_mw: model_ilp.signal_power(&c_ilp).total_mw,
     };
     // Time the assignment step alone (the CPU column of Tables I/V).

@@ -80,6 +80,19 @@ pub fn assign_network_flow(
     costs: &CandidateCosts,
     capacities: &[usize],
 ) -> Result<Assignment, AssignError> {
+    assign_network_flow_with_stats(costs, capacities).map(|(a, _)| a)
+}
+
+/// [`assign_network_flow`] plus the number of augmenting paths the
+/// min-cost-flow solver pushed (flow telemetry).
+///
+/// # Errors
+///
+/// Same conditions as [`assign_network_flow`].
+pub fn assign_network_flow_with_stats(
+    costs: &CandidateCosts,
+    capacities: &[usize],
+) -> Result<(Assignment, usize), AssignError> {
     let f = costs.len();
     let r = capacities.len();
     let mut net = FlowNetwork::new(2 + f + r);
@@ -104,9 +117,8 @@ pub fn assign_network_flow(
     for (j, &u) in capacities.iter().enumerate() {
         net.add_arc(net.node(ring_node(j)), target, u as i64, 0.0);
     }
-    let (flow, _cost) = net
-        .min_cost_flow(source, target, f as i64)
-        .ok_or(AssignError::InsufficientCapacity)?;
+    let (flow, _cost) =
+        net.min_cost_flow(source, target, f as i64).ok_or(AssignError::InsufficientCapacity)?;
     if flow < f as i64 {
         return Err(AssignError::InsufficientCapacity);
     }
@@ -119,7 +131,7 @@ pub fn assign_network_flow(
                 .expect("saturated flip-flop has exactly one unit arc")
         })
         .collect();
-    Ok(Assignment { rings })
+    Ok((Assignment { rings }, net.augmentations()))
 }
 
 /// Builds the Section VI LP relaxation: variables `x_ij` (one per
@@ -148,8 +160,8 @@ fn min_max_lp(costs: &CandidateCosts, n_rings: usize) -> (LpProblem, Vec<Vec<usi
         }
     }
     let mut lp = LpProblem::minimize(obj);
-    for i in 0..f {
-        let row: Vec<(usize, f64)> = var_of[i].iter().map(|&v| (v, 1.0)).collect();
+    for vars in var_of.iter().take(f) {
+        let row: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
         lp.add_row(RowKind::Eq, 1.0, &row);
     }
     let mut ring_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_rings];
@@ -220,17 +232,10 @@ fn round_assignment(
         .iter()
         .zip(var_of)
         .map(|(cands, vars)| {
-            cands
-                .iter()
-                .zip(vars)
-                .map(|(&(rid, _, _), &v)| (rid.index(), sol.x[v]))
-                .collect()
+            cands.iter().zip(vars).map(|(&(rid, _, _), &v)| (rid.index(), sol.x[v])).collect()
         })
         .collect();
-    greedy_round(&fractions)
-        .into_iter()
-        .map(|j| RingId(j as u32))
-        .collect()
+    greedy_round(&fractions).into_iter().map(|j| RingId(j as u32)).collect()
 }
 
 /// Result of the generic branch & bound route of Table I.
@@ -319,14 +324,8 @@ mod tests {
 
     #[test]
     fn network_flow_detects_insufficient_capacity() {
-        let costs = costs_from(vec![
-            vec![(0, 1.0, 0.1)],
-            vec![(0, 1.0, 0.1)],
-        ]);
-        assert_eq!(
-            assign_network_flow(&costs, &[1, 1]),
-            Err(AssignError::InsufficientCapacity)
-        );
+        let costs = costs_from(vec![vec![(0, 1.0, 0.1)], vec![(0, 1.0, 0.1)]]);
+        assert_eq!(assign_network_flow(&costs, &[1, 1]), Err(AssignError::InsufficientCapacity));
     }
 
     #[test]
@@ -362,10 +361,7 @@ mod tests {
     fn min_max_cap_prefers_load_balance_over_wirelength() {
         // FF1 slightly prefers ring 0 by wirelength, but ring 0 already
         // carries FF0's large load: the min-max objective moves FF1 away.
-        let costs = costs_from(vec![
-            vec![(0, 1.0, 1.0)],
-            vec![(0, 1.0, 0.5), (1, 5.0, 0.6)],
-        ]);
+        let costs = costs_from(vec![vec![(0, 1.0, 1.0)], vec![(0, 1.0, 0.5), (1, 5.0, 0.6)]]);
         let out = assign_min_max_cap(&costs, 2).expect("solved");
         assert_eq!(out.assignment.rings[1], RingId(1));
         assert!((out.achieved - 1.0).abs() < 1e-6);

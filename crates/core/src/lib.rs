@@ -35,8 +35,10 @@ pub mod assign;
 pub mod flow;
 pub mod local_tree;
 pub mod metrics;
+pub mod par;
 pub mod skew;
 pub mod tapping;
+pub mod telemetry;
 pub mod variation;
 
 pub use assign::{AssignOutcome, Assignment};
@@ -44,5 +46,6 @@ pub use flow::{Flow, FlowConfig, FlowOutcome, IterationMetrics, SkewVariant};
 pub use local_tree::{build_local_trees, LocalTreeConfig, LocalTreesOutcome};
 pub use metrics::{improvement, wirelength_capacitance_product};
 pub use skew::SkewSchedule;
-pub use variation::{compare_variation, VariationModel, VariationReport};
 pub use tapping::{CandidateCosts, TapAssignments};
+pub use telemetry::{FlowTelemetry, Stage, StageRecord};
+pub use variation::{compare_variation, VariationModel, VariationReport};

@@ -114,14 +114,12 @@ pub fn build_local_trees(
         }
         let mut sorted = members.clone();
         sorted.sort_by(|&a, &b| {
-            schedule.targets[a]
-                .partial_cmp(&schedule.targets[b])
-                .expect("finite targets")
+            schedule.targets[a].partial_cmp(&schedule.targets[b]).expect("finite targets")
         });
         let mut current: Vec<usize> = Vec::new();
         let flush = |group: &mut Vec<usize>,
-                         clusters: &mut Vec<LocalTreeCluster>,
-                         clustered: &mut Vec<bool>| {
+                     clusters: &mut Vec<LocalTreeCluster>,
+                     clustered: &mut Vec<bool>| {
             if group.len() >= 2 {
                 if let Some(cl) = try_cluster(
                     circuit,
@@ -143,8 +141,7 @@ pub fn build_local_trees(
         for &i in &sorted {
             let fits = current.len() < config.max_cluster_size
                 && current.iter().all(|&j| {
-                    (schedule.targets[i] - schedule.targets[j]).abs()
-                        <= config.target_tolerance
+                    (schedule.targets[i] - schedule.targets[j]).abs() <= config.target_tolerance
                         && circuit
                             .position(taps.flip_flops[i])
                             .manhattan(circuit.position(taps.flip_flops[j]))
@@ -164,9 +161,9 @@ pub fn build_local_trees(
     for cl in &clusters {
         total += cl.wirelength;
     }
-    for i in 0..n {
-        if !clustered[i] {
-            total += taps.solutions[i].wirelength;
+    for (done, sol) in clustered.iter().zip(&taps.solutions).take(n) {
+        if !done {
+            total += sol.wirelength;
         }
     }
     LocalTreesOutcome { clusters, total_wirelength: total, direct_wirelength }
@@ -184,26 +181,21 @@ fn try_cluster(
     tech: &Technology,
 ) -> Option<LocalTreeCluster> {
     let members: Vec<CellId> = group.iter().map(|&i| taps.flip_flops[i]).collect();
-    let sinks: Vec<(Point, f64)> = members
-        .iter()
-        .map(|&ff| (circuit.position(ff), circuit.cell(ff).input_cap))
-        .collect();
+    let sinks: Vec<(Point, f64)> =
+        members.iter().map(|&ff| (circuit.position(ff), circuit.cell(ff).input_cap)).collect();
     let direct: f64 = group.iter().map(|&i| taps.solutions[i].wirelength).sum();
 
     // Zero-skew subtree over the members, then one tap for its root with
     // the mean target (all members agree within the tolerance).
     let tree = ClockTree::build_over(&sinks, tech);
-    let mean_target =
-        group.iter().map(|&i| schedule.targets[i]).sum::<f64>() / group.len() as f64;
+    let mean_target = group.iter().map(|&i| schedule.targets[i]).sum::<f64>() / group.len() as f64;
     let centroid = Point::new(
         sinks.iter().map(|s| s.0.x).sum::<f64>() / sinks.len() as f64,
         sinks.iter().map(|s| s.0.y).sum::<f64>() / sinks.len() as f64,
     );
     // The subtree presents its total capacitance at its root; tap for it
     // as a single "super sink" at the centroid.
-    let sol = array
-        .ring(ring)
-        .tap_for_target(centroid, tree.total_cap(), mean_target);
+    let sol = array.ring(ring).tap_for_target(centroid, tree.total_cap(), mean_target);
     let wirelength = tree.total_wirelength() + sol.wirelength;
     if wirelength < direct {
         Some(LocalTreeCluster {
@@ -252,11 +244,8 @@ mod tests {
             c.add_cell(ff_cell(), p);
         }
         let array = RingArray::generate(c.die, 1, RingParams::default());
-        let schedule = SkewSchedule {
-            targets: vec![0.30, 0.30, 0.30, 0.30, 0.30],
-            slack: 0.05,
-            period: 1.0,
-        };
+        let schedule =
+            SkewSchedule { targets: vec![0.30, 0.30, 0.30, 0.30, 0.30], slack: 0.05, period: 1.0 };
         let rings = vec![rotary_ring::RingId(0); 5];
         let taps = TapAssignments::solve(&c, &array, &schedule, &rings);
         (c, array, schedule, taps)
@@ -266,14 +255,8 @@ mod tests {
     fn clusters_nearby_same_target_flip_flops() {
         let (c, array, schedule, taps) = setup();
         let tech = Technology::default();
-        let out = build_local_trees(
-            &c,
-            &array,
-            &schedule,
-            &taps,
-            &tech,
-            &LocalTreeConfig::default(),
-        );
+        let out =
+            build_local_trees(&c, &array, &schedule, &taps, &tech, &LocalTreeConfig::default());
         assert!(!out.clusters.is_empty(), "expected at least one cluster");
         let cl = &out.clusters[0];
         assert!(cl.members.len() >= 2);
@@ -284,14 +267,8 @@ mod tests {
     fn pass_never_increases_total_wirelength() {
         let (c, array, schedule, taps) = setup();
         let tech = Technology::default();
-        let out = build_local_trees(
-            &c,
-            &array,
-            &schedule,
-            &taps,
-            &tech,
-            &LocalTreeConfig::default(),
-        );
+        let out =
+            build_local_trees(&c, &array, &schedule, &taps, &tech, &LocalTreeConfig::default());
         assert!(out.total_wirelength <= out.direct_wirelength + 1e-9);
         assert!(out.improvement() >= 0.0);
     }

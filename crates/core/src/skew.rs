@@ -42,6 +42,16 @@ impl SkewSchedule {
     }
 }
 
+/// Solver-effort statistics from a scheduling call, for flow telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkewStats {
+    /// Difference constraints in the timing system that was solved.
+    pub constraints: usize,
+    /// Inner solver iterations: feasibility solves of the binary search
+    /// (max-slack / minimax) or negative cycles canceled (weighted).
+    pub solver_iterations: usize,
+}
+
 /// The smallest clock period at which the skew constraints admit any
 /// schedule, found by doubling + bisection over Bellman–Ford feasibility.
 /// Never smaller than `tech.clock_period`.
@@ -107,12 +117,22 @@ fn timing_system(
 /// Panics if even `M = 0` is infeasible (the circuit cannot run at the
 /// technology's clock period).
 pub fn max_slack_schedule(graph: &SequentialGraph, tech: &Technology) -> SkewSchedule {
+    max_slack_schedule_with_stats(graph, tech).0
+}
+
+/// [`max_slack_schedule`] plus its [`SkewStats`].
+///
+/// # Panics
+///
+/// Same conditions as [`max_slack_schedule`].
+pub fn max_slack_schedule_with_stats(
+    graph: &SequentialGraph,
+    tech: &Technology,
+) -> (SkewSchedule, SkewStats) {
     let n = graph.flip_flops().len();
     if graph.pairs().is_empty() {
-        return SkewSchedule {
-            period: tech.clock_period,
-            ..SkewSchedule::zero(n)
-        };
+        let schedule = SkewSchedule { period: tech.clock_period, ..SkewSchedule::zero(n) };
+        return (schedule, SkewStats::default());
     }
     // If the circuit cannot run at the nominal period, schedule at the
     // minimum feasible period (with a small margin so the cost-driven
@@ -122,9 +142,10 @@ pub fn max_slack_schedule(graph: &SequentialGraph, tech: &Technology) -> SkewSch
     let tech_eff = Technology { clock_period: period, ..*tech };
     let (sys, _) = timing_system(graph, &tech_eff, 0.0, 0);
     let tighten = vec![1.0; sys.constraints().len()];
-    let (slack, mut targets) = sys.maximize_slack(&tighten, period, 1e-6);
+    let (slack, mut targets, solves) = sys.maximize_slack_with_stats(&tighten, period, 1e-6);
     normalize(&mut targets);
-    SkewSchedule { targets, slack, period }
+    let stats = SkewStats { constraints: sys.constraints().len(), solver_iterations: solves };
+    (SkewSchedule { targets, slack, period }, stats)
 }
 
 /// Stage-4 cost-driven skew optimization, minimax form: minimize `Δ` s.t.
@@ -149,6 +170,21 @@ pub fn minimax_schedule(
     stub_delay: &[f64],
     m: f64,
 ) -> SkewSchedule {
+    minimax_schedule_with_stats(graph, tech, ring_delay, stub_delay, m).0
+}
+
+/// [`minimax_schedule`] plus its [`SkewStats`].
+///
+/// # Panics
+///
+/// Same conditions as [`minimax_schedule`].
+pub fn minimax_schedule_with_stats(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ring_delay: &[f64],
+    stub_delay: &[f64],
+    m: f64,
+) -> (SkewSchedule, SkewStats) {
     let n = graph.flip_flops().len();
     assert_eq!(ring_delay.len(), n);
     assert_eq!(stub_delay.len(), n);
@@ -173,7 +209,7 @@ pub fn minimax_schedule(
         sys.add(reference, i, delta_max - ring_delay[i] - 2.0 * stub_delay[i]);
         tighten.push(1.0);
     }
-    let (s, mut sol) = sys.maximize_slack(&tighten, delta_max, 1e-6);
+    let (s, mut sol, solves) = sys.maximize_slack_with_stats(&tighten, delta_max, 1e-6);
     let _delta = delta_max - s;
     // Shift so the reference variable is exactly 0.
     let r = sol[reference];
@@ -181,7 +217,8 @@ pub fn minimax_schedule(
     for v in &mut sol {
         *v -= r;
     }
-    SkewSchedule { targets: sol, slack: m, period: tech.clock_period }
+    let stats = SkewStats { constraints: sys.constraints().len(), solver_iterations: solves };
+    (SkewSchedule { targets: sol, slack: m, period: tech.clock_period }, stats)
 }
 
 /// Stage-4 cost-driven skew optimization, weighted-sum form:
@@ -203,14 +240,26 @@ pub fn weighted_schedule(
     weight: &[f64],
     m: f64,
 ) -> SkewSchedule {
+    weighted_schedule_with_stats(graph, tech, ideal, weight, m).0
+}
+
+/// [`weighted_schedule`] plus its [`SkewStats`].
+///
+/// # Panics
+///
+/// Same conditions as [`weighted_schedule`].
+pub fn weighted_schedule_with_stats(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ideal: &[f64],
+    weight: &[f64],
+    m: f64,
+) -> (SkewSchedule, SkewStats) {
     let n = graph.flip_flops().len();
     assert_eq!(ideal.len(), n);
     assert_eq!(weight.len(), n);
     let (sys, _) = timing_system(graph, tech, m, 0);
-    assert!(
-        sys.is_feasible(),
-        "timing constraints infeasible at slack {m}"
-    );
+    assert!(sys.is_feasible(), "timing constraints infeasible at slack {m}");
 
     // Dual network: node per flip-flop + reference node R = n.
     // Constraint y_i − y_j ≤ b  ⇒ arc i → j, cost b, cap ∞.
@@ -246,7 +295,9 @@ pub fn weighted_schedule(
         *t -= shift;
     }
     debug_assert!(sys.check(&targets, 1e-6), "dual recovery violated timing");
-    SkewSchedule { targets, slack: m, period: tech.clock_period }
+    let stats =
+        SkewStats { constraints: sys.constraints().len(), solver_iterations: net.cancellations() };
+    (SkewSchedule { targets, slack: m, period: tech.clock_period }, stats)
 }
 
 /// Shifts targets so their minimum is 0.
@@ -281,7 +332,9 @@ mod tests {
         let mut c = Circuit::new("pipe", Rect::from_size(2000.0, 2000.0));
         let mut ffs = Vec::new();
         for k in 0..n {
-            ffs.push(c.add_cell(cell(CellKind::FlipFlop), Point::new(100.0 + 150.0 * k as f64, 100.0)));
+            ffs.push(
+                c.add_cell(cell(CellKind::FlipFlop), Point::new(100.0 + 150.0 * k as f64, 100.0)),
+            );
         }
         for k in 0..n {
             let g = c.add_cell(
@@ -318,9 +371,8 @@ mod tests {
         let s = max_slack_schedule(&g, &tech);
 
         let n = g.flip_flops().len();
-        let mut lp = LpProblem::minimize(
-            (0..=n).map(|k| if k == n { -1.0 } else { 0.0 }).collect(),
-        );
+        let mut lp =
+            LpProblem::minimize((0..=n).map(|k| if k == n { -1.0 } else { 0.0 }).collect());
         for j in 0..n {
             lp.set_free(j);
         }
@@ -335,12 +387,7 @@ mod tests {
         let sol = lp.solve();
         assert_eq!(sol.status, LpStatus::Optimal);
         let lp_slack = -sol.objective;
-        assert!(
-            (lp_slack - s.slack).abs() < 1e-3,
-            "graph {} vs LP {}",
-            s.slack,
-            lp_slack
-        );
+        assert!((lp_slack - s.slack).abs() < 1e-3, "graph {} vs LP {}", s.slack, lp_slack);
     }
 
     #[test]
@@ -381,13 +428,8 @@ mod tests {
         let m = 0.01;
         let s = weighted_schedule(&g, &tech, &ideal, &weight, m);
         assert!(g.check_schedule(&s.targets, &tech, m - 1e-6, 1e-5).is_none());
-        let dual_obj: f64 = s
-            .targets
-            .iter()
-            .zip(&ideal)
-            .zip(&weight)
-            .map(|((t, i), w)| w * (t - i).abs())
-            .sum();
+        let dual_obj: f64 =
+            s.targets.iter().zip(&ideal).zip(&weight).map(|((t, i), w)| w * (t - i).abs()).sum();
 
         // Reference LP: min Σ w δ, δ ≥ ±(t̂ − ideal), timing constraints.
         let mut obj = vec![0.0; n];
@@ -402,10 +444,10 @@ mod tests {
             lp.add_row(RowKind::Le, p.skew_upper(&tech) - m, &[(i, 1.0), (j, -1.0)]);
             lp.add_row(RowKind::Le, -(p.skew_lower(&tech) + m), &[(i, -1.0), (j, 1.0)]);
         }
-        for i in 0..n {
+        for (i, &t_ideal) in ideal.iter().enumerate() {
             // t̂_i − δ_i ≤ ideal_i and −t̂_i − δ_i ≤ −ideal_i
-            lp.add_row(RowKind::Le, ideal[i], &[(i, 1.0), (n + i, -1.0)]);
-            lp.add_row(RowKind::Le, -ideal[i], &[(i, -1.0), (n + i, -1.0)]);
+            lp.add_row(RowKind::Le, t_ideal, &[(i, 1.0), (n + i, -1.0)]);
+            lp.add_row(RowKind::Le, -t_ideal, &[(i, -1.0), (n + i, -1.0)]);
         }
         let sol = lp.solve();
         assert_eq!(sol.status, LpStatus::Optimal);

@@ -7,6 +7,7 @@
 //! both assignment formulations; the chosen ring's solution also yields the
 //! load capacitance `C_p^ij = c·l + C_ff` of Section VI.
 
+use crate::par::par_map;
 use crate::skew::SkewSchedule;
 use rotary_netlist::{CellId, Circuit};
 use rotary_ring::{RingArray, RingId, TapSolution};
@@ -25,6 +26,10 @@ impl CandidateCosts {
     /// Computes tapping costs for the `k` nearest rings of every flip-flop
     /// at the given skew schedule.
     ///
+    /// The per-FF×ring tapping solves are independent, so they fan out
+    /// over scoped worker threads ([`crate::par::par_map`]); the result is
+    /// bit-identical to the sequential computation.
+    ///
     /// # Panics
     ///
     /// Panics if `schedule.targets` is not parallel to the circuit's
@@ -36,30 +41,30 @@ impl CandidateCosts {
         k: usize,
     ) -> Self {
         let flip_flops = circuit.flip_flops();
-        assert_eq!(
-            flip_flops.len(),
-            schedule.targets.len(),
-            "one skew target per flip-flop"
-        );
+        assert_eq!(flip_flops.len(), schedule.targets.len(), "one skew target per flip-flop");
         let wire_cap = array.params().wire_cap;
-        let candidates = flip_flops
-            .iter()
-            .zip(&schedule.targets)
-            .map(|(&ff, &target)| {
-                let pos = circuit.position(ff);
-                let cap = circuit.cell(ff).input_cap;
-                array
-                    .candidate_rings(pos, k)
-                    .into_iter()
-                    .map(|rid| {
-                        let sol = array.ring(rid).tap_for_target(pos, cap, target);
-                        let load = wire_cap * sol.wirelength + cap;
-                        (rid, sol.wirelength, load)
-                    })
-                    .collect()
-            })
-            .collect();
+        let candidates = par_map(flip_flops.len(), |i| {
+            let ff = flip_flops[i];
+            let target = schedule.targets[i];
+            let pos = circuit.position(ff);
+            let cap = circuit.cell(ff).input_cap;
+            array
+                .candidate_rings(pos, k)
+                .into_iter()
+                .map(|rid| {
+                    let sol = array.ring(rid).tap_for_target(pos, cap, target);
+                    let load = wire_cap * sol.wirelength + cap;
+                    (rid, sol.wirelength, load)
+                })
+                .collect()
+        });
         Self { flip_flops, candidates }
+    }
+
+    /// Total candidate arcs across all flip-flops (the assignment
+    /// network's problem size).
+    pub fn total_candidates(&self) -> usize {
+        self.candidates.iter().map(Vec::len).sum()
     }
 
     /// Number of flip-flops covered.
@@ -75,10 +80,7 @@ impl CandidateCosts {
     /// The tapping cost of assigning flip-flop `i` (by index) to `ring`,
     /// if `ring` is among its candidates.
     pub fn cost(&self, i: usize, ring: RingId) -> Option<f64> {
-        self.candidates[i]
-            .iter()
-            .find(|&&(r, _, _)| r == ring)
-            .map(|&(_, wl, _)| wl)
+        self.candidates[i].iter().find(|&&(r, _, _)| r == ring).map(|&(_, wl, _)| wl)
     }
 }
 
@@ -95,7 +97,8 @@ pub struct TapAssignments {
 
 impl TapAssignments {
     /// Solves the tapping equation for every flip-flop on its assigned
-    /// ring at the given schedule.
+    /// ring at the given schedule. Fans out over scoped worker threads
+    /// like [`CandidateCosts::compute`], with identical results.
     ///
     /// # Panics
     ///
@@ -109,16 +112,14 @@ impl TapAssignments {
         let flip_flops = circuit.flip_flops();
         assert_eq!(flip_flops.len(), rings.len());
         assert_eq!(flip_flops.len(), schedule.targets.len());
-        let solutions = flip_flops
-            .iter()
-            .zip(rings)
-            .zip(&schedule.targets)
-            .map(|((&ff, &rid), &t)| {
-                array
-                    .ring(rid)
-                    .tap_for_target(circuit.position(ff), circuit.cell(ff).input_cap, t)
-            })
-            .collect();
+        let solutions = par_map(flip_flops.len(), |i| {
+            let ff = flip_flops[i];
+            array.ring(rings[i]).tap_for_target(
+                circuit.position(ff),
+                circuit.cell(ff).input_cap,
+                schedule.targets[i],
+            )
+        });
         Self { flip_flops, rings: rings.to_vec(), solutions }
     }
 
@@ -175,9 +176,7 @@ impl TapAssignments {
 
     /// Maximum ring load capacitance, pF (Section VI objective).
     pub fn max_ring_load(&self, circuit: &Circuit, array: &RingArray) -> f64 {
-        self.ring_loads(circuit, array)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.ring_loads(circuit, array).into_iter().fold(0.0, f64::max)
     }
 }
 
@@ -241,22 +240,14 @@ mod tests {
     #[test]
     fn nearest_ring_assignment_meets_targets() {
         let (c, array, s) = setup();
-        let rings: Vec<RingId> = c
-            .flip_flops()
-            .iter()
-            .map(|&ff| array.nearest_ring(c.position(ff)))
-            .collect();
+        let rings: Vec<RingId> =
+            c.flip_flops().iter().map(|&ff| array.nearest_ring(c.position(ff))).collect();
         let taps = TapAssignments::solve(&c, &array, &s, &rings);
         let period = array.params().period;
-        for ((&ff, sol), (&rid, &target)) in taps
-            .flip_flops
-            .iter()
-            .zip(&taps.solutions)
-            .zip(taps.rings.iter().zip(&s.targets))
+        for ((&ff, sol), (&rid, &target)) in
+            taps.flip_flops.iter().zip(&taps.solutions).zip(taps.rings.iter().zip(&s.targets))
         {
-            let got = array
-                .ring(rid)
-                .delay_through_tap(sol, c.cell(ff).input_cap);
+            let got = array.ring(rid).delay_through_tap(sol, c.cell(ff).input_cap);
             let tau = target.rem_euclid(period);
             let err = (got - tau).abs().min(period - (got - tau).abs());
             assert!(err < 1e-6, "ff {ff}: target {tau} got {got}");
@@ -266,11 +257,8 @@ mod tests {
     #[test]
     fn ring_loads_sum_to_total_load() {
         let (c, array, s) = setup();
-        let rings: Vec<RingId> = c
-            .flip_flops()
-            .iter()
-            .map(|&ff| array.nearest_ring(c.position(ff)))
-            .collect();
+        let rings: Vec<RingId> =
+            c.flip_flops().iter().map(|&ff| array.nearest_ring(c.position(ff))).collect();
         let taps = TapAssignments::solve(&c, &array, &s, &rings);
         let loads = taps.ring_loads(&c, &array);
         let total: f64 = loads.iter().sum();
@@ -287,11 +275,8 @@ mod tests {
     #[test]
     fn afd_uses_assigned_ring_not_nearest() {
         let (c, array, s) = setup();
-        let nearest: Vec<RingId> = c
-            .flip_flops()
-            .iter()
-            .map(|&ff| array.nearest_ring(c.position(ff)))
-            .collect();
+        let nearest: Vec<RingId> =
+            c.flip_flops().iter().map(|&ff| array.nearest_ring(c.position(ff))).collect();
         // Deliberately bad assignment: everything to ring 0.
         let all_zero = vec![RingId(0); nearest.len()];
         let good = TapAssignments::solve(&c, &array, &s, &nearest);

@@ -1,0 +1,331 @@
+//! Structured per-stage instrumentation of the Fig. 3 flow.
+//!
+//! Every pass through a stage of [`crate::flow::Flow::run`] appends one
+//! [`StageRecord`] — wall time, dominant problem size, and inner solver
+//! iterations — to a [`FlowTelemetry`]. Recording is scope-based: a stage
+//! opens a [`StageScope`] (which starts the clock), annotates it while the
+//! work runs, and the record is pushed when the scope drops. The aggregate
+//! views [`FlowTelemetry::stage_seconds`] / [`FlowTelemetry::placer_seconds`]
+//! reproduce the two scalar timers the flow used to expose, so existing
+//! consumers (the benchmark tables) keep their split of "optimization" vs
+//! "placement" time.
+//!
+//! [`FlowTelemetry::to_json`] serializes the whole log without any external
+//! dependency, for the `tables` binary's `BENCH_flow.json` dump.
+
+use std::fmt;
+use std::time::Instant;
+
+/// The six stages of the paper's Fig. 3 methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Stage 1: initial wirelength-driven placement.
+    InitialPlacement,
+    /// Stage 2: max-slack skew optimization (and the one-off period search
+    /// before the first pass).
+    SkewOptimization,
+    /// Stage 3: tapping-candidate generation + flip-flop-to-ring assignment.
+    Assignment,
+    /// Stage 4: cost-driven skew optimization (minimax or weighted).
+    CostDrivenSkew,
+    /// Stage 5: tap solution + cost evaluation.
+    Evaluation,
+    /// Stage 6: pseudo-net insertion + incremental placement.
+    IncrementalPlacement,
+}
+
+/// All stages, in Fig. 3 order.
+pub const STAGES: [Stage; 6] = [
+    Stage::InitialPlacement,
+    Stage::SkewOptimization,
+    Stage::Assignment,
+    Stage::CostDrivenSkew,
+    Stage::Evaluation,
+    Stage::IncrementalPlacement,
+];
+
+impl Stage {
+    /// The stage's number in Fig. 3 (1–6).
+    pub fn number(self) -> usize {
+        match self {
+            Stage::InitialPlacement => 1,
+            Stage::SkewOptimization => 2,
+            Stage::Assignment => 3,
+            Stage::CostDrivenSkew => 4,
+            Stage::Evaluation => 5,
+            Stage::IncrementalPlacement => 6,
+        }
+    }
+
+    /// Stable snake_case name (used as the JSON identifier).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::InitialPlacement => "initial_placement",
+            Stage::SkewOptimization => "skew_optimization",
+            Stage::Assignment => "assignment",
+            Stage::CostDrivenSkew => "cost_driven_skew",
+            Stage::Evaluation => "evaluation",
+            Stage::IncrementalPlacement => "incremental_placement",
+        }
+    }
+
+    /// Whether this stage is placement work (stages 1 and 6). The
+    /// complement (stages 2–5) is the optimization pipeline proper.
+    pub fn is_placer(self) -> bool {
+        matches!(self, Stage::InitialPlacement | Stage::IncrementalPlacement)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One pass through one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageRecord {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Flow iteration the pass belongs to (0-based; stage 1 always 0).
+    pub iteration: usize,
+    /// Wall time of the pass, seconds.
+    pub seconds: f64,
+    /// Dominant problem size: cells placed, constraints solved, candidate
+    /// arcs generated, flip-flops tapped, or pseudo-nets inserted.
+    pub problem_size: usize,
+    /// Inner solver iterations: simplex pivots, feasibility solves,
+    /// augmenting paths, or canceled cycles. Zero for non-solver stages.
+    pub solver_iterations: usize,
+}
+
+/// The full per-stage log of one [`crate::flow::Flow::run`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowTelemetry {
+    records: Vec<StageRecord>,
+}
+
+impl FlowTelemetry {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a timed scope for one pass through `stage`; the record is
+    /// appended when the scope drops.
+    pub fn stage(&mut self, stage: Stage, iteration: usize) -> StageScope<'_> {
+        StageScope {
+            telemetry: self,
+            stage,
+            iteration,
+            problem_size: 0,
+            solver_iterations: 0,
+            start: Instant::now(),
+        }
+    }
+
+    /// All records, in completion order.
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Appends an already-built record (used by tests and by merges).
+    pub fn push(&mut self, record: StageRecord) {
+        self.records.push(record);
+    }
+
+    /// Total seconds spent in the optimization stages 2–5.
+    pub fn stage_seconds(&self) -> f64 {
+        self.seconds_where(|s| !s.is_placer())
+    }
+
+    /// Total seconds spent in the placement stages 1 and 6.
+    pub fn placer_seconds(&self) -> f64 {
+        self.seconds_where(Stage::is_placer)
+    }
+
+    /// Total wall seconds across all recorded stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds_where(|_| true)
+    }
+
+    /// Number of flow iterations the log covers.
+    pub fn iterations(&self) -> usize {
+        self.records.iter().map(|r| r.iteration + 1).max().unwrap_or(0)
+    }
+
+    /// Per-stage rollup in Fig. 3 order: `(stage, seconds, passes,
+    /// solver_iterations)`. Stages that never ran report zeros.
+    pub fn totals_by_stage(&self) -> [(Stage, f64, usize, usize); 6] {
+        let mut out = STAGES.map(|s| (s, 0.0, 0usize, 0usize));
+        for r in &self.records {
+            let slot = &mut out[r.stage.number() - 1];
+            slot.1 += r.seconds;
+            slot.2 += 1;
+            slot.3 += r.solver_iterations;
+        }
+        out
+    }
+
+    fn seconds_where(&self, pred: impl Fn(Stage) -> bool) -> f64 {
+        self.records.iter().filter(|r| pred(r.stage)).map(|r| r.seconds).sum()
+    }
+
+    /// Serializes the log as a self-contained JSON object (no external
+    /// serializer: numbers via `f64`'s shortest-roundtrip `Display`,
+    /// stage names are fixed identifiers, nothing needs escaping).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128 + 128 * self.records.len());
+        s.push_str("{\n");
+        s.push_str(&format!("  \"stage_seconds\": {},\n", json_f64(self.stage_seconds())));
+        s.push_str(&format!("  \"placer_seconds\": {},\n", json_f64(self.placer_seconds())));
+        s.push_str(&format!("  \"iterations\": {},\n", self.iterations()));
+        s.push_str("  \"records\": [\n");
+        for (k, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"fig3_stage\": {}, \"iteration\": {}, \
+                 \"seconds\": {}, \"problem_size\": {}, \"solver_iterations\": {}}}{}\n",
+                r.stage.name(),
+                r.stage.number(),
+                r.iteration,
+                json_f64(r.seconds),
+                r.problem_size,
+                r.solver_iterations,
+                if k + 1 < self.records.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// JSON-safe float: finite values print via `Display` (shortest roundtrip),
+/// non-finite values (not produced by timers, but cheap to guard) as null.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Live recording handle for one stage pass; see [`FlowTelemetry::stage`].
+pub struct StageScope<'a> {
+    telemetry: &'a mut FlowTelemetry,
+    stage: Stage,
+    iteration: usize,
+    problem_size: usize,
+    solver_iterations: usize,
+    start: Instant,
+}
+
+impl StageScope<'_> {
+    /// Sets the pass's dominant problem size.
+    pub fn set_problem_size(&mut self, size: usize) {
+        self.problem_size = size;
+    }
+
+    /// Accumulates inner solver iterations attributed to this pass.
+    pub fn add_solver_iterations(&mut self, iters: usize) {
+        self.solver_iterations += iters;
+    }
+
+    /// Ends the scope now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for StageScope<'_> {
+    fn drop(&mut self) {
+        self.telemetry.records.push(StageRecord {
+            stage: self.stage,
+            iteration: self.iteration,
+            seconds: self.start.elapsed().as_secs_f64(),
+            problem_size: self.problem_size,
+            solver_iterations: self.solver_iterations,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(stage: Stage, iteration: usize, seconds: f64) -> StageRecord {
+        StageRecord { stage, iteration, seconds, problem_size: 10, solver_iterations: 3 }
+    }
+
+    #[test]
+    fn scope_records_on_drop() {
+        let mut t = FlowTelemetry::new();
+        {
+            let mut scope = t.stage(Stage::Assignment, 2);
+            scope.set_problem_size(77);
+            scope.add_solver_iterations(5);
+            scope.add_solver_iterations(2);
+        }
+        assert_eq!(t.records().len(), 1);
+        let r = t.records()[0];
+        assert_eq!(r.stage, Stage::Assignment);
+        assert_eq!(r.iteration, 2);
+        assert_eq!(r.problem_size, 77);
+        assert_eq!(r.solver_iterations, 7);
+        assert!(r.seconds >= 0.0);
+    }
+
+    #[test]
+    fn aggregates_split_placer_from_optimizer() {
+        let mut t = FlowTelemetry::new();
+        t.push(record(Stage::InitialPlacement, 0, 1.0));
+        t.push(record(Stage::SkewOptimization, 0, 2.0));
+        t.push(record(Stage::CostDrivenSkew, 0, 4.0));
+        t.push(record(Stage::IncrementalPlacement, 0, 8.0));
+        assert!((t.placer_seconds() - 9.0).abs() < 1e-12);
+        assert!((t.stage_seconds() - 6.0).abs() < 1e-12);
+        assert!((t.total_seconds() - 15.0).abs() < 1e-12);
+        assert_eq!(t.iterations(), 1);
+    }
+
+    #[test]
+    fn totals_by_stage_rolls_up_passes() {
+        let mut t = FlowTelemetry::new();
+        t.push(record(Stage::Evaluation, 0, 1.0));
+        t.push(record(Stage::Evaluation, 1, 2.0));
+        let totals = t.totals_by_stage();
+        let eval = totals[Stage::Evaluation.number() - 1];
+        assert_eq!(eval.0, Stage::Evaluation);
+        assert!((eval.1 - 3.0).abs() < 1e-12);
+        assert_eq!(eval.2, 2);
+        assert_eq!(eval.3, 6);
+        assert_eq!(totals[0].2, 0, "initial placement never ran");
+        assert_eq!(t.iterations(), 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut t = FlowTelemetry::new();
+        t.push(record(Stage::InitialPlacement, 0, 0.25));
+        t.push(record(Stage::SkewOptimization, 0, 0.5));
+        let json = t.to_json();
+        assert!(json.contains("\"stage\": \"initial_placement\""));
+        assert!(json.contains("\"fig3_stage\": 2"));
+        assert!(json.contains("\"stage_seconds\": 0.5"));
+        assert!(json.contains("\"placer_seconds\": 0.25"));
+        assert!(json.contains("\"iterations\": 1"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count(),);
+        assert_eq!(json.matches('[').count(), json.matches(']').count(),);
+        // Exactly one separating comma between the two records.
+        assert_eq!(json.matches("}},\n").count() + json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn stage_metadata_is_consistent() {
+        for (k, s) in STAGES.iter().enumerate() {
+            assert_eq!(s.number(), k + 1);
+        }
+        assert!(Stage::InitialPlacement.is_placer());
+        assert!(Stage::IncrementalPlacement.is_placer());
+        assert!(!Stage::Assignment.is_placer());
+        assert_eq!(Stage::CostDrivenSkew.to_string(), "cost_driven_skew");
+    }
+}

@@ -44,12 +44,7 @@ pub struct VariationModel {
 
 impl Default for VariationModel {
     fn default() -> Self {
-        Self {
-            sigma_global: 0.05,
-            sigma_local: 0.08,
-            sigma_ring_phase: 0.001,
-            trials: 500,
-        }
+        Self { sigma_global: 0.05, sigma_local: 0.08, sigma_ring_phase: 0.001, trials: 500 }
     }
 }
 
@@ -140,15 +135,12 @@ pub fn compare_variation(
         // Rotary: each tap stub perturbed + the residual ring-phase jitter.
         let mut dev_max = f64::NEG_INFINITY;
         let mut dev_min = f64::INFINITY;
-        for ((sol, &cap), &nom) in taps
-            .solutions
-            .iter()
-            .zip(&ff_caps)
-            .zip(&nominal_stub)
-        {
+        for ((sol, &cap), &nom) in taps.solutions.iter().zip(&ff_caps).zip(&nominal_stub) {
             let r_mul = multiplier(&mut rng, g, model);
             let c_mul = multiplier(&mut rng, g, model);
-            let perturbed = 0.5 * (params.wire_res * r_mul) * (params.wire_cap * c_mul)
+            let perturbed = 0.5
+                * (params.wire_res * r_mul)
+                * (params.wire_cap * c_mul)
                 * sol.wirelength
                 * sol.wirelength
                 + (params.wire_res * r_mul) * sol.wirelength * cap;
@@ -276,13 +268,6 @@ mod tests {
         let cfg = FlowConfig::default();
         let out = Flow::new(cfg).run(&mut c, 2);
         let model = VariationModel { trials: 0, ..Default::default() };
-        let _ = compare_variation(
-            &c,
-            &out.taps,
-            &cfg.ring_params,
-            &cfg.tech,
-            &model,
-            1,
-        );
+        let _ = compare_variation(&c, &out.taps, &cfg.ring_params, &cfg.tech, &model, 1);
     }
 }

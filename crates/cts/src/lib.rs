@@ -89,13 +89,13 @@ impl ClockTree {
             })
             .collect();
         let leaf_ids: Vec<usize> = (0..nodes.len()).collect();
-        let root = Self::recurse(&mut nodes, leaf_ids, tech, 0);
+        let root = Self::recurse(&mut nodes, leaf_ids, tech);
         Self { nodes, root, sink_count: sinks.len() }
     }
 
     /// Recursive bisection: split the sink set by the median of the wider
     /// axis, build both halves, then merge with a zero-skew tapping point.
-    fn recurse(nodes: &mut Vec<TreeNode>, mut ids: Vec<usize>, tech: &Technology, depth: usize) -> usize {
+    fn recurse(nodes: &mut Vec<TreeNode>, mut ids: Vec<usize>, tech: &Technology) -> usize {
         if ids.len() == 1 {
             return ids[0];
         }
@@ -119,8 +119,8 @@ impl ClockTree {
             }
         });
         let right = ids.split_off(ids.len() / 2);
-        let a = Self::recurse(nodes, ids, tech, depth + 1);
-        let b = Self::recurse(nodes, right, tech, depth + 1);
+        let a = Self::recurse(nodes, ids, tech);
+        let b = Self::recurse(nodes, right, tech);
         Self::merge(nodes, a, b, tech)
     }
 
@@ -169,11 +169,7 @@ impl ClockTree {
         let point = l_path_point(pa, pb, t);
         let delay = delay_a(la.max(xa.min(dist)));
         // Use the *achieved* equalized delay: evaluate through the a side.
-        let delay = if la > 0.0 && xa == dist {
-            da + r * la * (0.5 * c * la + ca)
-        } else {
-            delay
-        };
+        let delay = if la > 0.0 && xa == dist { da + r * la * (0.5 * c * la + ca) } else { delay };
         let cap = ca + cb + c * (la + lb);
         let id = nodes.len();
         nodes.push(TreeNode {
@@ -203,10 +199,7 @@ impl ClockTree {
 
     /// Total tree wirelength, µm (snaked lengths included).
     pub fn total_wirelength(&self) -> f64 {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.children.iter().map(|&(_, l)| l))
-            .sum()
+        self.nodes.iter().flat_map(|n| n.children.iter().map(|&(_, l)| l)).sum()
     }
 
     /// Total tree capacitance (wire + sink pins), pF — the conventional
@@ -248,7 +241,8 @@ impl ClockTree {
                 out[n] = acc;
             }
             for &(child, l) in &self.nodes[n].children {
-                let d = tech.wire_res * l * (0.5 * tech.wire_cap * l + self.nodes[child].subtree_cap);
+                let d =
+                    tech.wire_res * l * (0.5 * tech.wire_cap * l + self.nodes[child].subtree_cap);
                 stack.push((child, acc + d));
             }
         }
@@ -309,8 +303,7 @@ impl ClockTree {
             }
             for &(child, l) in &self.nodes[n].children {
                 let (r_mul, c_mul) = scale[child];
-                let d = tech.wire_res * r_mul * l
-                    * (0.5 * tech.wire_cap * c_mul * l + cap[child]);
+                let d = tech.wire_res * r_mul * l * (0.5 * tech.wire_cap * c_mul * l + cap[child]);
                 stack.push((child, acc + d));
             }
         }
@@ -341,7 +334,9 @@ mod tests {
 
     fn grid_sinks(n: usize, pitch: f64) -> Vec<(Point, f64)> {
         (0..n)
-            .flat_map(|i| (0..n).map(move |j| (Point::new(i as f64 * pitch, j as f64 * pitch), 0.01)))
+            .flat_map(|i| {
+                (0..n).map(move |j| (Point::new(i as f64 * pitch, j as f64 * pitch), 0.01))
+            })
             .collect()
     }
 

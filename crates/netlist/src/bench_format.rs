@@ -45,12 +45,7 @@ impl std::error::Error for ParseBenchError {}
 fn cell_for(kind: CellKind, fanin: usize) -> Cell {
     let (width, cap, res, delay) = match kind {
         CellKind::FlipFlop => (8.0, 0.010, 0.5, 0.03),
-        CellKind::Combinational => (
-            3.0 + fanin as f64,
-            0.004,
-            0.5,
-            0.01 + 0.004 * fanin as f64,
-        ),
+        CellKind::Combinational => (3.0 + fanin as f64, 0.004, 0.5, 0.01 + 0.004 * fanin as f64),
         CellKind::PrimaryInput | CellKind::PrimaryOutput => (1.0, 0.010, 1.0, 0.0),
     };
     Cell {
@@ -108,14 +103,12 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError>
         }
         let err = |message: String| ParseBenchError { line: line_no, message };
         if let Some(rest) = line.strip_prefix("INPUT(") {
-            let sig = rest
-                .strip_suffix(')')
-                .ok_or_else(|| err("missing ')' after INPUT".into()))?;
+            let sig =
+                rest.strip_suffix(')').ok_or_else(|| err("missing ')' after INPUT".into()))?;
             inputs.push(sig.trim().to_string());
         } else if let Some(rest) = line.strip_prefix("OUTPUT(") {
-            let sig = rest
-                .strip_suffix(')')
-                .ok_or_else(|| err("missing ')' after OUTPUT".into()))?;
+            let sig =
+                rest.strip_suffix(')').ok_or_else(|| err("missing ')' after OUTPUT".into()))?;
             outputs.push(sig.trim().to_string());
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let signal = lhs.trim().to_string();
@@ -127,11 +120,8 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError>
             let args = rhs[open + 1..]
                 .strip_suffix(')')
                 .ok_or_else(|| err("missing closing ')'".into()))?;
-            let ins: Vec<String> = args
-                .split(',')
-                .map(|a| a.trim().to_string())
-                .filter(|a| !a.is_empty())
-                .collect();
+            let ins: Vec<String> =
+                args.split(',').map(|a| a.trim().to_string()).filter(|a| !a.is_empty()).collect();
             if ins.is_empty() {
                 return Err(err(format!("gate {signal} has no inputs")));
             }
@@ -150,7 +140,7 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError>
     // Create cells: gates (DFF → flip-flop), then ports. Positions on a
     // grid (placeholder until placement).
     let cols = (total_cells as f64).sqrt().ceil() as usize;
-    let mut grid_pos = |k: usize| {
+    let grid_pos = |k: usize| {
         let (i, j) = (k % cols, k / cols);
         die.clamp(Point::new(
             (i as f64 + 0.5) * side / cols as f64,
@@ -160,11 +150,7 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError>
     let mut id_of: HashMap<String, CellId> = HashMap::new();
     let mut k = 0usize;
     for g in &gates {
-        let kind = if g.func == "DFF" {
-            CellKind::FlipFlop
-        } else {
-            CellKind::Combinational
-        };
+        let kind = if g.func == "DFF" { CellKind::FlipFlop } else { CellKind::Combinational };
         let id = circuit.add_cell(cell_for(kind, g.inputs.len()), grid_pos(k));
         k += 1;
         if id_of.insert(g.signal.clone(), id).is_some() {
@@ -370,8 +356,9 @@ y  = NOT(g2)
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let c = parse_bench("c", "# hi\n\nINPUT(a)\n  # indented\ny = NOT(a) # trailing\nOUTPUT(y)\n")
-            .expect("parse");
+        let c =
+            parse_bench("c", "# hi\n\nINPUT(a)\n  # indented\ny = NOT(a) # trailing\nOUTPUT(y)\n")
+                .expect("parse");
         assert_eq!(c.combinational_count(), 1);
     }
 }

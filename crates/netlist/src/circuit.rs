@@ -167,13 +167,7 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over the given die.
     pub fn new(name: impl Into<String>, die: Rect) -> Self {
-        Self {
-            name: name.into(),
-            die,
-            cells: Vec::new(),
-            positions: Vec::new(),
-            nets: Vec::new(),
-        }
+        Self { name: name.into(), die, cells: Vec::new(), positions: Vec::new(), nets: Vec::new() }
     }
 
     /// Adds a cell at `pos` and returns its id.
@@ -198,18 +192,12 @@ impl Circuit {
 
     /// Number of flip-flops (clock sinks).
     pub fn flip_flop_count(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| c.kind == CellKind::FlipFlop)
-            .count()
+        self.cells.iter().filter(|c| c.kind == CellKind::FlipFlop).count()
     }
 
     /// Number of combinational cells.
     pub fn combinational_count(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| c.kind == CellKind::Combinational)
-            .count()
+        self.cells.iter().filter(|c| c.kind == CellKind::Combinational).count()
     }
 
     /// Number of nets.
@@ -260,9 +248,7 @@ impl Circuit {
 
     /// Total HPWL over all nets — the "signal wirelength" metric of the paper.
     pub fn total_hpwl(&self) -> f64 {
-        (0..self.nets.len())
-            .map(|i| self.net_hpwl(NetId(i as u32)))
-            .sum()
+        (0..self.nets.len()).map(|i| self.net_hpwl(NetId(i as u32))).sum()
     }
 
     /// For each cell, the list of nets incident to it (driver or sink).
@@ -450,20 +436,14 @@ mod tests {
     fn validate_catches_off_die_cell() {
         let mut c = tiny_circuit();
         c.set_position(CellId(1), Point::new(500.0, 10.0));
-        assert!(matches!(
-            c.validate(),
-            Err(ValidateCircuitError::CellOffDie { cell: CellId(1) })
-        ));
+        assert!(matches!(c.validate(), Err(ValidateCircuitError::CellOffDie { cell: CellId(1) })));
     }
 
     #[test]
     fn validate_catches_dangling_ref() {
         let mut c = tiny_circuit();
         c.add_net(Net { driver: CellId(99), sinks: vec![] });
-        assert!(matches!(
-            c.validate(),
-            Err(ValidateCircuitError::DanglingCellRef { .. })
-        ));
+        assert!(matches!(c.validate(), Err(ValidateCircuitError::DanglingCellRef { .. })));
     }
 
     #[test]

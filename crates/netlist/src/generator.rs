@@ -125,8 +125,7 @@ impl Generator {
 
         // Scale cell widths so total cell area hits the target utilization.
         let total_cells = cfg.combinational + cfg.flip_flops;
-        let mean_width =
-            cfg.utilization * die.area() / (total_cells as f64 * cfg.row_height);
+        let mean_width = cfg.utilization * die.area() / (total_cells as f64 * cfg.row_height);
 
         // --- cells -----------------------------------------------------
         // Order: combinational, flip-flops, primary inputs, primary outputs.
@@ -213,11 +212,15 @@ impl Generator {
         // Net ordering: FF-driven, PI-driven, then comb-driven.
         let mut fanin_count = vec![0usize; circuit.cell_count()];
         let mut net_specs: Vec<(CellId, usize, usize)> = Vec::with_capacity(cfg.nets);
-        for f in 0..cfg.flip_flops {
-            net_specs.push((CellId((ff_base + f) as u32), 0, ff_cluster[f]));
+        for (f, &cluster) in ff_cluster.iter().enumerate().take(cfg.flip_flops) {
+            net_specs.push((CellId((ff_base + f) as u32), 0, cluster));
         }
         for p in 0..cfg.primary_inputs {
-            net_specs.push((CellId((pi_base + p) as u32), 0, rng.gen_range(0..cfg.clusters.max(1))));
+            net_specs.push((
+                CellId((pi_base + p) as u32),
+                0,
+                rng.gen_range(0..cfg.clusters.max(1)),
+            ));
         }
         for &c in comb_drivers {
             net_specs.push((CellId(c as u32), comb_level[c], comb_cluster[c]));
@@ -332,10 +335,7 @@ impl Generator {
 }
 
 fn random_point(rng: &mut StdRng, die: Rect) -> Point {
-    Point::new(
-        rng.gen_range(die.lo.x..die.hi.x),
-        rng.gen_range(die.lo.y..die.hi.y),
-    )
+    Point::new(rng.gen_range(die.lo.x..die.hi.x), rng.gen_range(die.lo.y..die.hi.y))
 }
 
 /// Evenly spaces port `k` of `n` along the west (inputs) or east (outputs)
@@ -453,12 +453,7 @@ mod tests {
         let cfg = toy_config();
         let util = cfg.utilization;
         let c = Generator::new(cfg).generate(11);
-        let cell_area: f64 = c
-            .cells
-            .iter()
-            .filter(|x| x.kind.is_movable())
-            .map(|x| x.area())
-            .sum();
+        let cell_area: f64 = c.cells.iter().filter(|x| x.kind.is_movable()).map(|x| x.area()).sum();
         let achieved = cell_area / c.die.area();
         assert!((achieved - util).abs() < 0.1 * util, "achieved {achieved}");
     }

@@ -90,10 +90,7 @@ impl Rect {
     ///
     /// Panics if `lo` is not component-wise `<=` `hi`.
     pub fn new(lo: Point, hi: Point) -> Self {
-        assert!(
-            lo.x <= hi.x && lo.y <= hi.y,
-            "rectangle corners out of order: lo={lo}, hi={hi}"
-        );
+        assert!(lo.x <= hi.x && lo.y <= hi.y, "rectangle corners out of order: lo={lo}, hi={hi}");
         Self { lo, hi }
     }
 
@@ -214,10 +211,7 @@ impl BoundingBox {
         if self.is_empty() {
             None
         } else {
-            Some(Rect::new(
-                Point::new(self.min_x, self.min_y),
-                Point::new(self.max_x, self.max_y),
-            ))
+            Some(Rect::new(Point::new(self.min_x, self.min_y), Point::new(self.max_x, self.max_y)))
         }
     }
 }
@@ -287,10 +281,8 @@ mod tests {
 
     #[test]
     fn bounding_box_from_iter() {
-        let bb: BoundingBox = [(0.0, 0.0), (2.0, 8.0), (5.0, 3.0)]
-            .into_iter()
-            .map(Point::from)
-            .collect();
+        let bb: BoundingBox =
+            [(0.0, 0.0), (2.0, 8.0), (5.0, 3.0)].into_iter().map(Point::from).collect();
         assert_eq!(bb.len(), 3);
         assert_eq!(bb.half_perimeter(), 5.0 + 8.0);
         let r = bb.to_rect().expect("non-empty");

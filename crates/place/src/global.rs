@@ -93,11 +93,7 @@ impl Placer {
         // Final refinement pass at reduced blend to polish wirelength.
         self.gauss_seidel(circuit, &[], self.config.sweeps);
         self.rank_spread(circuit, 0.5 * self.config.spread_blend);
-        let leg = if self.config.legalize {
-            legalize(circuit)
-        } else {
-            LegalizeReport::default()
-        };
+        let leg = if self.config.legalize { legalize(circuit) } else { LegalizeReport::default() };
         self.report(circuit, before, &orig, leg)
     }
 
@@ -127,11 +123,7 @@ impl Placer {
             }
         }
         self.gauss_seidel(circuit, &pulls, self.config.incremental_sweeps);
-        let leg = if self.config.legalize {
-            legalize(circuit)
-        } else {
-            LegalizeReport::default()
-        };
+        let leg = if self.config.legalize { legalize(circuit) } else { LegalizeReport::default() };
         self.report(circuit, before, &orig, leg)
     }
 
@@ -234,9 +226,8 @@ impl Placer {
         if blend <= 0.0 {
             return;
         }
-        let movable: Vec<usize> = (0..circuit.cell_count())
-            .filter(|&i| circuit.cells[i].kind.is_movable())
-            .collect();
+        let movable: Vec<usize> =
+            (0..circuit.cell_count()).filter(|&i| circuit.cells[i].kind.is_movable()).collect();
         let n = movable.len();
         if n < 2 {
             return;
@@ -250,9 +241,7 @@ impl Placer {
             };
             let mut order: Vec<usize> = movable.clone();
             order.sort_by(|&a, &b| {
-                coord(circuit.positions[a])
-                    .partial_cmp(&coord(circuit.positions[b]))
-                    .unwrap()
+                coord(circuit.positions[a]).partial_cmp(&coord(circuit.positions[b])).unwrap()
             });
             let span = hi - lo;
             for (rank, &i) in order.iter().enumerate() {
@@ -328,10 +317,7 @@ mod tests {
         let pulls = vec![PseudoNet::new(ff, anchor, 25.0)];
         p.place_incremental(&mut c, &pulls);
         let after_d = c.position(ff).manhattan(anchor);
-        assert!(
-            after_d < before_d,
-            "pseudo-net should pull the flip-flop: {before_d} → {after_d}"
-        );
+        assert!(after_d < before_d, "pseudo-net should pull the flip-flop: {before_d} → {after_d}");
     }
 
     #[test]
@@ -348,11 +334,8 @@ mod tests {
             "mean displacement {} too large",
             r.mean_displacement
         );
-        let max_move = snapshot
-            .iter()
-            .zip(&c.positions)
-            .map(|(a, b)| a.manhattan(*b))
-            .fold(0.0f64, f64::max);
+        let max_move =
+            snapshot.iter().zip(&c.positions).map(|(a, b)| a.manhattan(*b)).fold(0.0f64, f64::max);
         assert!(max_move < 0.5 * c.die.width());
     }
 

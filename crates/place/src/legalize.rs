@@ -61,9 +61,8 @@ pub fn overlap_count(circuit: &Circuit) -> usize {
 /// Panics if the total movable cell width exceeds the total row capacity
 /// (the die is physically too small for its content).
 pub fn legalize(circuit: &mut Circuit) -> LegalizeReport {
-    let movable: Vec<usize> = (0..circuit.cell_count())
-        .filter(|&i| circuit.cells[i].kind.is_movable())
-        .collect();
+    let movable: Vec<usize> =
+        (0..circuit.cell_count()).filter(|&i| circuit.cells[i].kind.is_movable()).collect();
     if movable.is_empty() {
         return LegalizeReport::default();
     }
@@ -81,12 +80,7 @@ pub fn legalize(circuit: &mut Circuit) -> LegalizeReport {
     // every row receives ≈ total/rows µm of cells — no row can silently
     // absorb the remainder.
     let mut by_y = movable.clone();
-    by_y.sort_by(|&a, &b| {
-        circuit.positions[a]
-            .y
-            .partial_cmp(&circuit.positions[b].y)
-            .unwrap()
-    });
+    by_y.sort_by(|&a, &b| circuit.positions[a].y.partial_cmp(&circuit.positions[b].y).unwrap());
     let target = (total_width / rows as f64).max(1e-9);
     let mut row_members: Vec<Vec<usize>> = vec![Vec::new(); rows];
     let mut row_fill = vec![0.0f64; rows];
@@ -129,12 +123,8 @@ pub fn legalize(circuit: &mut Circuit) -> LegalizeReport {
         }
         rows_used += 1;
         let y = die.lo.y + (r as f64 + 0.5) * row_height;
-        members.sort_by(|&a, &b| {
-            circuit.positions[a]
-                .x
-                .partial_cmp(&circuit.positions[b].x)
-                .unwrap()
-        });
+        members
+            .sort_by(|&a, &b| circuit.positions[a].x.partial_cmp(&circuit.positions[b].x).unwrap());
         // Left-to-right pack at desired x.
         let mut lefts = Vec::with_capacity(members.len());
         let mut cur = die.lo.x;
@@ -160,10 +150,7 @@ pub fn legalize(circuit: &mut Circuit) -> LegalizeReport {
         }
     }
 
-    let moved: f64 = movable
-        .iter()
-        .map(|&i| orig[i].manhattan(circuit.positions[i]))
-        .sum();
+    let moved: f64 = movable.iter().map(|&i| orig[i].manhattan(circuit.positions[i])).sum();
     LegalizeReport {
         cells_legalized: movable.len(),
         mean_displacement: moved / movable.len() as f64,
@@ -245,11 +232,7 @@ mod tests {
     #[test]
     fn report_counts_movables_only() {
         let mut c = toy(5);
-        let movable = c
-            .cells
-            .iter()
-            .filter(|x| x.kind.is_movable())
-            .count();
+        let movable = c.cells.iter().filter(|x| x.kind.is_movable()).count();
         let r = legalize(&mut c);
         assert_eq!(r.cells_legalized, movable);
     }

@@ -87,11 +87,7 @@ impl PowerModel {
     /// like [`Circuit::flip_flops`]).
     pub fn rotary_clock_power(&self, circuit: &Circuit, tap_wirelengths: &[f64]) -> PowerBreakdown {
         let ffs = circuit.flip_flops();
-        assert_eq!(
-            ffs.len(),
-            tap_wirelengths.len(),
-            "one tapping wirelength per flip-flop"
-        );
+        assert_eq!(ffs.len(), tap_wirelengths.len(), "one tapping wirelength per flip-flop");
         let wire_cap: f64 = tap_wirelengths.iter().map(|l| self.tech.wire_cap * l).sum();
         let pin_cap: f64 = ffs.iter().map(|&f| circuit.cell(f).input_cap).sum();
         self.breakdown(self.tech.clock_activity, wire_cap, pin_cap, 0.0, 0)
@@ -136,12 +132,7 @@ impl PowerModel {
 
     /// Total flip-flop clock-pin capacitance of a circuit, pF.
     pub fn flip_flop_cap(&self, circuit: &Circuit) -> f64 {
-        circuit
-            .cells
-            .iter()
-            .filter(|c| c.kind == CellKind::FlipFlop)
-            .map(|c| c.input_cap)
-            .sum()
+        circuit.cells.iter().filter(|c| c.kind == CellKind::FlipFlop).map(|c| c.input_cap).sum()
     }
 }
 

@@ -72,11 +72,7 @@ impl RingArray {
                     die.lo.x + (i as f64 + 0.5) * tile_w,
                     die.lo.y + (j as f64 + 0.5) * tile_h,
                 );
-                let dir = if (i + j) % 2 == 0 {
-                    RingDirection::Ccw
-                } else {
-                    RingDirection::Cw
-                };
+                let dir = if (i + j) % 2 == 0 { RingDirection::Ccw } else { RingDirection::Cw };
                 rings.push(Ring::new(center, half, dir, params));
             }
         }
@@ -135,18 +131,10 @@ impl RingArray {
     /// flip-flop and a ring are too far away from each other, it is not
     /// necessary to insert an arc between them").
     pub fn candidate_rings(&self, p: Point, k: usize) -> Vec<RingId> {
-        let mut by_dist: Vec<(usize, f64)> = self
-            .rings
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i, r.nearest_point(p).1))
-            .collect();
+        let mut by_dist: Vec<(usize, f64)> =
+            self.rings.iter().enumerate().map(|(i, r)| (i, r.nearest_point(p).1)).collect();
         by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        by_dist
-            .into_iter()
-            .take(k.max(1))
-            .map(|(i, _)| RingId(i as u32))
-            .collect()
+        by_dist.into_iter().take(k.max(1)).map(|(i, _)| RingId(i as u32)).collect()
     }
 }
 

@@ -107,7 +107,12 @@ impl Ring {
     /// # Panics
     ///
     /// Panics if `half_side` is not positive.
-    pub fn new(center: Point, half_side: f64, direction: RingDirection, params: RingParams) -> Self {
+    pub fn new(
+        center: Point,
+        half_side: f64,
+        direction: RingDirection,
+        params: RingParams,
+    ) -> Self {
         assert!(half_side > 0.0, "ring must have positive size");
         Self { center, half_side, direction, params }
     }

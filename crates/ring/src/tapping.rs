@@ -155,7 +155,7 @@ impl Ring {
 
         for seg in self.segments() {
             if let Some(sol) = self.tap_on_segment(&seg, ff, sink_cap, tau) {
-                if best.map_or(true, |b| sol.wirelength < b.wirelength) {
+                if best.is_none_or(|b| sol.wirelength < b.wirelength) {
                     best = Some(sol);
                 }
             }
@@ -182,10 +182,8 @@ impl Ring {
             let target_k = tau + k as f64 * period;
             let roots = exact_roots(seg, self, xf, yf, sink_cap, target_k);
             if !roots.is_empty() {
-                let &(x, wl) = roots
-                    .iter()
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                    .expect("nonempty");
+                let &(x, wl) =
+                    roots.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).expect("nonempty");
                 let case = if k > 0 {
                     TapCase::PeriodBorrow
                 } else if roots.len() >= 2 {
@@ -227,8 +225,7 @@ impl Ring {
     /// verifying that a solution actually meets its target (modulo `T`).
     pub fn delay_through_tap(&self, sol: &TapSolution, sink_cap: f64) -> f64 {
         let base = self.delay_at(sol.point, sol.complementary);
-        (base + self.params().stub_delay(sol.wirelength, sink_cap))
-            .rem_euclid(self.params().period)
+        (base + self.params().stub_delay(sol.wirelength, sink_cap)).rem_euclid(self.params().period)
     }
 }
 
@@ -290,7 +287,7 @@ mod tests {
         // way the target must still be met exactly.
         let r = ring();
         let ff = Point::new(400.0, 400.0); // the reference corner (t=0)
-        // Target slightly less than the phase at the corner: needs wire.
+                                           // Target slightly less than the phase at the corner: needs wire.
         let sol = assert_target_met(&r, ff, 0.9999);
         assert!(sol.wirelength > 0.0);
     }
@@ -309,20 +306,13 @@ mod tests {
     #[test]
     fn wirelength_at_least_manhattan_distance_to_tap() {
         let r = ring();
-        for (fx, fy, t) in [
-            (650.0, 520.0, 0.1),
-            (450.0, 700.0, 0.6),
-            (300.0, 300.0, 0.9),
-            (500.0, 610.0, 0.33),
-        ] {
+        for (fx, fy, t) in
+            [(650.0, 520.0, 0.1), (450.0, 700.0, 0.6), (300.0, 300.0, 0.9), (500.0, 610.0, 0.33)]
+        {
             let ff = Point::new(fx, fy);
             let sol = r.tap_for_target(ff, CAP, t);
             let direct = sol.point.manhattan(ff);
-            assert!(
-                sol.wirelength >= direct - 1e-6,
-                "wl {} < direct {direct}",
-                sol.wirelength
-            );
+            assert!(sol.wirelength >= direct - 1e-6, "wl {} < direct {direct}", sol.wirelength);
         }
     }
 

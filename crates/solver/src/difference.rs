@@ -1,5 +1,5 @@
-//! Difference-constraint systems `y_i − y_j ≤ b_ij`, solved by
-//! Bellman–Ford over the constraint graph.
+//! Difference-constraint systems `y_i − y_j ≤ b_ij`, solved by shortest
+//! paths over the constraint graph.
 //!
 //! This is the graph-based engine behind skew scheduling (\[23\], \[24\] in the
 //! paper): the system is feasible iff the constraint graph (arc `j → i`
@@ -7,8 +7,16 @@
 //! shortest-path distances from a virtual source form a feasible solution.
 //! Binary search on a slack parameter then yields max-slack and minimax
 //! schedules without a general LP solve.
+//!
+//! The shortest-path work itself runs on the shared SPFA kernel in
+//! [`crate::graph`] (virtual-source mode), which also serves the flow
+//! solvers in [`crate::mcmf`].
 
+use crate::graph::{Source, SpfaGraph};
 use serde::{Deserialize, Serialize};
+
+/// Relaxation tolerance for the constraint-graph shortest paths.
+const RELAX_EPS: f64 = 1e-12;
 
 /// One constraint `y_i − y_j ≤ bound`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,26 +82,13 @@ impl DifferenceSystem {
     /// source with zero-weight arcs to every variable — componentwise
     /// maximal among solutions with `y ≤ 0`.
     pub fn solve(&self) -> Option<Vec<f64>> {
-        // Virtual source = distance 0 to every node; run Bellman-Ford.
-        let mut dist = vec![0.0f64; self.n];
-        for round in 0..=self.n {
-            let mut changed = false;
-            for c in &self.constraints {
-                // Arc j → i with weight bound: dist[i] ≤ dist[j] + bound.
-                let cand = dist[c.j] + c.bound;
-                if cand + 1e-12 < dist[c.i] {
-                    dist[c.i] = cand;
-                    changed = true;
-                }
-            }
-            if !changed {
-                return Some(dist);
-            }
-            if round == self.n {
-                return None;
-            }
+        // Arc j → i with weight bound enforces dist[i] ≤ dist[j] + bound;
+        // the virtual source starts every node at 0.
+        let mut g = SpfaGraph::new(self.n);
+        for c in &self.constraints {
+            g.add_arc(c.j, c.i, c.bound);
         }
-        Some(dist)
+        g.run(Source::Virtual, RELAX_EPS).shortest().map(|sp| sp.dist)
     }
 
     /// Whether the system admits any solution.
@@ -103,9 +98,7 @@ impl DifferenceSystem {
 
     /// Checks an assignment against all constraints with tolerance `tol`.
     pub fn check(&self, y: &[f64], tol: f64) -> bool {
-        self.constraints
-            .iter()
-            .all(|c| y[c.i] - y[c.j] <= c.bound + tol)
+        self.constraints.iter().all(|c| y[c.i] - y[c.j] <= c.bound + tol)
     }
 
     /// Maximizes a scalar slack `s` such that the *parameterized* system
@@ -122,7 +115,24 @@ impl DifferenceSystem {
     /// Panics if `tighten.len() != constraints.len()` or the base system
     /// (`s = 0`) is infeasible.
     pub fn maximize_slack(&self, tighten: &[f64], hi: f64, tol: f64) -> (f64, Vec<f64>) {
+        let (s, y, _) = self.maximize_slack_with_stats(tighten, hi, tol);
+        (s, y)
+    }
+
+    /// Like [`Self::maximize_slack`], but also returns the number of
+    /// feasibility solves the binary search performed (telemetry).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::maximize_slack`].
+    pub fn maximize_slack_with_stats(
+        &self,
+        tighten: &[f64],
+        hi: f64,
+        tol: f64,
+    ) -> (f64, Vec<f64>, usize) {
         assert_eq!(tighten.len(), self.constraints.len());
+        let mut solves = 0usize;
         let tightened = |s: f64| -> DifferenceSystem {
             let mut sys = DifferenceSystem::new(self.n);
             for (c, &t) in self.constraints.iter().zip(tighten) {
@@ -130,17 +140,19 @@ impl DifferenceSystem {
             }
             sys
         };
-        let base = tightened(0.0)
-            .solve()
-            .expect("base system must be feasible for slack maximization");
+        solves += 1;
+        let base =
+            tightened(0.0).solve().expect("base system must be feasible for slack maximization");
         let (mut lo, mut hi) = (0.0f64, hi.max(0.0));
         // Early exit: maybe hi itself is feasible.
+        solves += 1;
         if let Some(sol) = tightened(hi).solve() {
-            return (hi, sol);
+            return (hi, sol, solves);
         }
         let mut best = base;
         while hi - lo > tol {
             let mid = 0.5 * (lo + hi);
+            solves += 1;
             match tightened(mid).solve() {
                 Some(sol) => {
                     best = sol;
@@ -149,7 +161,7 @@ impl DifferenceSystem {
                 None => hi = mid,
             }
         }
-        (lo, best)
+        (lo, best, solves)
     }
 }
 

@@ -1,0 +1,319 @@
+//! Shared shortest-path / negative-cycle kernel.
+//!
+//! One SPFA (queue-based Bellman–Ford) implementation with amortized
+//! negative-cycle detection replaces the divergent Bellman–Ford loops that
+//! used to live in [`crate::difference`] (feasibility of difference
+//! constraints and the binary-search slack tightening built on it),
+//! [`crate::mcmf`] (potentials initialization, cycle canceling, optimal
+//! potentials), and — through those — the skew scheduler in `rotary-core`.
+//!
+//! The kernel supports two source modes:
+//!
+//! * [`Source::Virtual`] — every node starts at distance 0, as if a
+//!   virtual super-source had a zero-weight arc to each node. This is the
+//!   difference-constraint / circulation setting.
+//! * [`Source::Node`] — classic single-source shortest paths; unreachable
+//!   nodes keep distance `+∞`.
+//!
+//! Negative-cycle detection is amortized: each node tracks the arc count
+//! of its current tree path; when that reaches `n`, the path must revisit
+//! a node, so walking the predecessor chain `n` steps lands inside a
+//! negative cycle which is then extracted arc-by-arc. Consumers that
+//! cancel cycles (min-cost circulation) map the returned arc ids back to
+//! their own arcs via insertion order.
+//!
+//! Adjacency is stored as a [`CsrMatrix`] built once per [`SpfaGraph::run`]
+//! from the arc list (entry slots map back to arc ids through the CSR
+//! permutation), so the scan over a node's out-arcs is two contiguous
+//! slices.
+
+use crate::sparse::CsrMatrix;
+use std::collections::VecDeque;
+
+/// Where shortest paths start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Virtual super-source: all nodes start at distance 0.
+    Virtual,
+    /// Single source node; all other nodes start at `+∞`.
+    Node(usize),
+}
+
+/// Shortest-path tree produced by a converged [`SpfaGraph::run`].
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Distance per node (`+∞` for nodes unreachable from the source).
+    pub dist: Vec<f64>,
+    /// Predecessor arc id per node (`None` for sources / unreached nodes).
+    pub pred: Vec<Option<u32>>,
+}
+
+/// A negative cycle found during relaxation.
+#[derive(Debug, Clone)]
+pub struct NegativeCycle {
+    /// Arc ids around the cycle, in forward (head-to-tail) order.
+    pub arcs: Vec<usize>,
+    /// Distance labels at the moment of detection — not shortest-path
+    /// distances (those do not exist), but a consistent partial relaxation
+    /// useful as approximate potentials.
+    pub dist: Vec<f64>,
+}
+
+/// Outcome of a [`SpfaGraph::run`].
+#[derive(Debug, Clone)]
+pub enum SpfaResult {
+    /// Relaxation converged; shortest paths exist.
+    Shortest(ShortestPaths),
+    /// A negative cycle was detected.
+    NegativeCycle(NegativeCycle),
+}
+
+impl SpfaResult {
+    /// The shortest paths, or `None` if a negative cycle was found.
+    pub fn shortest(self) -> Option<ShortestPaths> {
+        match self {
+            SpfaResult::Shortest(sp) => Some(sp),
+            SpfaResult::NegativeCycle(_) => None,
+        }
+    }
+
+    /// The distance labels regardless of outcome (exact on convergence,
+    /// the partial relaxation snapshot on a negative cycle).
+    pub fn into_dist(self) -> Vec<f64> {
+        match self {
+            SpfaResult::Shortest(sp) => sp.dist,
+            SpfaResult::NegativeCycle(nc) => nc.dist,
+        }
+    }
+}
+
+/// A directed graph with `f64` arc weights for SPFA shortest paths.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_solver::graph::{Source, SpfaGraph, SpfaResult};
+///
+/// let mut g = SpfaGraph::new(3);
+/// g.add_arc(0, 1, 2.0);
+/// g.add_arc(1, 2, -1.0);
+/// g.add_arc(0, 2, 5.0);
+/// let sp = g.run(Source::Node(0), 1e-12).shortest().expect("no cycle");
+/// assert_eq!(sp.dist, vec![0.0, 2.0, 1.0]);
+///
+/// g.add_arc(2, 1, -1.0); // 1 → 2 → 1 sums to −2: negative cycle
+/// assert!(matches!(g.run(Source::Node(0), 1e-12), SpfaResult::NegativeCycle(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpfaGraph {
+    n: usize,
+    arcs: Vec<(u32, u32, f64)>,
+}
+
+impl SpfaGraph {
+    /// Creates a graph with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        Self { n, arcs: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Adds an arc `from → to` with the given weight; returns its id
+    /// (sequential, by insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_arc(&mut self, from: usize, to: usize, weight: f64) -> usize {
+        assert!(from < self.n && to < self.n, "arc ({from}, {to}) out of range");
+        self.arcs.push((from as u32, to as u32, weight));
+        self.arcs.len() - 1
+    }
+
+    /// The `(from, to, weight)` of arc `id`.
+    pub fn arc(&self, id: usize) -> (usize, usize, f64) {
+        let (f, t, w) = self.arcs[id];
+        (f as usize, t as usize, w)
+    }
+
+    /// Runs SPFA from `source`. An arc relaxes only when it improves the
+    /// head's distance by more than `eps` (the tolerance consumers used in
+    /// their hand-rolled loops: `1e-12` for difference constraints, `1e-9`
+    /// / `1e-7` for flow potentials and cycle canceling).
+    pub fn run(&self, source: Source, eps: f64) -> SpfaResult {
+        let n = self.n;
+        let triplets: Vec<(usize, usize, f64)> =
+            self.arcs.iter().map(|&(f, t, w)| (f as usize, t as usize, w)).collect();
+        let (adj, entry_arc) = CsrMatrix::from_triplets_with_perm(n, n.max(1), &triplets);
+
+        let mut dist = vec![f64::INFINITY; n];
+        let mut pred: Vec<Option<u32>> = vec![None; n];
+        // Arc count of the current tree path; ≥ n ⇒ the path revisits a
+        // node ⇒ negative cycle.
+        let mut path_len = vec![0u32; n];
+        let mut in_queue = vec![false; n];
+        let mut queue: VecDeque<u32> = VecDeque::with_capacity(n);
+        match source {
+            Source::Virtual => {
+                dist.iter_mut().for_each(|d| *d = 0.0);
+                in_queue.iter_mut().for_each(|q| *q = true);
+                queue.extend((0..n).map(|v| v as u32));
+            }
+            Source::Node(s) => {
+                assert!(s < n, "source {s} out of range");
+                dist[s] = 0.0;
+                in_queue[s] = true;
+                queue.push_back(s as u32);
+            }
+        }
+
+        while let Some(u) = queue.pop_front() {
+            let u = u as usize;
+            in_queue[u] = false;
+            let du = dist[u];
+            if du.is_infinite() {
+                continue;
+            }
+            let range = adj.row_range(u);
+            let (heads, weights) = adj.row(u);
+            for (k, (&v, &w)) in heads.iter().zip(weights).enumerate() {
+                let v = v as usize;
+                let cand = du + w;
+                if cand + eps < dist[v] {
+                    dist[v] = cand;
+                    pred[v] = Some(entry_arc[range.start + k]);
+                    path_len[v] = path_len[u] + 1;
+                    if path_len[v] >= n as u32 {
+                        return SpfaResult::NegativeCycle(NegativeCycle {
+                            arcs: self.extract_cycle(&pred, v),
+                            dist,
+                        });
+                    }
+                    if !in_queue[v] {
+                        in_queue[v] = true;
+                        queue.push_back(v as u32);
+                    }
+                }
+            }
+        }
+        SpfaResult::Shortest(ShortestPaths { dist, pred })
+    }
+
+    /// Walks the predecessor chain from a node whose tree path reached
+    /// length `n` and returns the arcs of the cycle it must contain.
+    fn extract_cycle(&self, pred: &[Option<u32>], mut v: usize) -> Vec<usize> {
+        // A tree path of length ≥ n revisits a node, so n backward steps
+        // from its head stay inside the cycle.
+        for _ in 0..self.n {
+            let ai = pred[v].expect("length-n tree path has predecessors") as usize;
+            v = self.arcs[ai].0 as usize;
+        }
+        let start = v;
+        let mut arcs = Vec::new();
+        loop {
+            let ai = pred[v].expect("cycle arc") as usize;
+            arcs.push(ai);
+            v = self.arcs[ai].0 as usize;
+            if v == start {
+                break;
+            }
+        }
+        arcs.reverse();
+        arcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_source_distances() {
+        let mut g = SpfaGraph::new(4);
+        g.add_arc(0, 1, 1.0);
+        g.add_arc(1, 2, 2.0);
+        g.add_arc(0, 2, 5.0);
+        let sp = g.run(Source::Node(0), 1e-12).shortest().expect("no cycle");
+        assert_eq!(sp.dist, vec![0.0, 1.0, 3.0, f64::INFINITY]);
+        assert_eq!(sp.pred[2], Some(1));
+    }
+
+    #[test]
+    fn virtual_source_handles_negative_arcs() {
+        let mut g = SpfaGraph::new(3);
+        g.add_arc(0, 1, -2.0);
+        g.add_arc(1, 2, -3.0);
+        let sp = g.run(Source::Virtual, 1e-12).shortest().expect("no cycle");
+        assert_eq!(sp.dist, vec![0.0, -2.0, -5.0]);
+    }
+
+    #[test]
+    fn negative_cycle_arcs_are_exact() {
+        let mut g = SpfaGraph::new(4);
+        g.add_arc(3, 0, 1.0);
+        let a = g.add_arc(0, 1, 1.0);
+        let b = g.add_arc(1, 2, -3.0);
+        let c = g.add_arc(2, 0, 1.0);
+        let SpfaResult::NegativeCycle(nc) = g.run(Source::Node(3), 1e-12) else {
+            panic!("cycle 0→1→2→0 has weight −1");
+        };
+        let mut arcs = nc.arcs.clone();
+        arcs.sort_unstable();
+        assert_eq!(arcs, vec![a, b, c]);
+        let total: f64 = nc.arcs.iter().map(|&id| g.arc(id).2).sum();
+        assert!(total < 0.0, "cycle weight {total}");
+    }
+
+    #[test]
+    fn cycle_not_reachable_from_source_is_ignored() {
+        let mut g = SpfaGraph::new(4);
+        g.add_arc(0, 1, 1.0);
+        // Negative cycle on 2 ↔ 3, unreachable from node 0.
+        g.add_arc(2, 3, -1.0);
+        g.add_arc(3, 2, -1.0);
+        let sp = g.run(Source::Node(0), 1e-12).shortest().expect("unreachable cycle");
+        assert_eq!(sp.dist[1], 1.0);
+        assert!(sp.dist[2].is_infinite());
+    }
+
+    #[test]
+    fn virtual_source_sees_every_cycle() {
+        let mut g = SpfaGraph::new(4);
+        g.add_arc(0, 1, 1.0);
+        g.add_arc(2, 3, -1.0);
+        g.add_arc(3, 2, -1.0);
+        assert!(matches!(g.run(Source::Virtual, 1e-12), SpfaResult::NegativeCycle(_)));
+    }
+
+    #[test]
+    fn zero_cycle_converges() {
+        let mut g = SpfaGraph::new(2);
+        g.add_arc(0, 1, 1.0);
+        g.add_arc(1, 0, -1.0);
+        let sp = g.run(Source::Virtual, 1e-12).shortest().expect("zero cycle is fine");
+        assert!((sp.dist[0] - sp.dist[1] + 1.0).abs() < 1e-9 || sp.dist == vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn eps_suppresses_sub_tolerance_cycles() {
+        let mut g = SpfaGraph::new(2);
+        g.add_arc(0, 1, 1e-9);
+        g.add_arc(1, 0, -2e-9);
+        // Total weight −1e−9, below the 1e−7 canceling tolerance: converges.
+        assert!(g.run(Source::Virtual, 1e-7).shortest().is_some());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SpfaGraph::new(0);
+        assert!(g.run(Source::Virtual, 1e-12).shortest().is_some());
+    }
+}

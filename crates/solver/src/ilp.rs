@@ -71,10 +71,7 @@ impl Ord for Node {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap: explore the *smallest* bound first (best-first for a
         // minimization problem).
-        other
-            .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        other.bound.partial_cmp(&self.bound).unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 impl PartialOrd for Node {
@@ -127,10 +124,7 @@ impl BranchAndBound {
             }
             if start.elapsed() > self.budget || nodes >= self.max_nodes {
                 timed_out = true;
-                open_bound = stack
-                    .iter()
-                    .map(|n| n.bound)
-                    .fold(node.bound, f64::min);
+                open_bound = stack.iter().map(|n| n.bound).fold(node.bound, f64::min);
                 break;
             }
             nodes += 1;

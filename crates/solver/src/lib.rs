@@ -6,16 +6,22 @@
 //! available as offline Rust bindings, so this crate implements the needed
 //! kernels directly:
 //!
-//! * [`lp`] — a two-phase (Big-M) revised primal simplex with a dense basis
-//!   inverse, sparse columns, Bland anti-cycling fallback and periodic
-//!   refactorization. Exact enough for every LP the flow solves (assignment
-//!   LP relaxations and small skew LPs).
+//! * [`sparse`] — the shared sparse linear-algebra layer: CSR matrices,
+//!   left-looking sparse LU with partial pivoting, and the eta-updated
+//!   [`sparse::BasisFactorization`] the simplex runs on.
+//! * [`graph`] — the shared shortest-path kernel: SPFA (queue-based
+//!   Bellman–Ford) with amortized negative-cycle detection, used by
+//!   [`difference`], [`mcmf`] and the skew scheduler in `rotary-core`.
+//! * [`lp`] — a two-phase (Big-M) revised primal simplex with a sparse LU
+//!   basis factorization, sparse columns, Bland anti-cycling fallback and
+//!   periodic refactorization. Exact enough for every LP the flow solves
+//!   (assignment LP relaxations and small skew LPs).
 //! * [`mcmf`] — min-cost max-flow via successive shortest paths with
 //!   Johnson potentials, plus negative-cycle-canceling min-cost
 //!   *circulation* used by the weighted-sum skew optimization dual.
 //! * [`difference`] — feasibility and optimization of difference-constraint
-//!   systems (`y_i − y_j ≤ b_ij`) via Bellman–Ford; the graph-based engine
-//!   behind max-slack and minimax skew scheduling.
+//!   systems (`y_i − y_j ≤ b_ij`) via shortest paths; the graph-based
+//!   engine behind max-slack and minimax skew scheduling.
 //! * [`ilp`] — LP-based best-first branch & bound with a wall-clock budget,
 //!   standing in for the paper's time-bounded generic ILP solver.
 //! * [`rounding`] — the paper's greedy rounding procedure (Fig. 5).
@@ -35,13 +41,17 @@
 //! ```
 
 pub mod difference;
+pub mod graph;
 pub mod ilp;
 pub mod lp;
 pub mod mcmf;
 pub mod rounding;
+pub mod sparse;
 
 pub use difference::DifferenceSystem;
+pub use graph::{ShortestPaths, SpfaGraph, SpfaResult};
 pub use ilp::{BranchAndBound, IlpOutcome};
 pub use lp::{LpProblem, LpSolution, LpStatus, RowKind};
 pub use mcmf::{ArcId, FlowNetwork, NodeId};
 pub use rounding::greedy_round;
+pub use sparse::{BasisFactorization, CsrMatrix, SparseLu};

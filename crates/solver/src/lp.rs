@@ -1,16 +1,22 @@
-//! Revised primal simplex with a dense basis inverse.
+//! Revised primal simplex on a sparse LU basis factorization.
 //!
 //! Design point: the LPs this workspace solves have **few rows**
 //! (one per flip-flop plus one per ring, ≈ 1 800 for the largest benchmark)
-//! but may have many sparse columns (one per candidate flip-flop/ring arc).
-//! A dense `m × m` basis inverse with sparse column FTRANs is therefore
-//! fast and simple; we refactorize periodically to bound numerical drift,
-//! and fall back to Bland's rule when degeneracy stalls progress.
+//! but may have many sparse columns (one per candidate flip-flop/ring arc),
+//! and every basis is extremely sparse (slacks, artificials, and assignment
+//! columns with a handful of entries). The basis is therefore kept as a
+//! [`crate::sparse::BasisFactorization`]: sparse LU with partial pivoting,
+//! product-form eta updates per pivot, and periodic refactorization to
+//! bound eta-chain length and numerical drift. FTRAN/BTRAN cost tracks the
+//! basis nonzero count instead of the `O(m²)` per-pivot work of the dense
+//! `m × m` inverse this module used to maintain. Bland's rule remains the
+//! anti-cycling fallback when degeneracy stalls progress.
 //!
 //! Infeasibility/unboundedness are detected via the Big-M composite
 //! objective: artificial variables receive cost `M` scaled far above any
 //! structural cost.
 
+use crate::sparse::{BasisFactorization, CsrMatrix};
 use serde::{Deserialize, Serialize};
 
 /// Constraint sense of an LP row.
@@ -158,7 +164,6 @@ struct Simplex<'a> {
 
 const EPS: f64 = 1e-9;
 const PIVOT_EPS: f64 = 1e-7;
-const REFACTOR_EVERY: usize = 2000;
 
 impl<'a> Simplex<'a> {
     fn new(problem: &'a LpProblem) -> Self {
@@ -189,10 +194,8 @@ impl<'a> Simplex<'a> {
         let mut max_abs_cost: f64 = 1.0;
 
         for j in 0..problem.num_vars() {
-            let col: Vec<(usize, f64)> = problem.cols[j]
-                .iter()
-                .map(|&(r, a)| (r, a * row_sign[r]))
-                .collect();
+            let col: Vec<(usize, f64)> =
+                problem.cols[j].iter().map(|&(r, a)| (r, a * row_sign[r])).collect();
             max_abs_cost = max_abs_cost.max(problem.obj[j].abs());
             cols.push(col.clone());
             cost.push(problem.obj[j]);
@@ -249,17 +252,14 @@ impl<'a> Simplex<'a> {
             };
         }
 
-        // Basis: artificials.
+        // Basis: artificials (an identity matrix, which trivially factors).
         let mut basis: Vec<usize> = (self.artificial_start..self.artificial_start + m).collect();
         let mut in_basis = vec![false; self.cols.len()];
         for &b in &basis {
             in_basis[b] = true;
         }
-        // Dense basis inverse, row-major.
-        let mut binv: Vec<f64> = vec![0.0; m * m];
-        for i in 0..m {
-            binv[i * m + i] = 1.0;
-        }
+        let mut fact = BasisFactorization::factor(&self.basis_transpose(&basis))
+            .expect("identity start basis factors");
         let mut xb: Vec<f64> = self.rhs.clone();
 
         let mut iterations = 0usize;
@@ -268,6 +268,7 @@ impl<'a> Simplex<'a> {
 
         let mut y = vec![0.0; m];
         let mut w = vec![0.0; m];
+        let mut cb = vec![0.0; m];
 
         loop {
             if iterations >= self.problem.max_iters {
@@ -275,40 +276,27 @@ impl<'a> Simplex<'a> {
                 break;
             }
             iterations += 1;
-            if iterations % REFACTOR_EVERY == 0 {
-                if !self.refactorize(&basis, &mut binv) {
+            if fact.wants_refactor() {
+                if !fact.refactor(&self.basis_transpose(&basis)) {
                     // Singular basis due to drift — give up with incumbent.
                     status = LpStatus::IterationLimit;
                     break;
                 }
-                for i in 0..m {
-                    xb[i] = 0.0;
-                    for k in 0..m {
-                        xb[i] += binv[i * m + k] * self.rhs[k];
-                    }
-                }
+                fact.ftran_dense(&self.rhs, &mut xb);
             }
 
-            // BTRAN: y = c_B' B⁻¹.
-            for k in 0..m {
-                y[k] = 0.0;
+            // BTRAN: y solves yᵀB = c_Bᵀ.
+            for (ci, &b) in cb.iter_mut().zip(&basis) {
+                *ci = self.cost[b];
             }
-            for i in 0..m {
-                let cb = self.cost[basis[i]];
-                if cb != 0.0 {
-                    let row = &binv[i * m..(i + 1) * m];
-                    for k in 0..m {
-                        y[k] += cb * row[k];
-                    }
-                }
-            }
+            fact.btran(&cb, &mut y);
 
             // Pricing.
             let use_bland = degenerate_streak > 2 * m + 20;
             let mut enter: Option<usize> = None;
             let mut best = -PIVOT_EPS;
-            for j in 0..self.cols.len() {
-                if in_basis[j] {
+            for (j, &basic) in in_basis.iter().enumerate().take(self.cols.len()) {
+                if basic {
                     continue;
                 }
                 let mut d = self.cost[j];
@@ -329,15 +317,8 @@ impl<'a> Simplex<'a> {
                 break; // optimal
             };
 
-            // FTRAN: w = B⁻¹ A_q  (column-sparse: accumulate B⁻¹ columns).
-            for i in 0..m {
-                w[i] = 0.0;
-            }
-            for &(r, a) in &self.cols[q] {
-                for i in 0..m {
-                    w[i] += a * binv[i * m + r];
-                }
-            }
+            // FTRAN: w solves B·w = A_q.
+            fact.ftran_sparse(&self.cols[q], &mut w);
 
             // Ratio test.
             let mut leave: Option<usize> = None;
@@ -346,8 +327,7 @@ impl<'a> Simplex<'a> {
                 if w[i] > PIVOT_EPS {
                     let ratio = xb[i] / w[i];
                     if ratio < theta - EPS
-                        || (ratio < theta + EPS
-                            && leave.map_or(true, |l| basis[i] < basis[l]))
+                        || (ratio < theta + EPS && leave.is_none_or(|l| basis[i] < basis[l]))
                     {
                         theta = ratio;
                         leave = Some(i);
@@ -364,32 +344,8 @@ impl<'a> Simplex<'a> {
                 degenerate_streak = 0;
             }
 
-            // Pivot: update B⁻¹ and x_B.
-            let piv = w[r];
-            {
-                let (head, tail) = binv.split_at_mut(r * m);
-                let (row_r, rest) = tail.split_at_mut(m);
-                for v in row_r.iter_mut() {
-                    *v /= piv;
-                }
-                for (i, chunk) in head.chunks_mut(m).enumerate() {
-                    let f = w[i];
-                    if f != 0.0 {
-                        for (c, rv) in chunk.iter_mut().zip(row_r.iter()) {
-                            *c -= f * rv;
-                        }
-                    }
-                }
-                for (off, chunk) in rest.chunks_mut(m).enumerate() {
-                    let i = r + 1 + off;
-                    let f = w[i];
-                    if f != 0.0 {
-                        for (c, rv) in chunk.iter_mut().zip(row_r.iter()) {
-                            *c -= f * rv;
-                        }
-                    }
-                }
-            }
+            // Pivot: push the eta update and refresh x_B.
+            fact.update(r, &w);
             xb[r] = theta;
             for i in 0..m {
                 if i != r {
@@ -418,69 +374,15 @@ impl<'a> Simplex<'a> {
         if status == LpStatus::Optimal && artificial_infeasible {
             status = LpStatus::Infeasible;
         }
-        let objective = x
-            .iter()
-            .zip(&self.problem.obj)
-            .map(|(xi, ci)| xi * ci)
-            .sum();
+        let objective = x.iter().zip(&self.problem.obj).map(|(xi, ci)| xi * ci).sum();
         LpSolution { status, x, objective, iterations }
     }
 
-    /// Rebuilds `binv` from scratch by Gauss–Jordan on the basis matrix.
-    /// Returns `false` if the basis is numerically singular.
-    fn refactorize(&self, basis: &[usize], binv: &mut [f64]) -> bool {
-        let m = self.m;
-        // Build dense basis matrix augmented with identity.
-        let mut a = vec![0.0; m * m];
-        for (col, &b) in basis.iter().enumerate() {
-            for &(r, v) in &self.cols[b] {
-                a[r * m + col] = v;
-            }
-        }
-        for v in binv.iter_mut() {
-            *v = 0.0;
-        }
-        for i in 0..m {
-            binv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // Partial pivot.
-            let mut piv_row = col;
-            let mut piv_val = a[col * m + col].abs();
-            for r in col + 1..m {
-                let v = a[r * m + col].abs();
-                if v > piv_val {
-                    piv_val = v;
-                    piv_row = r;
-                }
-            }
-            if piv_val < 1e-12 {
-                return false;
-            }
-            if piv_row != col {
-                for k in 0..m {
-                    a.swap(col * m + k, piv_row * m + k);
-                    binv.swap(col * m + k, piv_row * m + k);
-                }
-            }
-            let p = a[col * m + col];
-            for k in 0..m {
-                a[col * m + k] /= p;
-                binv[col * m + k] /= p;
-            }
-            for r in 0..m {
-                if r != col {
-                    let f = a[r * m + col];
-                    if f != 0.0 {
-                        for k in 0..m {
-                            a[r * m + k] -= f * a[col * m + k];
-                            binv[r * m + k] -= f * binv[col * m + k];
-                        }
-                    }
-                }
-            }
-        }
-        true
+    /// The current basis as the CSR of `Bᵀ` (row `k` = basis column `k`),
+    /// the input form [`BasisFactorization`] factors.
+    fn basis_transpose(&self, basis: &[usize]) -> CsrMatrix {
+        let rows: Vec<Vec<(usize, f64)>> = basis.iter().map(|&b| self.cols[b].clone()).collect();
+        CsrMatrix::from_rows(self.m, &rows)
     }
 }
 

@@ -13,7 +13,13 @@
 //! Costs are `f64`; all comparisons use a small tolerance. Capacities are
 //! integral (`i64`), so augmentations preserve integrality and the
 //! assignment solutions are automatically 0/1.
+//!
+//! All Bellman–Ford-style work (potential initialization, negative-cycle
+//! search, optimal potentials) runs on the shared SPFA kernel in
+//! [`crate::graph`]; only the Dijkstra inner loop of the successive
+//! shortest-path method lives here.
 
+use crate::graph::{Source, SpfaGraph, SpfaResult};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
@@ -54,6 +60,8 @@ struct Arc {
 pub struct FlowNetwork {
     arcs: Vec<Arc>,
     adj: Vec<Vec<u32>>,
+    augmentations: usize,
+    cancellations: usize,
 }
 
 const EPS: f64 = 1e-9;
@@ -61,7 +69,19 @@ const EPS: f64 = 1e-9;
 impl FlowNetwork {
     /// Creates a network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { arcs: Vec::new(), adj: vec![Vec::new(); n] }
+        Self { arcs: Vec::new(), adj: vec![Vec::new(); n], augmentations: 0, cancellations: 0 }
+    }
+
+    /// Augmenting paths pushed by [`Self::min_cost_flow`] so far
+    /// (telemetry).
+    pub fn augmentations(&self) -> usize {
+        self.augmentations
+    }
+
+    /// Negative cycles canceled by [`Self::min_cost_circulation`] so far
+    /// (telemetry).
+    pub fn cancellations(&self) -> usize {
+        self.cancellations
     }
 
     /// Node handle for index `i`.
@@ -167,6 +187,7 @@ impl FlowNetwork {
                 v = self.arcs[(ai ^ 1) as usize].to as usize;
             }
             total_flow += push;
+            self.augmentations += 1;
         }
         if total_flow == 0 && target > 0 {
             None
@@ -175,35 +196,30 @@ impl FlowNetwork {
         }
     }
 
-    /// Initial potentials via Bellman–Ford from `s` over residual arcs.
+    /// The residual graph (arcs with remaining capacity) as an SPFA
+    /// problem, plus the map from SPFA arc id back to network arc index.
+    fn residual_graph(&self) -> (SpfaGraph, Vec<u32>) {
+        let n = self.adj.len();
+        let mut g = SpfaGraph::new(n);
+        let mut back = Vec::new();
+        for (u, out) in self.adj.iter().enumerate() {
+            for &ai in out {
+                let arc = &self.arcs[ai as usize];
+                if arc.cap > 0 {
+                    g.add_arc(u, arc.to as usize, arc.cost);
+                    back.push(ai);
+                }
+            }
+        }
+        (g, back)
+    }
+
+    /// Initial potentials via SPFA from `s` over residual arcs.
     /// Unreachable nodes get `+∞`. Returns `None` on a negative cycle
     /// reachable from `s` (cannot happen for well-formed inputs).
     fn bellman_ford_potentials(&self, s: usize) -> Option<Vec<f64>> {
-        let n = self.adj.len();
-        let mut dist = vec![f64::INFINITY; n];
-        dist[s] = 0.0;
-        for round in 0..n {
-            let mut changed = false;
-            for u in 0..n {
-                if dist[u].is_infinite() {
-                    continue;
-                }
-                for &ai in &self.adj[u] {
-                    let arc = &self.arcs[ai as usize];
-                    if arc.cap > 0 && dist[u] + arc.cost + EPS < dist[arc.to as usize] {
-                        dist[arc.to as usize] = dist[u] + arc.cost;
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                return Some(dist);
-            }
-            if round == n - 1 {
-                return None;
-            }
-        }
-        Some(dist)
+        let (g, _) = self.residual_graph();
+        g.run(Source::Node(s), EPS).shortest().map(|sp| sp.dist)
     }
 
     /// Computes a minimum-cost circulation by canceling negative-cost
@@ -214,82 +230,47 @@ impl FlowNetwork {
     /// (`cost + π_u − π_v ≥ 0` on every residual arc) can be obtained from
     /// [`Self::optimal_potentials`].
     pub fn min_cost_circulation(&mut self) -> f64 {
-        let n = self.adj.len();
         let mut total = 0.0;
         loop {
-            // Bellman–Ford from a virtual super-source to find any negative
-            // residual cycle.
-            let mut dist = vec![0.0f64; n];
-            let mut prev_arc: Vec<Option<u32>> = vec![None; n];
-            let mut last_updated: Option<usize> = None;
-            for _ in 0..n {
-                last_updated = None;
-                for u in 0..n {
-                    for &ai in &self.adj[u] {
-                        let arc = &self.arcs[ai as usize];
-                        if arc.cap > 0 && dist[u] + arc.cost + 1e-7 < dist[arc.to as usize] {
-                            dist[arc.to as usize] = dist[u] + arc.cost;
-                            prev_arc[arc.to as usize] = Some(ai);
-                            last_updated = Some(arc.to as usize);
-                        }
-                    }
-                }
-                if last_updated.is_none() {
-                    break;
-                }
-            }
-            let Some(mut v) = last_updated else {
-                return total;
+            // SPFA from the virtual super-source finds any negative
+            // residual cycle (tolerance 1e-7 bounds the cancel rounds).
+            let (g, back) = self.residual_graph();
+            let nc = match g.run(Source::Virtual, 1e-7) {
+                SpfaResult::Shortest(_) => return total,
+                SpfaResult::NegativeCycle(nc) => nc,
             };
-            // Walk back n steps to land inside the cycle.
-            for _ in 0..n {
-                let ai = prev_arc[v].expect("updated node has a predecessor");
-                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            let cycle: Vec<u32> = nc.arcs.iter().map(|&id| back[id]).collect();
+            let weight: f64 = cycle.iter().map(|&ai| self.arcs[ai as usize].cost).sum();
+            if weight >= 0.0 {
+                // Tolerance artifact: the predecessor cycle is not actually
+                // improving, so canceling it cannot reduce cost.
+                return total;
             }
-            // Extract the cycle and its bottleneck.
-            let start = v;
-            let mut cycle = Vec::new();
-            let mut bottleneck = i64::MAX;
-            loop {
-                let ai = prev_arc[v].expect("cycle arc");
-                cycle.push(ai);
-                bottleneck = bottleneck.min(self.arcs[ai as usize].cap);
-                v = self.arcs[(ai ^ 1) as usize].to as usize;
-                if v == start {
-                    break;
-                }
-            }
+            let bottleneck = cycle
+                .iter()
+                .map(|&ai| self.arcs[ai as usize].cap)
+                .min()
+                .expect("cycle is nonempty");
             for &ai in &cycle {
                 self.arcs[ai as usize].cap -= bottleneck;
                 self.arcs[(ai ^ 1) as usize].cap += bottleneck;
-                total += bottleneck as f64 * self.arcs[ai as usize].cost;
             }
+            total += bottleneck as f64 * weight;
+            self.cancellations += 1;
         }
     }
 
     /// Potentials `π` with `cost + π_u − π_v ≥ −tol` on all residual arcs
     /// of the current flow (valid after [`Self::min_cost_circulation`]).
-    /// Computed by Bellman–Ford from a virtual source connected to all
-    /// nodes with zero cost.
+    /// Computed by SPFA from the virtual source (every node at 0).
+    ///
+    /// Canceling stops at a coarser tolerance (1e-7) than this relaxation
+    /// (1e-9), so a sub-tolerance negative cycle may survive; the partial
+    /// relaxation snapshot is returned in that case, matching the bounded
+    /// round count of the old hand-rolled loop.
     pub fn optimal_potentials(&self) -> Vec<f64> {
-        let n = self.adj.len();
-        let mut dist = vec![0.0f64; n];
-        for _ in 0..n {
-            let mut changed = false;
-            for u in 0..n {
-                for &ai in &self.adj[u] {
-                    let arc = &self.arcs[ai as usize];
-                    if arc.cap > 0 && dist[u] + arc.cost + 1e-9 < dist[arc.to as usize] {
-                        dist[arc.to as usize] = dist[u] + arc.cost;
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        dist
+        let (g, _) = self.residual_graph();
+        g.run(Source::Virtual, 1e-9).into_dist()
     }
 }
 

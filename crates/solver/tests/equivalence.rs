@@ -1,0 +1,290 @@
+//! Property-based equivalence tests for the shared kernel layer.
+//!
+//! The sparse-LU revised simplex (`lp` on top of `sparse`) and the SPFA
+//! shortest-path kernel (`graph`) replaced, respectively, a dense
+//! basis-inverse simplex and three hand-rolled Bellman–Ford loops. These
+//! properties pin the new kernels against straightforward textbook
+//! reference implementations (re-implemented here, dense and queue-free)
+//! on random instances, so a regression in pivoting, eta-file updates,
+//! refactorization, or negative-cycle detection shows up as a direct
+//! disagreement rather than a subtle downstream metric shift.
+
+use proptest::prelude::*;
+use rotary_solver::graph::{Source, SpfaGraph, SpfaResult};
+use rotary_solver::lp::{LpProblem, LpStatus, RowKind};
+
+/// Quantizes to multiples of 1/8 so reference and kernel do bit-exact
+/// dyadic-rational arithmetic (no tolerance games in the comparisons).
+fn q8(x: f64) -> f64 {
+    (x * 8.0).round() / 8.0
+}
+
+// ---------------------------------------------------------------------------
+// Dense reference simplex
+// ---------------------------------------------------------------------------
+
+/// Reference solver for `min c·x  s.t.  A x ≤ b, x ≥ 0` with `b ≥ 0`:
+/// a classic dense-tableau primal simplex with Bland's rule. The slack
+/// basis is feasible by construction, so no phase 1 is needed. Instances
+/// are generated bounded (explicit box rows), so termination is optimal.
+fn dense_simplex_objective(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> f64 {
+    let m = a.len();
+    let n = c.len();
+    let cols = n + m; // structural + slack
+    let mut tab: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            let mut row = vec![0.0; cols + 1];
+            row[..n].copy_from_slice(&a[i]);
+            row[n + i] = 1.0;
+            row[cols] = b[i];
+            row
+        })
+        .collect();
+    let mut cost = vec![0.0; cols];
+    cost[..n].copy_from_slice(c);
+    let mut basis: Vec<usize> = (n..cols).collect();
+
+    for _ in 0..10_000 {
+        // Bland: entering = lowest-index column with negative reduced cost.
+        let Some(e) = (0..cols).find(|&j| cost[j] < -1e-9) else {
+            let mut x = vec![0.0; n];
+            for (i, &bj) in basis.iter().enumerate() {
+                if bj < n {
+                    x[bj] = tab[i][cols];
+                }
+            }
+            return x.iter().zip(c).map(|(xi, ci)| xi * ci).sum();
+        };
+        // Bland: leaving = min ratio, ties by lowest basis variable index.
+        let mut leave: Option<usize> = None;
+        for i in 0..m {
+            if tab[i][e] > 1e-9 {
+                let ratio = tab[i][cols] / tab[i][e];
+                let better = match leave {
+                    None => true,
+                    Some(l) => {
+                        let lr = tab[l][cols] / tab[l][e];
+                        ratio < lr - 1e-12 || (ratio < lr + 1e-12 && basis[i] < basis[l])
+                    }
+                };
+                if better {
+                    leave = Some(i);
+                }
+            }
+        }
+        let l = leave.expect("box rows keep every instance bounded");
+        let piv = tab[l][e];
+        for v in tab[l].iter_mut() {
+            *v /= piv;
+        }
+        let pivot_row = tab[l].clone();
+        for (i, row) in tab.iter_mut().enumerate() {
+            if i != l && row[e].abs() > 0.0 {
+                let f = row[e];
+                for (dst, &p) in row.iter_mut().zip(&pivot_row) {
+                    *dst -= f * p;
+                }
+            }
+        }
+        let f = cost[e];
+        for (cj, &p) in cost.iter_mut().zip(&pivot_row) {
+            *cj -= f * p;
+        }
+        basis[l] = e;
+    }
+    panic!("dense reference simplex failed to terminate");
+}
+
+proptest! {
+    /// The sparse-LU revised simplex and the dense tableau reference agree
+    /// on the optimal objective of random bounded-feasible LPs
+    /// (`min c·x, A x ≤ b` with `b ≥ 0` plus a box on every variable).
+    #[test]
+    fn sparse_lu_simplex_matches_dense_reference(
+        n in 2usize..=5,
+        m in 1usize..=7,
+        raw in prop::collection::vec(-2.0f64..2.0, 64),
+    ) {
+        let mut next = {
+            let mut k = 0usize;
+            move || {
+                let v = raw[k % raw.len()];
+                k += 1;
+                v
+            }
+        };
+        // Objective: mixed signs so the optimum is not always the origin.
+        let c: Vec<f64> = (0..n).map(|_| q8(1.5 * next())).collect();
+        // General rows: coefficients in [−2, 2], rhs ≥ 0 keeps x = 0 feasible.
+        let mut a: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| q8(next())).collect())
+            .collect();
+        let mut b: Vec<f64> = (0..m).map(|_| q8(next().abs() + 0.5)).collect();
+        // Box rows x_j ≤ u_j make every instance bounded for any objective.
+        for j in 0..n {
+            let mut row = vec![0.0; n];
+            row[j] = 1.0;
+            a.push(row);
+            b.push(q8(next().abs() + 0.5));
+        }
+
+        let mut lp = LpProblem::minimize(c.clone());
+        for (row, &rhs) in a.iter().zip(&b) {
+            let coeffs: Vec<(usize, f64)> =
+                row.iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(j, v)| (j, *v)).collect();
+            lp.add_row(RowKind::Le, rhs, &coeffs);
+        }
+        let s = lp.solve();
+        prop_assert_eq!(s.status, LpStatus::Optimal);
+
+        let reference = dense_simplex_objective(&a, &b, &c);
+        let scale = 1.0_f64.max(reference.abs());
+        prop_assert!(
+            (s.objective - reference).abs() <= 1e-6 * scale,
+            "objective mismatch: sparse-LU {} vs dense reference {}",
+            s.objective,
+            reference
+        );
+        // The reported x must actually be feasible and attain the objective.
+        for (row, &rhs) in a.iter().zip(&b) {
+            let lhs: f64 = row.iter().zip(&s.x).map(|(aij, xj)| aij * xj).sum();
+            prop_assert!(lhs <= rhs + 1e-7, "row violated: {} > {}", lhs, rhs);
+        }
+        let cx: f64 = c.iter().zip(&s.x).map(|(ci, xi)| ci * xi).sum();
+        prop_assert!((cx - s.objective).abs() <= 1e-7 * scale);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Textbook Bellman–Ford reference
+// ---------------------------------------------------------------------------
+
+/// `n` full relaxation passes from a virtual super-source (every node
+/// starts at 0, the standard difference-constraint setup); pass `n`
+/// still improving ⇒ negative cycle (`None`).
+fn bellman_ford_virtual(n: usize, arcs: &[(usize, usize, f64)], eps: f64) -> Option<Vec<f64>> {
+    let mut dist = vec![0.0; n];
+    for pass in 0..=n {
+        let mut changed = false;
+        for &(f, t, w) in arcs {
+            if dist[f] + w < dist[t] - eps {
+                dist[t] = dist[f] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(dist);
+        }
+        if pass == n {
+            return None;
+        }
+    }
+    unreachable!()
+}
+
+/// Single-source variant: unreached nodes stay at `+∞`.
+fn bellman_ford_from(n: usize, src: usize, arcs: &[(usize, usize, f64)], eps: f64) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    for _ in 0..n {
+        for &(f, t, w) in arcs {
+            if dist[f].is_finite() && dist[f] + w < dist[t] - eps {
+                dist[t] = dist[f] + w;
+            }
+        }
+    }
+    dist
+}
+
+/// Decodes a flat `raw` sample into a random arc list over `n` nodes with
+/// weights quantized to 1/8 in `[lo, hi)`.
+fn decode_arcs(n: usize, m: usize, raw: &[f64], lo: f64, hi: f64) -> Vec<(usize, usize, f64)> {
+    let mut k = 0usize;
+    let mut next = move |raw: &[f64]| {
+        let v = raw[k % raw.len()];
+        k += 1;
+        v
+    };
+    (0..m)
+        .map(|_| {
+            let f = ((next(raw) + 2.0) / 4.0 * n as f64) as usize % n;
+            let t = ((next(raw) + 2.0) / 4.0 * n as f64) as usize % n;
+            let w = q8(lo + (next(raw) + 2.0) / 4.0 * (hi - lo));
+            (f, t, w)
+        })
+        .collect()
+}
+
+proptest! {
+    /// On random difference-constraint graphs (virtual super-source,
+    /// weights of both signs), SPFA and textbook Bellman–Ford agree on
+    /// feasibility, and on the exact distance labels when feasible.
+    /// Weights are dyadic rationals, so agreement is bit-exact.
+    #[test]
+    fn spfa_matches_bellman_ford_on_difference_graphs(
+        n in 3usize..=8,
+        m in 4usize..=20,
+        raw in prop::collection::vec(-2.0f64..2.0, 64),
+    ) {
+        // Bias toward small negative tails: feasible and infeasible systems
+        // both occur across the case set.
+        let arcs = decode_arcs(n, m, &raw, -0.75, 2.0);
+        let mut g = SpfaGraph::new(n);
+        for &(f, t, w) in &arcs {
+            g.add_arc(f, t, w);
+        }
+        let eps = 1e-12;
+        let reference = bellman_ford_virtual(n, &arcs, eps);
+        match (g.run(Source::Virtual, eps), reference) {
+            (SpfaResult::Shortest(sp), Some(dist)) => {
+                prop_assert_eq!(sp.dist, dist);
+            }
+            (SpfaResult::NegativeCycle(nc), None) => {
+                // The reported cycle must actually close and sum negative.
+                prop_assert!(!nc.arcs.is_empty());
+                let mut total = 0.0;
+                for window in nc.arcs.windows(2) {
+                    let (_, t0, _) = g.arc(window[0]);
+                    let (f1, _, _) = g.arc(window[1]);
+                    prop_assert!(t0 == f1, "cycle arcs do not chain: {} vs {}", t0, f1);
+                }
+                let (first_from, _, _) = g.arc(nc.arcs[0]);
+                let (_, last_to, _) = g.arc(*nc.arcs.last().unwrap());
+                prop_assert!(last_to == first_from, "cycle does not close");
+                for &id in &nc.arcs {
+                    total += g.arc(id).2;
+                }
+                prop_assert!(total < 0.0, "reported cycle sums to {}", total);
+            }
+            (SpfaResult::Shortest(_), None) => {
+                prop_assert!(false, "SPFA converged but reference found a negative cycle");
+            }
+            (SpfaResult::NegativeCycle(_), Some(_)) => {
+                prop_assert!(false, "SPFA reported a cycle on a feasible system");
+            }
+        }
+    }
+
+    /// Single-source shortest paths on non-negative-weight graphs:
+    /// SPFA from `Node(0)` matches Bellman–Ford, including `+∞` labels
+    /// on nodes unreachable from the source.
+    #[test]
+    fn spfa_single_source_matches_bellman_ford(
+        n in 3usize..=8,
+        m in 3usize..=16,
+        raw in prop::collection::vec(-2.0f64..2.0, 64),
+    ) {
+        let arcs = decode_arcs(n, m, &raw, 0.0, 2.0);
+        let mut g = SpfaGraph::new(n);
+        for &(f, t, w) in &arcs {
+            g.add_arc(f, t, w);
+        }
+        let eps = 1e-12;
+        let sp = g
+            .run(Source::Node(0), eps)
+            .shortest()
+            .expect("non-negative weights admit no negative cycle");
+        let reference = bellman_ford_from(n, 0, &arcs, eps);
+        prop_assert_eq!(sp.dist, reference);
+    }
+}

@@ -109,11 +109,8 @@ impl SequentialGraph {
         m: f64,
         tol: f64,
     ) -> Option<AdjacentPair> {
-        let index_of = |id: CellId| {
-            self.flip_flops
-                .binary_search(&id)
-                .expect("flip-flop present in graph")
-        };
+        let index_of =
+            |id: CellId| self.flip_flops.binary_search(&id).expect("flip-flop present in graph");
         for p in &self.pairs {
             let skew = targets[index_of(p.from)] - targets[index_of(p.to)];
             if skew + m > p.skew_upper(tech) + tol || skew < p.skew_lower(tech) + m - tol {

@@ -51,9 +51,8 @@ impl Sta {
     /// Panics if the combinational subgraph has a cycle (call
     /// [`Circuit::validate`] first to obtain a proper error).
     pub fn build(circuit: &Circuit, tech: &Technology) -> Self {
-        let order = circuit
-            .topological_order()
-            .expect("combinational cycle: validate() the circuit first");
+        let order =
+            circuit.topological_order().expect("combinational cycle: validate() the circuit first");
         let mut edges = vec![Vec::new(); circuit.cell_count()];
         for i in 0..circuit.net_count() {
             let net = NetId(i as u32);

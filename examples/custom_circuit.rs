@@ -71,14 +71,10 @@ fn main() {
         s.afd,
         s.tapping_wl,
         -out.tapping_improvement() * 100.0,
-    s.max_ring_cap
+        s.max_ring_cap
     );
-    for (ff, (ring, sol)) in out
-        .taps
-        .flip_flops
-        .iter()
-        .zip(out.taps.rings.iter().zip(&out.taps.solutions))
-        .take(4)
+    for (ff, (ring, sol)) in
+        out.taps.flip_flops.iter().zip(out.taps.rings.iter().zip(&out.taps.solutions)).take(4)
     {
         println!(
             "  {ff} → {ring}: tap at {}, wire {:.1} µm, case {:?}",

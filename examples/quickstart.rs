@@ -9,10 +9,8 @@ use rotary::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let suite = args
-        .get(1)
-        .and_then(|s| BenchmarkSuite::from_name(s))
-        .unwrap_or(BenchmarkSuite::S9234);
+    let suite =
+        args.get(1).and_then(|s| BenchmarkSuite::from_name(s)).unwrap_or(BenchmarkSuite::S9234);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     println!("suite: {suite}, seed: {seed}");
@@ -48,12 +46,23 @@ fn main() {
         "signal WL change    : {:+5.1}%   (paper: -1.3% .. -4.1%)",
         out.signal_wl_improvement() * 100.0
     );
-    println!(
-        "total WL change     : {:+5.1}%",
-        out.total_wl_improvement() * 100.0
-    );
+    println!("total WL change     : {:+5.1}%", out.total_wl_improvement() * 100.0);
     println!(
         "runtime             : stages {:.1}s, placer {:.1}s",
-        out.stage_seconds, out.placer_seconds
+        out.stage_seconds(),
+        out.placer_seconds()
     );
+    println!("\nper-stage telemetry:");
+    for (stage, seconds, passes, solver_iters) in out.telemetry.totals_by_stage() {
+        if passes > 0 {
+            println!(
+                "  stage {} {:<22} : {:>6.2}s over {} pass(es), {} solver iterations",
+                stage.number(),
+                stage.name(),
+                seconds,
+                passes,
+                solver_iters
+            );
+        }
+    }
 }

@@ -51,18 +51,14 @@ fn main() {
     Placer::new(PlacerConfig::default()).place(&mut placed);
     let tech = Technology::default();
     let graph = SequentialGraph::extract(&placed, &tech);
-    let mut widths: Vec<f64> = graph
-        .pairs()
-        .iter()
-        .map(|p| p.skew_upper(&tech) - p.skew_lower(&tech))
-        .collect();
+    let mut widths: Vec<f64> =
+        graph.pairs().iter().map(|p| p.skew_upper(&tech) - p.skew_lower(&tech)).collect();
     widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let n = widths.len();
-    println!(
-        "\n{} sequentially adjacent pairs on {} (placed)",
-        n, placed.name
-    );
-    for (label, q) in [("min", 0), ("p25", n / 4), ("median", n / 2), ("p75", 3 * n / 4), ("max", n - 1)] {
+    println!("\n{} sequentially adjacent pairs on {} (placed)", n, placed.name);
+    for (label, q) in
+        [("min", 0), ("p25", n / 4), ("median", n / 2), ("p75", 3 * n / 4), ("max", n - 1)]
+    {
         println!("  permissible-range width {label}: {:.3} ns", widths[q]);
     }
 }

@@ -17,10 +17,8 @@ use rotary::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let suite = args
-        .get(1)
-        .and_then(|s| BenchmarkSuite::from_name(s))
-        .unwrap_or(BenchmarkSuite::S5378);
+    let suite =
+        args.get(1).and_then(|s| BenchmarkSuite::from_name(s)).unwrap_or(BenchmarkSuite::S5378);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(7);
     println!("suite: {suite}, seed: {seed}\n");
 
@@ -37,7 +35,10 @@ fn main() {
         let f_osc = ring_params.oscillation_frequency(s.max_ring_cap);
         println!(
             "{label}: AFD {:6.1} µm | max cap {:.3} pF | f_osc {:.2} GHz | total WL {:9.0} µm",
-            s.afd, s.max_ring_cap, f_osc, s.total_wl()
+            s.afd,
+            s.max_ring_cap,
+            f_osc,
+            s.total_wl()
         );
         results.push((label, s));
     }

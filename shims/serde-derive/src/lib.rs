@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The real `serde_derive` generates `Serialize`/`Deserialize`
+//! implementations. The shim's traits are blanket-implemented for every
+//! type, so the derives here only need to exist — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim's `Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shim's `Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

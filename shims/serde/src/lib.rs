@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace ships
+//! this minimal shim instead of the real crate (see `shims/README.md`).
+//! `Serialize`/`Deserialize` are marker traits blanket-implemented for
+//! every type, and the derives expand to nothing; `#[derive(Serialize,
+//! Deserialize)]` annotations across the workspace stay source-compatible
+//! and become live again the moment the real serde is substituted back.
+//!
+//! Actual JSON output in this workspace (the `tables` telemetry dump) is
+//! produced by the hand-rolled writer in `rotary-core::telemetry`, which
+//! does not depend on serde.
+
+// The derive macro and the trait share one name, in different namespaces —
+// exactly like the real serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+mod markers {
+    /// Marker counterpart of `serde::Serialize`; satisfied by every type.
+    pub trait Serialize {}
+    impl<T: ?Sized> Serialize for T {}
+
+    /// Marker counterpart of `serde::Deserialize`; satisfied by every type.
+    pub trait Deserialize<'de> {}
+    impl<'de, T: ?Sized> Deserialize<'de> for T {}
+}
+
+pub use markers::{Deserialize, Serialize};

@@ -13,11 +13,7 @@ fn small_suite_flow(objective: AssignmentObjective, variant: SkewVariant) -> Flo
 fn full_flow_on_s9234_reduces_tapping_cost_in_paper_band() {
     let out = small_suite_flow(AssignmentObjective::TappingCost, SkewVariant::WeightedSum);
     let imp = out.tapping_improvement();
-    assert!(
-        imp > 0.20,
-        "tapping improvement {:.1}% below the expected band",
-        imp * 100.0
-    );
+    assert!(imp > 0.20, "tapping improvement {:.1}% below the expected band", imp * 100.0);
     // Signal wirelength may degrade slightly but not collapse (paper: ≤ ~4%).
     assert!(out.signal_wl_improvement() > -0.15);
 }
@@ -59,9 +55,7 @@ fn tap_solutions_satisfy_delay_targets_modulo_period() {
         .zip(&out.taps.rings)
         .zip(out.taps.solutions.iter().zip(&out.schedule.targets))
     {
-        let got = array
-            .ring(ring)
-            .delay_through_tap(sol, circuit.cell(ff).input_cap);
+        let got = array.ring(ring).delay_through_tap(sol, circuit.cell(ff).input_cap);
         let tau = target.rem_euclid(period);
         let err = (got - tau).abs().min(period - (got - tau).abs());
         assert!(err < 1e-5, "ff {ff}: wanted {tau:.6}, got {got:.6}");
@@ -89,14 +83,8 @@ fn ring_capacities_respected_by_network_flow_assignment() {
 fn max_load_cap_objective_yields_lower_max_cap_than_network_flow() {
     let nf = small_suite_flow(AssignmentObjective::TappingCost, SkewVariant::WeightedSum);
     let ilp = small_suite_flow(AssignmentObjective::MaxLoadCap, SkewVariant::WeightedSum);
-    let (c_nf, c_ilp) = (
-        nf.final_snapshot().max_ring_cap,
-        ilp.final_snapshot().max_ring_cap,
-    );
-    assert!(
-        c_ilp < c_nf,
-        "ILP formulation should reduce max cap: {c_ilp} !< {c_nf}"
-    );
+    let (c_nf, c_ilp) = (nf.final_snapshot().max_ring_cap, ilp.final_snapshot().max_ring_cap);
+    assert!(c_ilp < c_nf, "ILP formulation should reduce max cap: {c_ilp} !< {c_nf}");
     // And it should cost some wirelength (the Table V trade-off).
     assert!(ilp.final_snapshot().tapping_wl >= nf.final_snapshot().tapping_wl * 0.8);
 }

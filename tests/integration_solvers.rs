@@ -20,40 +20,37 @@ fn mcmf_matches_lp_on_random_assignment_instances() {
         if caps.iter().sum::<i64>() < f as i64 {
             continue;
         }
-        let costs: Vec<Vec<f64>> = (0..f)
-            .map(|_| (0..r).map(|_| rng.gen_range(1.0..50.0f64).round()).collect())
-            .collect();
+        let costs: Vec<Vec<f64>> =
+            (0..f).map(|_| (0..r).map(|_| rng.gen_range(1.0..50.0f64).round()).collect()).collect();
 
         // Min-cost flow.
         let mut net = FlowNetwork::new(2 + f + r);
         let (s, t) = (net.node(0), net.node(1));
-        for i in 0..f {
+        for (i, row) in costs.iter().enumerate() {
             net.add_arc(s, net.node(2 + i), 1, 0.0);
-            for j in 0..r {
-                net.add_arc(net.node(2 + i), net.node(2 + f + j), 1, costs[i][j]);
+            for (j, &cost) in row.iter().enumerate() {
+                net.add_arc(net.node(2 + i), net.node(2 + f + j), 1, cost);
             }
         }
-        for j in 0..r {
-            net.add_arc(net.node(2 + f + j), t, caps[j], 0.0);
+        for (j, &cap) in caps.iter().enumerate() {
+            net.add_arc(net.node(2 + f + j), t, cap, 0.0);
         }
         let (flow, flow_cost) = net.min_cost_flow(s, t, f as i64).expect("feasible");
         assert_eq!(flow, f as i64, "round {round}");
 
         // LP.
         let mut obj = Vec::new();
-        for i in 0..f {
-            for j in 0..r {
-                obj.push(costs[i][j]);
-            }
+        for row in &costs {
+            obj.extend(row.iter().copied());
         }
         let mut lp = LpProblem::minimize(obj);
         for i in 0..f {
             let row: Vec<_> = (0..r).map(|j| (i * r + j, 1.0)).collect();
             lp.add_row(RowKind::Eq, 1.0, &row);
         }
-        for j in 0..r {
+        for (j, &cap) in caps.iter().enumerate() {
             let row: Vec<_> = (0..f).map(|i| (i * r + j, 1.0)).collect();
-            lp.add_row(RowKind::Le, caps[j] as f64, &row);
+            lp.add_row(RowKind::Le, cap as f64, &row);
         }
         let sol = lp.solve();
         assert_eq!(sol.status, LpStatus::Optimal, "round {round}");
@@ -103,26 +100,16 @@ fn rounding_quality_bound_on_min_max_instances() {
         let f = rng.gen_range(4..9);
         let r = rng.gen_range(2..4);
         let candidates: Vec<Vec<(RingId, f64, f64)>> = (0..f)
-            .map(|_| {
-                (0..r)
-                    .map(|j| (RingId(j as u32), 1.0, rng.gen_range(0.05..0.5)))
-                    .collect()
-            })
+            .map(|_| (0..r).map(|j| (RingId(j as u32), 1.0, rng.gen_range(0.05..0.5))).collect())
             .collect();
-        let costs = CandidateCosts {
-            flip_flops: (0..f as u32).map(CellId).collect(),
-            candidates,
-        };
+        let costs = CandidateCosts { flip_flops: (0..f as u32).map(CellId).collect(), candidates };
         let out = rotary::core::assign::assign_min_max_cap(&costs, r).expect("solved");
         assert_eq!(out.assignment.rings.len(), f);
         assert!(out.integrality_gap >= 1.0 - 1e-9);
         // Crude upper bound: rounding can exceed OPT(LP) by at most the
         // largest single load (each item adds ≤ max load to one ring).
-        let max_single: f64 = costs
-            .candidates
-            .iter()
-            .flat_map(|c| c.iter().map(|&(_, _, l)| l))
-            .fold(0.0, f64::max);
+        let max_single: f64 =
+            costs.candidates.iter().flat_map(|c| c.iter().map(|&(_, _, l)| l)).fold(0.0, f64::max);
         assert!(out.achieved <= out.lp_optimum + f as f64 * max_single + 1e-9);
     }
 }
@@ -196,9 +183,9 @@ fn weighted_skew_dual_matches_lp_on_random_systems() {
             lp.add_row(RowKind::Le, p.skew_upper(&tech), &[(i, 1.0), (j, -1.0)]);
             lp.add_row(RowKind::Le, -p.skew_lower(&tech), &[(i, -1.0), (j, 1.0)]);
         }
-        for i in 0..n {
-            lp.add_row(RowKind::Le, ideal[i], &[(i, 1.0), (n + i, -1.0)]);
-            lp.add_row(RowKind::Le, -ideal[i], &[(i, -1.0), (n + i, -1.0)]);
+        for (i, &t_ideal) in ideal.iter().enumerate() {
+            lp.add_row(RowKind::Le, t_ideal, &[(i, 1.0), (n + i, -1.0)]);
+            lp.add_row(RowKind::Le, -t_ideal, &[(i, -1.0), (n + i, -1.0)]);
         }
         let sol = lp.solve();
         assert_eq!(sol.status, LpStatus::Optimal, "round {round}");
