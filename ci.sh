@@ -16,4 +16,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench -p rotary-bench --no-run"
+cargo bench -p rotary-bench --no-run
+
+# Smoke-run the experiment battery on the two small suites from a scratch
+# directory (the binary writes BENCH_flow.json to its cwd; the checked-in
+# copy must only change when results are intentionally re-measured).
+echo "==> tables --small table2 (smoke)"
+tables_bin="$(pwd)/target/release/tables"
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+(cd "$scratch" && "$tables_bin" --small table2 > tables_small_ci.log)
+
 echo "ci.sh: all checks passed"

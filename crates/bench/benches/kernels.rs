@@ -6,13 +6,14 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rotary_bench::{placed_circuit, TABLE_SEED};
 use rotary_core::assign::{assign_min_max_cap, assign_network_flow};
-use rotary_core::skew::{max_slack_schedule, weighted_schedule};
+use rotary_core::skew::{max_slack_schedule, min_feasible_period, weighted_schedule};
 use rotary_core::tapping::CandidateCosts;
 use rotary_netlist::geom::Point;
 use rotary_netlist::BenchmarkSuite;
 use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
 use rotary_solver::graph::{Source, SpfaGraph};
 use rotary_solver::sparse::{CsrMatrix, SparseLu};
+use rotary_solver::{DifferenceSystem, ParametricSystem};
 use rotary_timing::{SequentialGraph, Technology};
 
 fn bench_tapping(c: &mut Criterion) {
@@ -233,9 +234,90 @@ fn bench_spfa(c: &mut Criterion) {
     });
 }
 
+/// The s9234 timing constraints as the max-slack parametric system:
+/// long-path row `t̂_i − t̂_j ≤ skew_upper − m`, short-path row
+/// `t̂_j − t̂_i ≤ −skew_lower − m` per sequential pair, tighten 1 on every
+/// row — exactly the system stage 2 and stage 4 maximize slack over.
+fn timing_difference_system(
+    graph: &SequentialGraph,
+    tech: &Technology,
+) -> (DifferenceSystem, Vec<f64>) {
+    let ffs = graph.flip_flops();
+    let index_of = |id| ffs.binary_search(&id).expect("flip-flop in graph");
+    let mut sys = DifferenceSystem::new(ffs.len());
+    for p in graph.pairs() {
+        let (i, j) = (index_of(p.from), index_of(p.to));
+        sys.add(i, j, p.skew_upper(tech));
+        sys.add(j, i, -p.skew_lower(tech));
+    }
+    let tighten = vec![1.0; sys.constraints().len()];
+    (sys, tighten)
+}
+
+/// Warm-started parametric engine vs the cold bisection path it replaced:
+/// one exact Newton slack maximization against the historical 50-ish-probe
+/// rebuild-and-resolve search, and a warm probe sweep (tighten in small
+/// steps, relaxing only the violated wavefront) against rebuilding the
+/// substituted system cold at every step. Both run on the s9234 timing
+/// system — the instance the flow's stage-2/stage-4 schedulers solve.
+fn bench_parametric(c: &mut Criterion) {
+    let circuit = placed_circuit(BenchmarkSuite::S9234);
+    let tech = Technology::default();
+    let graph = SequentialGraph::extract(&circuit, &tech);
+    // Same period bump as stage 2: the suite cannot run at the nominal
+    // period, so slack is maximized at 1.05× the minimum feasible one.
+    let period = 1.05 * min_feasible_period(&graph, &tech);
+    let tech_eff = Technology { clock_period: period, ..tech };
+    let (sys, tighten) = timing_difference_system(&graph, &tech_eff);
+    let hi = period;
+    c.bench_function("difference/newton_exact_slack_s9234", |b| {
+        b.iter(|| {
+            let mut par = ParametricSystem::new(&sys, &tighten);
+            std::hint::black_box(par.maximize_slack_exact(hi))
+        })
+    });
+    c.bench_function("difference/cold_bisection_slack_s9234", |b| {
+        b.iter(|| std::hint::black_box(sys.maximize_slack_with_stats(&tighten, hi, 1e-9)))
+    });
+
+    // Probe below the optimum in ascending steps — the feasibility
+    // re-checks the cost-driven stage issues as it tightens its wrap
+    // bound between placement iterations.
+    let mut par0 = ParametricSystem::new(&sys, &tighten);
+    let (mstar, _) = par0.maximize_slack_exact(hi).expect("timing system feasible at m = 0");
+    let sweep: Vec<f64> = (0..16).map(|k| mstar * k as f64 / 16.0).collect();
+    c.bench_function("difference/warm_probe_sweep_s9234", |b| {
+        b.iter_batched(
+            || {
+                let mut par = ParametricSystem::new(&sys, &tighten);
+                par.probe(0.0);
+                par
+            },
+            |mut par| {
+                for &m in &sweep {
+                    std::hint::black_box(par.probe(m));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("difference/cold_probe_sweep_s9234", |b| {
+        b.iter(|| {
+            for &m in &sweep {
+                let mut cold = DifferenceSystem::new(sys.num_vars());
+                for (cns, &t) in sys.constraints().iter().zip(&tighten) {
+                    cold.add(cns.i, cns.j, cns.bound - m * t);
+                }
+                std::hint::black_box(cold.is_feasible());
+            }
+        })
+    });
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_tapping, bench_assignment, bench_skew, bench_sta, bench_sparse_lu, bench_spfa
+    targets = bench_tapping, bench_assignment, bench_skew, bench_sta, bench_sparse_lu, bench_spfa,
+        bench_parametric
 }
 criterion_main!(kernels);

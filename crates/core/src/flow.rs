@@ -79,6 +79,20 @@ pub struct FlowConfig {
     pub skew_variant: SkewVariant,
     /// Stage-3 objective.
     pub objective: AssignmentObjective,
+    /// Carry feasibility potentials across skew solves (period search,
+    /// stage 2, stage 4) so each parametric probe relaxes from the previous
+    /// iteration's labels instead of a cold start. Schedules are
+    /// bit-identical either way — the warm seed only accelerates the
+    /// feasibility verdicts — so this is off only for diagnostics.
+    #[serde(default = "default_true")]
+    pub warm_start: bool,
+}
+
+// Referenced by the `#[serde(default)]` attribute; the offline serde shim
+// parses but ignores field attributes, so the function looks unused there.
+#[allow(dead_code)]
+fn default_true() -> bool {
+    true
 }
 
 impl Default for FlowConfig {
@@ -96,6 +110,7 @@ impl Default for FlowConfig {
             slack_fraction: 0.25,
             skew_variant: SkewVariant::WeightedSum,
             objective: AssignmentObjective::TappingCost,
+            warm_start: true,
         }
     }
 }
@@ -207,18 +222,25 @@ impl Flow {
             placer.place(circuit);
         }
 
+        // Potentials carried across every skew-feasibility solve of the run
+        // (period search, stage 2, stage 4). Cleared before each use when
+        // warm starting is disabled.
+        let mut skew_ctx = skew::SkewContext::new();
+
         // Determine the effective clock period once, after the initial
         // placement: rings are physical hardware whose period cannot change
         // between flow iterations. A 15% margin keeps later iterations
         // (whose delays drift with incremental placement) feasible. The
-        // search is a skew-feasibility bisection, so it books under
-        // stage 2 of the first iteration.
+        // search is a parametric feasibility solve and books under its own
+        // stage label (it is not a stage-2 pass — there is no schedule yet).
         let (graph0, tech, ring_params) = {
-            let mut stage = telemetry.stage(Stage::SkewOptimization, 0);
+            let mut stage = telemetry.stage(Stage::PeriodSearch, 0);
             let graph0 = SequentialGraph::extract(circuit, &cfg.tech);
-            stage.set_problem_size(2 * graph0.pairs().len());
+            stage.set_problem_size(2 * graph0.pairs().len().max(1));
             let period = {
-                let min_p = skew::min_feasible_period(&graph0, &cfg.tech);
+                let (min_p, stats) =
+                    skew::min_feasible_period_ctx(&graph0, &cfg.tech, &mut skew_ctx);
+                stage.add_solver_iterations(stats.solver_iterations);
                 if min_p > cfg.tech.clock_period {
                     1.15 * min_p
                 } else {
@@ -248,7 +270,10 @@ impl Flow {
                 } else {
                     SequentialGraph::extract(circuit, &tech)
                 };
-                let (stage2, stats) = skew::max_slack_schedule_with_stats(&graph, &tech);
+                if !cfg.warm_start {
+                    skew_ctx = skew::SkewContext::new();
+                }
+                let (stage2, stats) = skew::max_slack_schedule_ctx(&graph, &tech, &mut skew_ctx);
                 stage.set_problem_size(stats.constraints);
                 stage.add_solver_iterations(stats.solver_iterations);
                 (graph, stage2)
@@ -280,8 +305,16 @@ impl Flow {
             // Stage 4: cost-driven skew optimization on the assignment.
             {
                 let mut stage = telemetry.stage(Stage::CostDrivenSkew, iter);
-                let (sched, stats) =
-                    self.cost_driven(circuit, &array, &graph, &assignment, &tech, m, stage2.period);
+                let (sched, stats) = self.cost_driven(
+                    circuit,
+                    &array,
+                    &graph,
+                    &assignment,
+                    &tech,
+                    m,
+                    stage2.period,
+                    &mut skew_ctx,
+                );
                 stage.set_problem_size(stats.constraints);
                 stage.add_solver_iterations(stats.solver_iterations);
                 schedule = sched;
@@ -425,6 +458,7 @@ impl Flow {
         tech: &Technology,
         m: f64,
         stage2_period: f64,
+        ctx: &mut skew::SkewContext,
     ) -> (SkewSchedule, SkewStats) {
         let cfg = &self.config;
         let tech = &if stage2_period > tech.clock_period {
@@ -456,8 +490,13 @@ impl Flow {
                 // ring delays whole periods away from the cheap tap and the
                 // minimax variant *loses* to the base case.
                 let half = 0.5 * tech.clock_period;
-                let (mut sched, mut stats) =
-                    skew::minimax_schedule_with_stats(graph, tech, &ring_delay, &stub_delay, m);
+                let solve = |rd: &[f64], sd: &[f64], ctx: &mut skew::SkewContext| {
+                    if !self.config.warm_start {
+                        *ctx = skew::SkewContext::new();
+                    }
+                    skew::minimax_schedule_ctx(graph, tech, rd, sd, m, ctx)
+                };
+                let (mut sched, mut stats) = solve(&ring_delay, &stub_delay, ctx);
                 for _ in 0..3 {
                     let mut changed = false;
                     for (a, (&b, &t)) in
@@ -472,8 +511,7 @@ impl Flow {
                     if !changed {
                         break;
                     }
-                    let (s, st) =
-                        skew::minimax_schedule_with_stats(graph, tech, &ring_delay, &stub_delay, m);
+                    let (s, st) = solve(&ring_delay, &stub_delay, ctx);
                     sched = s;
                     stats.solver_iterations += st.solver_iterations;
                 }
@@ -491,8 +529,13 @@ impl Flow {
                 // `ideal + k·T/2` closest to the solved target and the
                 // schedule is re-optimized; a few rounds converge.
                 let half = 0.5 * tech.clock_period;
-                let (mut sched, mut stats) =
-                    skew::weighted_schedule_with_stats(graph, tech, &ideal, &distance, m);
+                let solve = |id: &[f64], ctx: &mut skew::SkewContext| {
+                    if !self.config.warm_start {
+                        *ctx = skew::SkewContext::new();
+                    }
+                    skew::weighted_schedule_ctx(graph, tech, id, &distance, m, ctx)
+                };
+                let (mut sched, mut stats) = solve(&ideal, ctx);
                 for _ in 0..3 {
                     let mut changed = false;
                     for (id, &t) in ideal.iter_mut().zip(&sched.targets) {
@@ -505,8 +548,7 @@ impl Flow {
                     if !changed {
                         break;
                     }
-                    let (s, st) =
-                        skew::weighted_schedule_with_stats(graph, tech, &ideal, &distance, m);
+                    let (s, st) = solve(&ideal, ctx);
                     sched = s;
                     stats.solver_iterations += st.solver_iterations;
                 }
@@ -633,20 +675,25 @@ mod tests {
         assert!(out.placer_seconds() > 0.0);
         assert!(out.stage_seconds() > 0.0);
         let totals = out.telemetry.totals_by_stage();
-        // Stages 1–5 always run at least once; per-record fields are set.
-        for (stage, _, passes, _) in totals.iter().take(5) {
+        // The period search plus stages 1–5 always run at least once;
+        // per-record fields are set.
+        for (stage, _, passes, _) in totals.iter().take(6) {
             assert!(*passes > 0, "stage {stage} never recorded");
         }
         for r in out.telemetry.records() {
             assert!(r.seconds >= 0.0);
             assert!(r.problem_size > 0, "{} has no problem size", r.stage);
         }
+        // The period search runs exactly one pre-pass, with real probes.
+        assert_eq!(totals[1].2, 1, "period search should record one pass");
+        assert!(totals[1].3 > 0, "period search reported no feasibility solves");
         // Stage 2 and 4 drive iterative solvers.
-        assert!(totals[1].3 > 0, "stage 2 reported no feasibility solves");
+        assert!(totals[2].3 > 0, "stage 2 reported no feasibility solves");
         assert_eq!(out.telemetry.iterations(), out.iterations.len());
         // The JSON dump reflects the same aggregates.
         let json = out.telemetry.to_json();
         assert!(json.contains("\"stage\": \"assignment\""));
+        assert!(json.contains("\"stage\": \"period_search\""));
         assert!(json.contains(&format!("\"iterations\": {}", out.iterations.len())));
     }
 
@@ -664,6 +711,41 @@ mod tests {
             ..GeneratorConfig::default()
         })
         .generate(seed)
+    }
+
+    /// Warm-started potentials only accelerate feasibility probes — every
+    /// returned solution comes from a canonical cold solve at the final
+    /// parameter — so disabling warm starts must not change a single bit
+    /// of the outcome.
+    fn assert_warm_matches_cold(variant: SkewVariant, seed: u64) {
+        let mut a = toy(seed);
+        let mut b = toy(seed);
+        let warm = Flow::new(FlowConfig { skew_variant: variant, ..FlowConfig::default() });
+        let cold = Flow::new(FlowConfig {
+            skew_variant: variant,
+            warm_start: false,
+            ..FlowConfig::default()
+        });
+        let out_w = warm.run(&mut a, 3);
+        let out_c = cold.run(&mut b, 3);
+        assert_eq!(out_w.schedule, out_c.schedule);
+        assert_eq!(out_w.assignment, out_c.assignment);
+        assert_eq!(out_w.base, out_c.base);
+        assert_eq!(out_w.iterations, out_c.iterations);
+        assert_eq!(out_w.taps.solutions, out_c.taps.solutions);
+        for (&ff_a, &ff_b) in a.flip_flops().iter().zip(&b.flip_flops()) {
+            assert_eq!(a.position(ff_a), b.position(ff_b));
+        }
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_to_cold_weighted_sum() {
+        assert_warm_matches_cold(SkewVariant::WeightedSum, 9);
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_to_cold_minimax() {
+        assert_warm_matches_cold(SkewVariant::Minimax, 10);
     }
 
     #[test]

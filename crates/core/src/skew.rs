@@ -15,7 +15,7 @@
 //!   suggests.
 
 use rotary_solver::mcmf::FlowNetwork;
-use rotary_solver::DifferenceSystem;
+use rotary_solver::{DifferenceSystem, ParametricSystem};
 use rotary_timing::{SequentialGraph, Technology};
 use serde::{Deserialize, Serialize};
 
@@ -52,36 +52,87 @@ pub struct SkewStats {
     pub solver_iterations: usize,
 }
 
-/// The smallest clock period at which the skew constraints admit any
-/// schedule, found by doubling + bisection over Bellman–Ford feasibility.
-/// Never smaller than `tech.clock_period`.
-pub fn min_feasible_period(graph: &SequentialGraph, tech: &Technology) -> f64 {
-    if graph.pairs().is_empty() {
-        return tech.clock_period;
+/// Warm-start state carried across scheduling calls within one flow run.
+///
+/// The timing-graph *topology* is fixed over the Fig. 3 loop — only the
+/// bounds drift as incremental placement moves the cells — so the feasible
+/// potentials of one iteration are an excellent relaxation seed for the
+/// next. Each scheduler family keeps its own slot (the systems differ in
+/// variable count and parametrization). Seeding is purely an accelerator:
+/// every returned schedule comes from a canonical cold solve at the final
+/// parameter, so results are bit-identical with or without a context.
+#[derive(Debug, Clone, Default)]
+pub struct SkewContext {
+    /// Potentials of the period-search parametrization.
+    period: Option<Vec<f64>>,
+    /// Potentials of the stage-2 max-slack system.
+    stage2: Option<Vec<f64>>,
+    /// Potentials of the minimax system (`n + 1` variables).
+    minimax: Option<Vec<f64>>,
+    /// Potentials of the weighted-schedule feasibility system.
+    weighted: Option<Vec<f64>>,
+}
+
+impl SkewContext {
+    /// An empty context (first iteration: all solves start cold).
+    pub fn new() -> Self {
+        Self::default()
     }
-    let feasible = |period: f64| -> bool {
-        let t = Technology { clock_period: period, ..*tech };
-        timing_system(graph, &t, 0.0, 0).0.is_feasible()
-    };
-    let mut lo = tech.clock_period;
-    if feasible(lo) {
-        return lo;
-    }
-    let mut hi = lo * 2.0;
-    while !feasible(hi) {
-        lo = hi;
-        hi *= 2.0;
-        assert!(hi < 1e6, "timing constraints infeasible at any period");
-    }
-    for _ in 0..50 {
-        let mid = 0.5 * (lo + hi);
-        if feasible(mid) {
-            hi = mid;
-        } else {
-            lo = mid;
+}
+
+/// Seeds `par` from a context slot when the variable counts line up
+/// (they can differ transiently, e.g. across a ring-grid sweep).
+fn seed_from(par: &mut ParametricSystem, slot: &Option<Vec<f64>>) {
+    if let Some(labels) = slot {
+        if labels.len() == par.num_vars() {
+            par.seed(labels);
         }
     }
-    hi
+}
+
+/// The smallest clock period at which the skew constraints admit any
+/// schedule. Never smaller than `tech.clock_period`.
+///
+/// Both skew bounds are affine in the period `T` — the long-path bound
+/// `T − D_max − t_setup` grows with it, the short-path bound is
+/// independent — so one parametric system built at `tech.clock_period`
+/// with the long-path rows *loosening* (`tighten = −1`) covers every
+/// candidate period as `bound + m`; the exact minimum excess `m` is the
+/// cycle-ratio solve of [`ParametricSystem::min_feasible`]. No
+/// per-probe system rebuilds, no `Technology` clones.
+pub fn min_feasible_period(graph: &SequentialGraph, tech: &Technology) -> f64 {
+    min_feasible_period_ctx(graph, tech, &mut SkewContext::new()).0
+}
+
+/// [`min_feasible_period`] with warm-start context and solver stats.
+///
+/// # Panics
+///
+/// Panics if the constraints are infeasible at any period (a negative
+/// short-path-only cycle).
+pub fn min_feasible_period_ctx(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ctx: &mut SkewContext,
+) -> (f64, SkewStats) {
+    if graph.pairs().is_empty() {
+        return (tech.clock_period, SkewStats::default());
+    }
+    let (sys, timing_rows) = timing_system(graph, tech, 0.0, 0);
+    let mut tighten = vec![0.0; sys.constraints().len()];
+    // timing_system pushes rows in (long-path, short-path) pairs; only the
+    // long-path rows carry the period.
+    for (k, &row) in timing_rows.iter().enumerate() {
+        if k % 2 == 0 {
+            tighten[row] = -1.0;
+        }
+    }
+    let mut par = ParametricSystem::new(&sys, &tighten);
+    seed_from(&mut par, &ctx.period);
+    let excess = par.min_feasible(1e6).expect("timing constraints infeasible at any period");
+    ctx.period = Some(par.potentials().to_vec());
+    let stats = SkewStats { constraints: sys.constraints().len(), solver_iterations: par.solves() };
+    (tech.clock_period + excess, stats)
 }
 
 /// Builds the timing difference-constraint system at slack `m`:
@@ -129,6 +180,23 @@ pub fn max_slack_schedule_with_stats(
     graph: &SequentialGraph,
     tech: &Technology,
 ) -> (SkewSchedule, SkewStats) {
+    max_slack_schedule_ctx(graph, tech, &mut SkewContext::new())
+}
+
+/// [`max_slack_schedule_with_stats`] with warm-start context: the slack
+/// maximization runs as an exact parametric cycle-ratio solve (Newton on
+/// the violated cycles) instead of a tolerance-bounded bisection, seeded
+/// from the previous iteration's potentials. The returned targets come
+/// from a canonical cold solve at the optimum.
+///
+/// # Panics
+///
+/// Same conditions as [`max_slack_schedule`].
+pub fn max_slack_schedule_ctx(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ctx: &mut SkewContext,
+) -> (SkewSchedule, SkewStats) {
     let n = graph.flip_flops().len();
     if graph.pairs().is_empty() {
         let schedule = SkewSchedule { period: tech.clock_period, ..SkewSchedule::zero(n) };
@@ -137,14 +205,22 @@ pub fn max_slack_schedule_with_stats(
     // If the circuit cannot run at the nominal period, schedule at the
     // minimum feasible period (with a small margin so the cost-driven
     // stage keeps room to move).
-    let period = min_feasible_period(graph, tech);
+    let (period, period_stats) = min_feasible_period_ctx(graph, tech, ctx);
     let period = if period > tech.clock_period { 1.05 * period } else { period };
     let tech_eff = Technology { clock_period: period, ..*tech };
     let (sys, _) = timing_system(graph, &tech_eff, 0.0, 0);
     let tighten = vec![1.0; sys.constraints().len()];
-    let (slack, mut targets, solves) = sys.maximize_slack_with_stats(&tighten, period, 1e-6);
+    let mut par = ParametricSystem::new(&sys, &tighten);
+    seed_from(&mut par, &ctx.stage2);
+    let (slack, mut targets) = par
+        .maximize_slack_exact(period)
+        .expect("base system must be feasible for slack maximization");
+    ctx.stage2 = Some(par.potentials().to_vec());
     normalize(&mut targets);
-    let stats = SkewStats { constraints: sys.constraints().len(), solver_iterations: solves };
+    let stats = SkewStats {
+        constraints: sys.constraints().len(),
+        solver_iterations: period_stats.solver_iterations + par.solves(),
+    };
     (SkewSchedule { targets, slack, period }, stats)
 }
 
@@ -185,6 +261,23 @@ pub fn minimax_schedule_with_stats(
     stub_delay: &[f64],
     m: f64,
 ) -> (SkewSchedule, SkewStats) {
+    minimax_schedule_ctx(graph, tech, ring_delay, stub_delay, m, &mut SkewContext::new())
+}
+
+/// [`minimax_schedule_with_stats`] with warm-start context (exact
+/// parametric solve; canonical cold solution at the optimum).
+///
+/// # Panics
+///
+/// Same conditions as [`minimax_schedule`].
+pub fn minimax_schedule_ctx(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ring_delay: &[f64],
+    stub_delay: &[f64],
+    m: f64,
+    ctx: &mut SkewContext,
+) -> (SkewSchedule, SkewStats) {
     let n = graph.flip_flops().len();
     assert_eq!(ring_delay.len(), n);
     assert_eq!(stub_delay.len(), n);
@@ -209,7 +302,12 @@ pub fn minimax_schedule_with_stats(
         sys.add(reference, i, delta_max - ring_delay[i] - 2.0 * stub_delay[i]);
         tighten.push(1.0);
     }
-    let (s, mut sol, solves) = sys.maximize_slack_with_stats(&tighten, delta_max, 1e-6);
+    let mut par = ParametricSystem::new(&sys, &tighten);
+    seed_from(&mut par, &ctx.minimax);
+    let (s, mut sol) = par
+        .maximize_slack_exact(delta_max)
+        .unwrap_or_else(|| panic!("timing constraints infeasible at slack {m}"));
+    ctx.minimax = Some(par.potentials().to_vec());
     let _delta = delta_max - s;
     // Shift so the reference variable is exactly 0.
     let r = sol[reference];
@@ -217,7 +315,7 @@ pub fn minimax_schedule_with_stats(
     for v in &mut sol {
         *v -= r;
     }
-    let stats = SkewStats { constraints: sys.constraints().len(), solver_iterations: solves };
+    let stats = SkewStats { constraints: sys.constraints().len(), solver_iterations: par.solves() };
     (SkewSchedule { targets: sol, slack: m, period: tech.clock_period }, stats)
 }
 
@@ -255,11 +353,37 @@ pub fn weighted_schedule_with_stats(
     weight: &[f64],
     m: f64,
 ) -> (SkewSchedule, SkewStats) {
+    weighted_schedule_ctx(graph, tech, ideal, weight, m, &mut SkewContext::new())
+}
+
+/// [`weighted_schedule_with_stats`] with warm-start context: the timing
+/// feasibility pre-check relaxes from the previous iteration's potentials
+/// instead of a cold solve. The circulation dual itself is
+/// context-independent (its engine already persists labels across
+/// cancellations internally), so the schedule is identical either way.
+///
+/// # Panics
+///
+/// Same conditions as [`weighted_schedule`].
+pub fn weighted_schedule_ctx(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ideal: &[f64],
+    weight: &[f64],
+    m: f64,
+    ctx: &mut SkewContext,
+) -> (SkewSchedule, SkewStats) {
     let n = graph.flip_flops().len();
     assert_eq!(ideal.len(), n);
     assert_eq!(weight.len(), n);
     let (sys, _) = timing_system(graph, tech, m, 0);
-    assert!(sys.is_feasible(), "timing constraints infeasible at slack {m}");
+    {
+        let tighten = vec![0.0; sys.constraints().len()];
+        let mut par = ParametricSystem::new(&sys, &tighten);
+        seed_from(&mut par, &ctx.weighted);
+        assert!(par.probe(0.0), "timing constraints infeasible at slack {m}");
+        ctx.weighted = Some(par.potentials().to_vec());
+    }
 
     // Dual network: node per flip-flop + reference node R = n.
     // Constraint y_i − y_j ≤ b  ⇒ arc i → j, cost b, cap ∞.
@@ -274,11 +398,17 @@ pub fn weighted_schedule_with_stats(
     const W_SCALE: f64 = 64.0;
     let mut net = FlowNetwork::new(n + 1);
     let reference = net.node(n);
+    // Every negative-cost simple cycle crosses R (cycles of constraint
+    // arcs alone sum ≥ 0 — the system is feasible), so circulation flow on
+    // any constraint arc is bounded by the total R-arc capacity. A finite
+    // cap lets the solver saturate negative-bound constraint arcs without
+    // overflow while changing no optimum.
+    let w_caps: Vec<i64> = weight.iter().map(|&w| (w * W_SCALE).round() as i64).collect();
+    let total_w: i64 = w_caps.iter().filter(|&&c| c > 0).sum::<i64>().max(1);
     for c in sys.constraints() {
-        net.add_arc(net.node(c.i), net.node(c.j), i64::MAX / 4, c.bound);
+        net.add_arc(net.node(c.i), net.node(c.j), total_w, c.bound);
     }
-    for i in 0..n {
-        let cap = (weight[i] * W_SCALE).round() as i64;
+    for (i, &cap) in w_caps.iter().enumerate() {
         if cap <= 0 {
             continue;
         }

@@ -16,13 +16,18 @@
 use std::fmt;
 use std::time::Instant;
 
-/// The six stages of the paper's Fig. 3 methodology.
+/// The six stages of the paper's Fig. 3 methodology, plus the one-off
+/// clock-period search that runs before the first stage-2 pass (recorded
+/// separately so its cost is not misattributed to skew optimization; it
+/// shares stage 2's Fig. 3 number).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Stage 1: initial wirelength-driven placement.
     InitialPlacement,
-    /// Stage 2: max-slack skew optimization (and the one-off period search
-    /// before the first pass).
+    /// One-off minimum-feasible-period search after the initial placement
+    /// (the rings' period is fixed hardware; found once, before the loop).
+    PeriodSearch,
+    /// Stage 2: max-slack skew optimization.
     SkewOptimization,
     /// Stage 3: tapping-candidate generation + flip-flop-to-ring assignment.
     Assignment,
@@ -34,9 +39,11 @@ pub enum Stage {
     IncrementalPlacement,
 }
 
-/// All stages, in Fig. 3 order.
-pub const STAGES: [Stage; 6] = [
+/// All stages, in Fig. 3 order (the period search sits between stages 1
+/// and 2, where it runs).
+pub const STAGES: [Stage; 7] = [
     Stage::InitialPlacement,
+    Stage::PeriodSearch,
     Stage::SkewOptimization,
     Stage::Assignment,
     Stage::CostDrivenSkew,
@@ -45,10 +52,24 @@ pub const STAGES: [Stage; 6] = [
 ];
 
 impl Stage {
-    /// The stage's number in Fig. 3 (1–6).
+    /// The stage's number in Fig. 3 (1–6; the period search belongs to the
+    /// stage-2 family).
     pub fn number(self) -> usize {
         match self {
             Stage::InitialPlacement => 1,
+            Stage::PeriodSearch | Stage::SkewOptimization => 2,
+            Stage::Assignment => 3,
+            Stage::CostDrivenSkew => 4,
+            Stage::Evaluation => 5,
+            Stage::IncrementalPlacement => 6,
+        }
+    }
+
+    /// Position in [`STAGES`] (the rollup index).
+    fn index(self) -> usize {
+        match self {
+            Stage::InitialPlacement => 0,
+            Stage::PeriodSearch => 1,
             Stage::SkewOptimization => 2,
             Stage::Assignment => 3,
             Stage::CostDrivenSkew => 4,
@@ -61,6 +82,7 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::InitialPlacement => "initial_placement",
+            Stage::PeriodSearch => "period_search",
             Stage::SkewOptimization => "skew_optimization",
             Stage::Assignment => "assignment",
             Stage::CostDrivenSkew => "cost_driven_skew",
@@ -156,10 +178,10 @@ impl FlowTelemetry {
 
     /// Per-stage rollup in Fig. 3 order: `(stage, seconds, passes,
     /// solver_iterations)`. Stages that never ran report zeros.
-    pub fn totals_by_stage(&self) -> [(Stage, f64, usize, usize); 6] {
+    pub fn totals_by_stage(&self) -> [(Stage, f64, usize, usize); 7] {
         let mut out = STAGES.map(|s| (s, 0.0, 0usize, 0usize));
         for r in &self.records {
-            let slot = &mut out[r.stage.number() - 1];
+            let slot = &mut out[r.stage.index()];
             slot.1 += r.seconds;
             slot.2 += 1;
             slot.3 += r.solver_iterations;
@@ -291,7 +313,7 @@ mod tests {
         t.push(record(Stage::Evaluation, 0, 1.0));
         t.push(record(Stage::Evaluation, 1, 2.0));
         let totals = t.totals_by_stage();
-        let eval = totals[Stage::Evaluation.number() - 1];
+        let eval = totals[Stage::Evaluation.index()];
         assert_eq!(eval.0, Stage::Evaluation);
         assert!((eval.1 - 3.0).abs() < 1e-12);
         assert_eq!(eval.2, 2);
@@ -320,12 +342,18 @@ mod tests {
 
     #[test]
     fn stage_metadata_is_consistent() {
+        // Fig. 3 numbers are non-decreasing along STAGES and cover 1–6;
+        // rollup indices are exactly the array positions.
+        let numbers: Vec<usize> = STAGES.iter().map(|s| s.number()).collect();
+        assert_eq!(numbers, vec![1, 2, 2, 3, 4, 5, 6]);
         for (k, s) in STAGES.iter().enumerate() {
-            assert_eq!(s.number(), k + 1);
+            assert_eq!(s.index(), k);
         }
         assert!(Stage::InitialPlacement.is_placer());
         assert!(Stage::IncrementalPlacement.is_placer());
         assert!(!Stage::Assignment.is_placer());
+        assert!(!Stage::PeriodSearch.is_placer(), "period search is solver work");
         assert_eq!(Stage::CostDrivenSkew.to_string(), "cost_driven_skew");
+        assert_eq!(Stage::PeriodSearch.to_string(), "period_search");
     }
 }

@@ -12,7 +12,7 @@
 //! [`crate::graph`] (virtual-source mode), which also serves the flow
 //! solvers in [`crate::mcmf`].
 
-use crate::graph::{Source, SpfaGraph};
+use crate::graph::{RelaxOutcome, Source, SpfaGraph, WarmSpfa};
 use serde::{Deserialize, Serialize};
 
 /// Relaxation tolerance for the constraint-graph shortest paths.
@@ -165,6 +165,300 @@ impl DifferenceSystem {
     }
 }
 
+/// Newton-iteration cap before [`ParametricSystem`] falls back to plain
+/// bisection (floating-point pathologies only; each Newton step jumps to
+/// the ratio of a distinct simple cycle, so real instances terminate in a
+/// handful of steps).
+const NEWTON_CAP: usize = 64;
+
+/// Bisection rounds of the fallback path (matches the resolution of the
+/// historical 50-step searches).
+const FALLBACK_BISECTIONS: usize = 60;
+
+/// Tighten-sum threshold below which a cycle counts as
+/// parameter-independent.
+const TIGHTEN_TINY: f64 = 1e-12;
+
+/// A difference-constraint system with parametric bounds
+/// `bound_k − m·tighten_k`, solved by warm-started SPFA over a constraint
+/// graph built **once**.
+///
+/// Where [`DifferenceSystem::maximize_slack_with_stats`] rebuilds the
+/// system and re-relaxes from a cold virtual source for every bisection
+/// probe, this engine keeps one [`WarmSpfa`] and persistent potentials:
+///
+/// * [`Self::probe`] re-checks feasibility at a new `m` starting from the
+///   previous feasible potentials — after a small tightening only the
+///   violated wavefront is re-relaxed;
+/// * [`Self::max_feasible`] / [`Self::min_feasible`] solve the minimum
+///   cycle-ratio problem *exactly* by Newton (Dinkelbach) iteration on the
+///   cycles SPFA detects, instead of dozens of cold bisection probes;
+/// * [`Self::solve_cold`] produces the canonical zero-start solution at
+///   any `m` — identical to [`DifferenceSystem::solve`] on the tightened
+///   system — so results never depend on the warm-start history;
+/// * [`Self::seed`] loads potentials carried from an earlier, similar
+///   system (e.g. the previous placement iteration of a flow loop).
+///
+/// Feasibility verdicts are exact regardless of the starting labels: a
+/// converged relaxation certifies every constraint, and a violated cycle
+/// keeps the queue busy until detection.
+#[derive(Debug, Clone)]
+pub struct ParametricSystem {
+    n: usize,
+    constraints: Vec<Constraint>,
+    tighten: Vec<f64>,
+    engine: WarmSpfa,
+    scratch: Vec<f64>,
+    solves: usize,
+}
+
+impl ParametricSystem {
+    /// Builds the engine from a base system and its tightening
+    /// coefficients (parallel to the constraints; positive entries tighten
+    /// as `m` grows, negative entries loosen, zero entries are
+    /// parameter-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tighten.len() != sys.constraints().len()`.
+    pub fn new(sys: &DifferenceSystem, tighten: &[f64]) -> Self {
+        assert_eq!(tighten.len(), sys.constraints().len(), "tighten not parallel to constraints");
+        // Constraint y_i − y_j ≤ b ⇒ arc j → i (same convention as
+        // `DifferenceSystem::solve`); arc id == constraint index.
+        let arcs: Vec<(usize, usize)> = sys.constraints().iter().map(|c| (c.j, c.i)).collect();
+        let mut engine = WarmSpfa::new(sys.num_vars(), &arcs);
+        engine.reset_zero();
+        Self {
+            n: sys.num_vars(),
+            constraints: sys.constraints().to_vec(),
+            tighten: tighten.to_vec(),
+            engine,
+            scratch: vec![0.0; sys.num_vars()],
+            solves: 0,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Relaxation rounds run so far (cold or warm; telemetry).
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// The current potentials (the labels of the last successful probe or
+    /// cold solve; a feasible assignment for that parameter).
+    pub fn potentials(&self) -> &[f64] {
+        self.engine.dist()
+    }
+
+    /// Seeds the potentials from labels carried over from a related system
+    /// (previous flow iteration). Any finite labels are sound — verdicts
+    /// stay exact — they only change how much of the graph re-relaxes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the variable count.
+    pub fn seed(&mut self, labels: &[f64]) {
+        self.engine.load_dist(labels);
+    }
+
+    /// One relaxation round at parameter `m` from the current labels.
+    /// `Ok(())` commits the relaxed labels; `Err(cycle)` restores the
+    /// pre-round labels and returns the violated cycle's constraint ids.
+    ///
+    /// The warm round runs under a pop budget: labels near a *marginal*
+    /// fixpoint can creep for up to `n` laps before the cycle certificate
+    /// fires, Θ(n·arcs) work a zero-label start settles in one sweep. When
+    /// the budget trips, the round restarts from zero labels — so a probe
+    /// costs at most the budget plus one cold round, while genuinely warm
+    /// probes (small violated wavefront) never come near the cap.
+    fn relax_at(&mut self, m: f64) -> Result<(), Vec<usize>> {
+        self.solves += 1;
+        self.scratch.copy_from_slice(self.engine.dist());
+        let budget = 4 * self.n + self.constraints.len();
+        let constraints = &self.constraints;
+        let tighten = &self.tighten;
+        let weight = |id: usize| constraints[id].bound - m * tighten[id];
+        let outcome = match self.engine.relax_budgeted(weight, RELAX_EPS, budget) {
+            Some(outcome) => outcome,
+            None => {
+                self.solves += 1;
+                self.engine.reset_zero();
+                self.engine.relax(weight, RELAX_EPS)
+            }
+        };
+        match outcome {
+            RelaxOutcome::Converged => Ok(()),
+            RelaxOutcome::NegativeCycle(cycle) => {
+                self.engine.load_dist(&self.scratch);
+                Err(cycle)
+            }
+        }
+    }
+
+    /// Whether the system is feasible at `m`, warm-starting from the
+    /// current potentials. On success the potentials move to the fixed
+    /// point for `m`; on failure they are left untouched.
+    pub fn probe(&mut self, m: f64) -> bool {
+        self.relax_at(m).is_ok()
+    }
+
+    /// The canonical solution at `m`: relaxation from all-zero labels,
+    /// bit-identical to [`DifferenceSystem::solve`] on the tightened
+    /// system. `None` if infeasible (previous potentials restored).
+    pub fn solve_cold(&mut self, m: f64) -> Option<Vec<f64>> {
+        self.solves += 1;
+        self.scratch.copy_from_slice(self.engine.dist());
+        self.engine.reset_zero();
+        let constraints = &self.constraints;
+        let tighten = &self.tighten;
+        match self.engine.relax(|id| constraints[id].bound - m * tighten[id], RELAX_EPS) {
+            RelaxOutcome::Converged => Some(self.engine.dist().to_vec()),
+            RelaxOutcome::NegativeCycle(_) => {
+                self.engine.load_dist(&self.scratch);
+                None
+            }
+        }
+    }
+
+    /// Sums `(Σ bound, Σ tighten)` over a cycle's constraint ids.
+    ///
+    /// The cycle is rotated to start at its smallest constraint id first:
+    /// the extraction entry point depends on the relaxation history (warm
+    /// starts walk the predecessor chain from a different vertex), and
+    /// floating-point summation is order-sensitive. Canonicalizing the
+    /// rotation makes the ratio of a given cycle — and therefore the
+    /// Newton iterates — bit-identical regardless of how the engine was
+    /// seeded.
+    fn cycle_sums(&self, cycle: &[usize]) -> (f64, f64) {
+        let start =
+            cycle.iter().enumerate().min_by_key(|&(_, &id)| id).map(|(k, _)| k).unwrap_or(0);
+        cycle[start..]
+            .iter()
+            .chain(&cycle[..start])
+            .fold((0.0, 0.0), |(b, t), &id| (b + self.constraints[id].bound, t + self.tighten[id]))
+    }
+
+    /// The largest `m ∈ [0, hi]` at which the system is feasible — the
+    /// minimum cycle ratio `Σbound/Σtighten` over cycles with positive
+    /// tighten sum (clamped to `hi`) — found by Newton iteration: an
+    /// infeasible probe yields a violated cycle whose ratio becomes the
+    /// next (strictly smaller) probe point; a feasible probe is optimal
+    /// because its `m` *is* the ratio of an actual cycle. Requires
+    /// feasibility to be downward-closed in `m` (all relevant tightens
+    /// ≥ 0); returns `None` when even `m = 0` is infeasible.
+    ///
+    /// On success the potentials are feasible for the returned `m`.
+    pub fn max_feasible(&mut self, hi: f64) -> Option<f64> {
+        let mut m = hi.max(0.0);
+        for _ in 0..NEWTON_CAP {
+            let cycle = match self.relax_at(m) {
+                Ok(()) => return Some(m),
+                Err(cycle) => cycle,
+            };
+            let (b, t) = self.cycle_sums(&cycle);
+            if t <= TIGHTEN_TINY {
+                // The violated cycle does not loosen as m shrinks: with
+                // t ≤ 0 and m ≥ 0, b − m·t < 0 forces b < 0, so the cycle
+                // is violated at m = 0 too.
+                return None;
+            }
+            let next = b / t;
+            if next < 0.0 {
+                return None;
+            }
+            // NaN-safe stall guard: bisect unless the ratio strictly
+            // decreased.
+            if next >= m || next.is_nan() {
+                break;
+            }
+            m = next;
+        }
+        // Fallback: plain bisection on [0, m] with warm probes (verdicts
+        // are exact; only the Newton jumps misbehaved).
+        if !self.probe(0.0) {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.0f64, m);
+        for _ in 0..FALLBACK_BISECTIONS {
+            let mid = 0.5 * (lo + hi);
+            if self.probe(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Leave the potentials feasible for the returned parameter.
+        self.probe(lo);
+        Some(lo)
+    }
+
+    /// The smallest `m ∈ [0, hi]` at which the system is feasible, for
+    /// parametrizations where growing `m` *loosens* (negative tightens on
+    /// the binding rows — e.g. the clock-period search, where every
+    /// long-path bound grows with the period). Newton iteration in the
+    /// increasing direction: a violated cycle with negative tighten sum
+    /// yields the exact `m` at which it stops being violated. Returns
+    /// `None` if some violated cycle cannot be loosened (infeasible at any
+    /// `m`, e.g. a negative short-path-only cycle) or the answer exceeds
+    /// `hi`.
+    pub fn min_feasible(&mut self, hi: f64) -> Option<f64> {
+        let mut m = 0.0f64;
+        for _ in 0..NEWTON_CAP {
+            let cycle = match self.relax_at(m) {
+                Ok(()) => return Some(m),
+                Err(cycle) => cycle,
+            };
+            let (b, t) = self.cycle_sums(&cycle);
+            if t >= -TIGHTEN_TINY {
+                // Growing m cannot repair this cycle.
+                return None;
+            }
+            let next = b / t; // > m: b − m·t < 0 with t < 0 ⇒ b/t > m
+            if next > hi {
+                return None;
+            }
+            // NaN-safe stall guard: bisect unless the ratio strictly
+            // increased.
+            if next <= m || next.is_nan() {
+                break;
+            }
+            m = next;
+        }
+        if !self.probe(hi) {
+            return None;
+        }
+        let (mut lo, mut hi) = (m, hi);
+        for _ in 0..FALLBACK_BISECTIONS {
+            let mid = 0.5 * (lo + hi);
+            if self.probe(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        self.probe(hi);
+        Some(hi)
+    }
+
+    /// Exact max-slack solve: [`Self::max_feasible`] followed by the
+    /// canonical cold solve at the optimum. Returns `(m*, solution)`;
+    /// `None` when the base system (`m = 0`) is infeasible.
+    pub fn maximize_slack_exact(&mut self, hi: f64) -> Option<(f64, Vec<f64>)> {
+        let m = self.max_feasible(hi)?;
+        let sol = self.solve_cold(m).expect("max_feasible returned a feasible parameter");
+        Some((m, sol))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +541,98 @@ mod tests {
     fn rejects_bad_variable() {
         let mut sys = DifferenceSystem::new(1);
         sys.add(0, 3, 1.0);
+    }
+
+    #[test]
+    fn parametric_probe_matches_cold_solves() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 4.0);
+        sys.add(1, 0, -1.0);
+        let tighten = [1.0, 0.0];
+        let mut par = ParametricSystem::new(&sys, &tighten);
+        for &m in &[0.0, 1.0, 2.5, 3.0] {
+            assert!(par.probe(m), "m = {m} tightens 4 − m ≥ 1: feasible");
+        }
+        assert!(!par.probe(3.5), "4 − 3.5 < 1: infeasible");
+        // Failed probe must not corrupt the committed potentials.
+        let y = par.potentials().to_vec();
+        let mut tight = DifferenceSystem::new(2);
+        tight.add(0, 1, 4.0 - 3.0);
+        tight.add(1, 0, -1.0);
+        assert!(tight.check(&y, 1e-9), "potentials stay feasible for the last good m");
+    }
+
+    #[test]
+    fn parametric_newton_finds_exact_ratio() {
+        // Max slack limited by cycle (0,1): (4 + (−1)) − s(1 + 0) ≥ 0 ⇒ 3.
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 4.0);
+        sys.add(1, 0, -1.0);
+        let mut par = ParametricSystem::new(&sys, &[1.0, 0.0]);
+        let (s, y) = par.maximize_slack_exact(10.0).expect("base feasible");
+        assert!((s - 3.0).abs() < 1e-12, "Newton is exact, s = {s}");
+        assert!(y[0] - y[1] >= 1.0 - 1e-9);
+        // 2 Newton probes (10 → 3) + 1 canonical cold solve.
+        assert!(par.solves() <= 4, "solves = {}", par.solves());
+    }
+
+    #[test]
+    fn parametric_clamps_to_hi() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 5.0);
+        let mut par = ParametricSystem::new(&sys, &[0.0]);
+        assert_eq!(par.max_feasible(7.5), Some(7.5));
+    }
+
+    #[test]
+    fn parametric_infeasible_base_reports_none() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, -2.0);
+        let mut par = ParametricSystem::new(&sys, &[1.0, 1.0]);
+        assert_eq!(par.max_feasible(5.0), None);
+    }
+
+    #[test]
+    fn parametric_min_feasible_loosens_to_the_exact_threshold() {
+        // Cycle weight (1 − 2) + m·1 ≥ 0 ⇔ m ≥ 1 (tighten −1 loosens row 0).
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, -2.0);
+        let mut par = ParametricSystem::new(&sys, &[-1.0, 0.0]);
+        let m = par.min_feasible(100.0).expect("loosenable");
+        assert!((m - 1.0).abs() < 1e-12, "m = {m}");
+        // A system that no amount of loosening repairs.
+        let mut par2 = ParametricSystem::new(&sys, &[0.0, 0.0]);
+        assert_eq!(par2.min_feasible(100.0), None);
+    }
+
+    #[test]
+    fn parametric_solve_cold_is_canonical() {
+        let mut sys = DifferenceSystem::new(3);
+        sys.add(1, 0, 2.0);
+        sys.add(2, 1, 2.0);
+        sys.add(0, 2, -3.0);
+        let mut par = ParametricSystem::new(&sys, &[1.0, 1.0, 0.0]);
+        // Drive the warm state somewhere else first.
+        assert!(par.probe(0.25));
+        let cold = par.solve_cold(0.0).expect("feasible");
+        assert_eq!(cold, sys.solve().expect("feasible"), "bit-identical to DifferenceSystem");
+    }
+
+    #[test]
+    fn parametric_exact_agrees_with_bisection_cross_check() {
+        // Two competing cycles with different ratios; tighten on all rows.
+        let mut sys = DifferenceSystem::new(3);
+        sys.add(0, 1, 2.0);
+        sys.add(1, 0, 1.0);
+        sys.add(1, 2, 5.0);
+        sys.add(2, 1, -1.0);
+        let tighten = [1.0, 1.0, 1.0, 1.0];
+        let (s_bisect, _, _) = sys.maximize_slack_with_stats(&tighten, 50.0, 1e-9);
+        let mut par = ParametricSystem::new(&sys, &tighten);
+        let (s_exact, _) = par.maximize_slack_exact(50.0).expect("feasible");
+        assert!((s_exact - s_bisect).abs() < 1e-6, "exact {s_exact} vs bisection {s_bisect}");
+        assert!((s_exact - 1.5).abs() < 1e-12, "cycle (0,1): (2+1)/2");
     }
 }

@@ -231,6 +231,228 @@ impl SpfaGraph {
     }
 }
 
+/// Outcome of one [`WarmSpfa::relax`] round.
+#[derive(Debug, Clone)]
+pub enum RelaxOutcome {
+    /// All arcs satisfy `dist[head] ≤ dist[tail] + w + eps`: the labels are
+    /// a feasibility certificate for the current weights.
+    Converged,
+    /// A negative cycle was detected; arc ids in forward order.
+    NegativeCycle(Vec<usize>),
+}
+
+/// Warm-startable SPFA over a **fixed topology** with per-round weights.
+///
+/// Where [`SpfaGraph::run`] rebuilds its CSR adjacency and relaxes every
+/// node from a cold virtual source on each call, `WarmSpfa` builds the CSR
+/// structure once from the arc list and exposes relaxation as an
+/// incremental operation on persistent distance labels:
+///
+/// * weights are supplied per round as a closure over the arc id (so a
+///   parametric tightening `b − m·t`, or a capacity-filtered residual
+///   network, needs no graph rebuild — return `f64::INFINITY` to disable
+///   an arc for the round);
+/// * [`Self::relax`] seeds its queue with only the tails of arcs the
+///   current labels violate, so a re-check after a small parameter change
+///   touches a wavefront, not the whole graph;
+/// * labels persist across rounds (and can be saved/restored through
+///   [`Self::dist`] / [`Self::load_dist`]), which is what makes carrying
+///   potentials across probes, cancellations, and flow iterations cheap.
+///
+/// Starting relaxation from *any* finite labels is sound: on convergence
+/// the labels certify that no arc is violated (hence every cycle has
+/// non-negative weight up to `n·eps`), and a sufficiently negative cycle
+/// always keeps some arc violated, so it cannot converge past one.
+/// Predecessors and tree-path lengths are reset every round, so an
+/// extracted cycle only contains arcs relaxed *this* round.
+#[derive(Debug, Clone)]
+pub struct WarmSpfa {
+    n: usize,
+    tails: Vec<u32>,
+    heads: Vec<u32>,
+    adj: CsrMatrix,
+    entry_arc: Vec<u32>,
+    dist: Vec<f64>,
+    pred: Vec<u32>,
+    path_len: Vec<u32>,
+    in_queue: Vec<bool>,
+}
+
+const NO_PRED: u32 = u32::MAX;
+
+impl WarmSpfa {
+    /// Builds the engine over `n` nodes and the given `(tail, head)` arcs.
+    /// Arc ids are positions in `arcs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn new(n: usize, arcs: &[(usize, usize)]) -> Self {
+        let triplets: Vec<(usize, usize, f64)> = arcs
+            .iter()
+            .map(|&(f, t)| {
+                assert!(f < n && t < n, "arc ({f}, {t}) out of range");
+                (f, t, 0.0)
+            })
+            .collect();
+        let (adj, entry_arc) = CsrMatrix::from_triplets_with_perm(n, n.max(1), &triplets);
+        Self {
+            n,
+            tails: arcs.iter().map(|&(f, _)| f as u32).collect(),
+            heads: arcs.iter().map(|&(_, t)| t as u32).collect(),
+            adj,
+            entry_arc,
+            dist: vec![0.0; n],
+            pred: vec![NO_PRED; n],
+            path_len: vec![0; n],
+            in_queue: vec![false; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.tails.len()
+    }
+
+    /// The `(tail, head)` of arc `id`.
+    pub fn arc_endpoints(&self, id: usize) -> (usize, usize) {
+        (self.tails[id] as usize, self.heads[id] as usize)
+    }
+
+    /// The current distance labels.
+    pub fn dist(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Overwrites the labels (e.g. restoring a snapshot after a failed
+    /// probe, or seeding potentials carried from an earlier system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != n`.
+    pub fn load_dist(&mut self, labels: &[f64]) {
+        assert_eq!(labels.len(), self.n, "label vector length mismatch");
+        self.dist.copy_from_slice(labels);
+    }
+
+    /// Resets every label to 0 — the cold virtual-source start whose
+    /// converged labels are the canonical (componentwise-maximal ≤ 0)
+    /// difference-constraint solution.
+    pub fn reset_zero(&mut self) {
+        self.dist.iter_mut().for_each(|d| *d = 0.0);
+    }
+
+    /// Runs one relaxation round under `weight` (indexed by arc id;
+    /// `f64::INFINITY` disables an arc). Only arcs violated by the current
+    /// labels seed the queue. On [`RelaxOutcome::NegativeCycle`] the labels
+    /// hold a partial relaxation snapshot — callers that need the
+    /// pre-round labels back must save them first.
+    pub fn relax(&mut self, weight: impl Fn(usize) -> f64, eps: f64) -> RelaxOutcome {
+        self.relax_budgeted(weight, eps, usize::MAX).expect("unlimited budget cannot run out")
+    }
+
+    /// [`Self::relax`] with a cap on queue pops. Returns `None` when the
+    /// cap is hit before the round converges or finds a cycle.
+    ///
+    /// Near-fixpoint labels are the warm start's worst case: every arc of
+    /// a *marginally* violated cycle improves its head by a sliver per
+    /// lap, so the `path_len ≥ n` certificate only fires after up to `n`
+    /// laps — Θ(n·arcs) work for a verdict a zero-label start reaches in
+    /// one sweep. A budget lets callers bail out of that creep and restart
+    /// cold, bounding any probe at budget + one cold round. On `None` the
+    /// labels hold a partial snapshot, exactly as on a cycle.
+    pub fn relax_budgeted(
+        &mut self,
+        weight: impl Fn(usize) -> f64,
+        eps: f64,
+        max_pops: usize,
+    ) -> Option<RelaxOutcome> {
+        let n = self.n;
+        self.pred.iter_mut().for_each(|p| *p = NO_PRED);
+        self.path_len.iter_mut().for_each(|l| *l = 0);
+        self.in_queue.iter_mut().for_each(|q| *q = false);
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for id in 0..self.tails.len() {
+            let w = weight(id);
+            if !w.is_finite() {
+                continue;
+            }
+            let (f, t) = (self.tails[id] as usize, self.heads[id] as usize);
+            if self.dist[f] + w + eps < self.dist[t] && !self.in_queue[f] {
+                self.in_queue[f] = true;
+                queue.push_back(f as u32);
+            }
+        }
+
+        let mut pops = 0usize;
+        while let Some(u) = queue.pop_front() {
+            if pops >= max_pops {
+                return None;
+            }
+            pops += 1;
+            let u = u as usize;
+            self.in_queue[u] = false;
+            let du = self.dist[u];
+            if du.is_infinite() {
+                continue;
+            }
+            let range = self.adj.row_range(u);
+            let (heads, _) = self.adj.row(u);
+            for (k, &v) in heads.iter().enumerate() {
+                let id = self.entry_arc[range.start + k] as usize;
+                let w = weight(id);
+                if !w.is_finite() {
+                    continue;
+                }
+                let v = v as usize;
+                let cand = du + w;
+                if cand + eps < self.dist[v] {
+                    self.dist[v] = cand;
+                    self.pred[v] = id as u32;
+                    self.path_len[v] = self.path_len[u] + 1;
+                    if self.path_len[v] >= n as u32 {
+                        return Some(RelaxOutcome::NegativeCycle(self.extract_cycle(v)));
+                    }
+                    if !self.in_queue[v] {
+                        self.in_queue[v] = true;
+                        queue.push_back(v as u32);
+                    }
+                }
+            }
+        }
+        Some(RelaxOutcome::Converged)
+    }
+
+    /// Walks the predecessor chain from a node whose tree path reached
+    /// length `n` and returns the arcs of the cycle it must contain (same
+    /// argument as [`SpfaGraph::extract_cycle`]; predecessors are reset per
+    /// round, so the chain only contains arcs relaxed this round).
+    fn extract_cycle(&self, mut v: usize) -> Vec<usize> {
+        for _ in 0..self.n {
+            let ai = self.pred[v];
+            assert_ne!(ai, NO_PRED, "length-n tree path has predecessors");
+            v = self.tails[ai as usize] as usize;
+        }
+        let start = v;
+        let mut arcs = Vec::new();
+        loop {
+            let ai = self.pred[v] as usize;
+            arcs.push(ai);
+            v = self.tails[ai] as usize;
+            if v == start {
+                break;
+            }
+        }
+        arcs.reverse();
+        arcs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +537,88 @@ mod tests {
     fn empty_graph() {
         let g = SpfaGraph::new(0);
         assert!(g.run(Source::Virtual, 1e-12).shortest().is_some());
+    }
+
+    #[test]
+    fn warm_relax_from_zero_matches_cold_spfa() {
+        let arcs = [(0usize, 1usize), (1, 2), (0, 2), (2, 3)];
+        let weights = [2.0, -1.0, 5.0, 0.5];
+        let mut g = SpfaGraph::new(4);
+        for (&(f, t), &w) in arcs.iter().zip(&weights) {
+            g.add_arc(f, t, w);
+        }
+        let cold = g.run(Source::Virtual, 1e-12).shortest().expect("no cycle").dist;
+
+        let mut warm = WarmSpfa::new(4, &arcs);
+        warm.reset_zero();
+        assert!(matches!(warm.relax(|id| weights[id], 1e-12), RelaxOutcome::Converged));
+        assert_eq!(warm.dist(), &cold[..]);
+    }
+
+    #[test]
+    fn warm_restart_after_tightening_touches_only_the_wavefront() {
+        // Chain 0 → 1 → 2 with a side window; tightening the first bound
+        // re-seeds only its tail.
+        let arcs = [(0usize, 1usize), (1, 2), (0, 2)];
+        let mut warm = WarmSpfa::new(3, &arcs);
+        warm.reset_zero();
+        let base = [-1.0, -1.0, 0.0];
+        assert!(matches!(warm.relax(|id| base[id], 1e-12), RelaxOutcome::Converged));
+        assert_eq!(warm.dist(), &[0.0, -1.0, -2.0]);
+        // Tighten every bound by 0.5 and re-relax from the previous labels:
+        // the fixed point must equal the cold solve of the tightened system.
+        let tight = [-1.5, -1.5, -0.5];
+        assert!(matches!(warm.relax(|id| tight[id], 1e-12), RelaxOutcome::Converged));
+        assert_eq!(warm.dist(), &[0.0, -1.5, -3.0]);
+    }
+
+    #[test]
+    fn warm_detects_negative_cycle_with_exact_arcs() {
+        let arcs = [(0usize, 1usize), (1, 2), (2, 0), (3, 0)];
+        let weights = [1.0, -3.0, 1.0, 1.0];
+        let mut warm = WarmSpfa::new(4, &arcs);
+        warm.reset_zero();
+        let RelaxOutcome::NegativeCycle(cycle) = warm.relax(|id| weights[id], 1e-12) else {
+            panic!("cycle 0→1→2→0 has weight −1");
+        };
+        let mut ids = cycle.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let total: f64 = cycle.iter().map(|&id| weights[id]).sum();
+        assert!(total < 0.0);
+    }
+
+    #[test]
+    fn infinite_weight_disables_an_arc() {
+        // The only negative cycle runs through a disabled arc.
+        let arcs = [(0usize, 1usize), (1, 0)];
+        let mut warm = WarmSpfa::new(2, &arcs);
+        warm.reset_zero();
+        let w = [-2.0, f64::INFINITY];
+        assert!(matches!(warm.relax(|id| w[id], 1e-12), RelaxOutcome::Converged));
+        assert_eq!(warm.dist(), &[0.0, -2.0]);
+        // Re-enable it: now 0→1→0 sums to −1.
+        let w2 = [-2.0, 1.0];
+        assert!(matches!(warm.relax(|id| w2[id], 1e-12), RelaxOutcome::NegativeCycle(_)));
+    }
+
+    #[test]
+    fn load_dist_restores_a_snapshot() {
+        let arcs = [(0usize, 1usize)];
+        let mut warm = WarmSpfa::new(2, &arcs);
+        warm.reset_zero();
+        assert!(matches!(warm.relax(|_| -1.0, 1e-12), RelaxOutcome::Converged));
+        let snapshot = warm.dist().to_vec();
+        assert!(matches!(warm.relax(|_| -5.0, 1e-12), RelaxOutcome::Converged));
+        assert_ne!(warm.dist(), &snapshot[..]);
+        warm.load_dist(&snapshot);
+        assert_eq!(warm.dist(), &snapshot[..]);
+    }
+
+    #[test]
+    fn warm_empty_graph() {
+        let mut warm = WarmSpfa::new(0, &[]);
+        warm.reset_zero();
+        assert!(matches!(warm.relax(|_| 0.0, 1e-12), RelaxOutcome::Converged));
     }
 }

@@ -48,8 +48,8 @@ pub mod mcmf;
 pub mod rounding;
 pub mod sparse;
 
-pub use difference::DifferenceSystem;
-pub use graph::{ShortestPaths, SpfaGraph, SpfaResult};
+pub use difference::{DifferenceSystem, ParametricSystem};
+pub use graph::{RelaxOutcome, ShortestPaths, SpfaGraph, SpfaResult, WarmSpfa};
 pub use ilp::{BranchAndBound, IlpOutcome};
 pub use lp::{LpProblem, LpSolution, LpStatus, RowKind};
 pub use mcmf::{ArcId, FlowNetwork, NodeId};

@@ -6,9 +6,10 @@
 //!   with Johnson potentials (Dijkstra inside); optimal for the flip-flop
 //!   assignment network of Section V (Fig. 4), which has non-negative costs
 //!   and integral capacities.
-//! * [`FlowNetwork::min_cost_circulation`] — negative-cycle canceling
-//!   (Klein), used for the dual of the weighted-sum skew optimization,
-//!   where arcs carry signed costs and no source/sink exists.
+//! * [`FlowNetwork::min_cost_circulation`] — saturate every negative-cost
+//!   arc, then route the resulting imbalances back via successive shortest
+//!   paths; used for the dual of the weighted-sum skew optimization, where
+//!   arcs carry signed costs and no source/sink exists.
 //!
 //! Costs are `f64`; all comparisons use a small tolerance. Capacities are
 //! integral (`i64`), so augmentations preserve integrality and the
@@ -19,7 +20,7 @@
 //! [`crate::graph`]; only the Dijkstra inner loop of the successive
 //! shortest-path method lives here.
 
-use crate::graph::{Source, SpfaGraph, SpfaResult};
+use crate::graph::{Source, SpfaGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
@@ -78,8 +79,8 @@ impl FlowNetwork {
         self.augmentations
     }
 
-    /// Negative cycles canceled by [`Self::min_cost_circulation`] so far
-    /// (telemetry).
+    /// Correction paths routed by [`Self::min_cost_circulation`] so far
+    /// (telemetry; historically negative-cycle cancellations).
     pub fn cancellations(&self) -> usize {
         self.cancellations
     }
@@ -222,42 +223,111 @@ impl FlowNetwork {
         g.run(Source::Node(s), EPS).shortest().map(|sp| sp.dist)
     }
 
-    /// Computes a minimum-cost circulation by canceling negative-cost
-    /// residual cycles (Klein's algorithm). Returns the total cost of the
+    /// Computes a minimum-cost circulation. Returns the total cost of the
     /// circulation (≤ 0).
+    ///
+    /// Instead of canceling one negative residual cycle per SPFA run
+    /// (Klein's algorithm — a full negative-cycle detection per round),
+    /// this uses the classic saturate-and-correct reduction: every
+    /// negative-cost residual arc is forced to capacity (phase 1), which
+    /// leaves a residual network whose arcs all cost ≥ 0 plus node
+    /// imbalances; the imbalances are then routed back at minimum cost by
+    /// successive shortest paths with Dijkstra on Johnson-reduced costs
+    /// (phase 2). Undoing a phase-1 push through an arc's own twin is
+    /// always possible, so phase 2 terminates with every node balanced
+    /// and the combined flow is an optimal circulation.
     ///
     /// After return, node *potentials* consistent with optimality
     /// (`cost + π_u − π_v ≥ 0` on every residual arc) can be obtained from
     /// [`Self::optimal_potentials`].
     pub fn min_cost_circulation(&mut self) -> f64 {
-        let mut total = 0.0;
-        loop {
-            // SPFA from the virtual super-source finds any negative
-            // residual cycle (tolerance 1e-7 bounds the cancel rounds).
-            let (g, back) = self.residual_graph();
-            let nc = match g.run(Source::Virtual, 1e-7) {
-                SpfaResult::Shortest(_) => return total,
-                SpfaResult::NegativeCycle(nc) => nc,
-            };
-            let cycle: Vec<u32> = nc.arcs.iter().map(|&id| back[id]).collect();
-            let weight: f64 = cycle.iter().map(|&ai| self.arcs[ai as usize].cost).sum();
-            if weight >= 0.0 {
-                // Tolerance artifact: the predecessor cycle is not actually
-                // improving, so canceling it cannot reduce cost.
+        let n = self.adj.len();
+        // Phase 1: force flow onto every negative-cost residual arc.
+        let mut excess = vec![0i64; n];
+        let mut total = 0.0f64;
+        for ai in 0..self.arcs.len() {
+            let cap = self.arcs[ai].cap;
+            if cap > 0 && self.arcs[ai].cost < 0.0 {
+                let from = self.arcs[ai ^ 1].to as usize;
+                let to = self.arcs[ai].to as usize;
+                self.arcs[ai].cap = 0;
+                self.arcs[ai ^ 1].cap += cap;
+                total += cap as f64 * self.arcs[ai].cost;
+                excess[to] += cap;
+                excess[from] -= cap;
+            }
+        }
+        // Phase 2: all residual arcs now cost ≥ 0, so zero potentials are
+        // valid and each round is a multi-source Dijkstra from the excess
+        // nodes to the nearest deficit on reduced costs.
+        let mut potential = vec![0.0f64; n];
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<u32>> = vec![None; n];
+        while excess.iter().any(|&e| e > 0) {
+            dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+            prev.iter_mut().for_each(|p| *p = None);
+            let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+            for (v, &e) in excess.iter().enumerate() {
+                if e > 0 {
+                    dist[v] = 0.0;
+                    heap.push(HeapItem { dist: 0.0, node: v as u32 });
+                }
+            }
+            while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+                if d > dist[u as usize] + EPS {
+                    continue;
+                }
+                for &ai in &self.adj[u as usize] {
+                    let arc = &self.arcs[ai as usize];
+                    if arc.cap <= 0 {
+                        continue;
+                    }
+                    let v = arc.to as usize;
+                    let rc = arc.cost + potential[u as usize] - potential[v];
+                    let nd = d + rc.max(0.0); // clamp tiny negatives from fp noise
+                    if nd + EPS < dist[v] {
+                        dist[v] = nd;
+                        prev[v] = Some(ai);
+                        heap.push(HeapItem { dist: nd, node: v as u32 });
+                    }
+                }
+            }
+            let Some(t) = (0..n)
+                .filter(|&v| excess[v] < 0 && dist[v].is_finite())
+                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap().then(a.cmp(&b)))
+            else {
+                // Unreachable for well-formed inputs: the twin of every
+                // phase-1 arc offers a route back to its tail.
                 return total;
+            };
+            // Cap the potential update at the augmenting distance so
+            // nodes beyond (or unreached by) this round keep a valid
+            // reduced-cost invariant.
+            let dt = dist[t];
+            for (v, &d) in dist.iter().enumerate() {
+                potential[v] += d.min(dt);
             }
-            let bottleneck = cycle
-                .iter()
-                .map(|&ai| self.arcs[ai as usize].cap)
-                .min()
-                .expect("cycle is nonempty");
-            for &ai in &cycle {
-                self.arcs[ai as usize].cap -= bottleneck;
-                self.arcs[(ai ^ 1) as usize].cap += bottleneck;
+            // Bottleneck along the path, bounded by both imbalances.
+            let mut push = -excess[t];
+            let mut v = t;
+            while let Some(ai) = prev[v] {
+                push = push.min(self.arcs[ai as usize].cap);
+                v = self.arcs[(ai ^ 1) as usize].to as usize;
             }
-            total += bottleneck as f64 * weight;
+            let src = v;
+            push = push.min(excess[src]);
+            let mut v = t;
+            while let Some(ai) = prev[v] {
+                self.arcs[ai as usize].cap -= push;
+                self.arcs[(ai ^ 1) as usize].cap += push;
+                total += push as f64 * self.arcs[ai as usize].cost;
+                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            }
+            excess[src] -= push;
+            excess[t] += push;
             self.cancellations += 1;
         }
+        total
     }
 
     /// Potentials `π` with `cost + π_u − π_v ≥ −tol` on all residual arcs

@@ -1,0 +1,185 @@
+//! Property-based tests for the warm-started parametric engine.
+//!
+//! [`ParametricSystem`] answers feasibility probes by relaxing from
+//! whatever potentials the previous probe left behind, and finds optimal
+//! parameters by Newton (Dinkelbach) iteration on violated cycles instead
+//! of bisection. Both shortcuts must be invisible in the results: a warm
+//! probe's verdict has to match a cold [`DifferenceSystem`] solve of the
+//! substituted system bit for bit, and the Newton optimum has to agree
+//! with the historical bisection search. All instance data is quantized
+//! to dyadic rationals so `bound − m·tighten` is exact in f64 and the
+//! comparisons need no tolerance (except where bisection's own resolution
+//! is the limit).
+
+use proptest::prelude::*;
+use rotary_solver::{DifferenceSystem, ParametricSystem};
+
+/// Quantizes to multiples of 1/8 (dyadic, exact in f64).
+fn q8(x: f64) -> f64 {
+    (x * 8.0).round() / 8.0
+}
+
+/// Decodes a flat sample into a difference system over `n` variables plus
+/// a parallel tighten vector with entries in `[t_lo, t_hi)`.
+fn decode_system(
+    n: usize,
+    m: usize,
+    raw: &[f64],
+    b_lo: f64,
+    b_hi: f64,
+    t_lo: f64,
+    t_hi: f64,
+) -> (DifferenceSystem, Vec<f64>) {
+    let mut k = 0usize;
+    let mut next = |raw: &[f64]| {
+        let v = raw[k % raw.len()];
+        k += 1;
+        v
+    };
+    let mut sys = DifferenceSystem::new(n);
+    let mut tighten = Vec::with_capacity(m);
+    for _ in 0..m {
+        let i = ((next(raw) + 2.0) / 4.0 * n as f64) as usize % n;
+        let j = ((next(raw) + 2.0) / 4.0 * n as f64) as usize % n;
+        let b = q8(b_lo + (next(raw) + 2.0) / 4.0 * (b_hi - b_lo));
+        sys.add(i, j, b);
+        tighten.push(q8(t_lo + (next(raw) + 2.0) / 4.0 * (t_hi - t_lo)));
+    }
+    (sys, tighten)
+}
+
+/// The substituted (non-parametric) system at a fixed `m`.
+fn substituted(sys: &DifferenceSystem, tighten: &[f64], m: f64) -> DifferenceSystem {
+    let mut out = DifferenceSystem::new(sys.num_vars());
+    for (c, &t) in sys.constraints().iter().zip(tighten) {
+        out.add(c.i, c.j, c.bound - m * t);
+    }
+    out
+}
+
+proptest! {
+    /// Across a monotone sequence of probe points, every warm-started
+    /// verdict equals the cold solve of the substituted system, the
+    /// committed warm potentials satisfy the substituted constraints, and
+    /// the canonical [`ParametricSystem::solve_cold`] labels are
+    /// bit-identical to [`DifferenceSystem::solve`] — i.e. neither the
+    /// warm-start history nor the shared CSR graph changes any answer.
+    #[test]
+    fn warm_probes_match_cold_solves_on_monotone_sequences(
+        n in 3usize..=8,
+        m in 4usize..=20,
+        raw in prop::collection::vec(-2.0f64..2.0, 96),
+    ) {
+        // Bounds of both signs; tighten of both signs so the sequence
+        // tightens some rows while loosening others.
+        let (sys, tighten) = decode_system(n, m, &raw, -0.75, 2.0, -1.0, 1.5);
+        let mut par = ParametricSystem::new(&sys, &tighten);
+        let mut ms: Vec<f64> = (0..8).map(|k| q8(0.25 * k as f64)).collect();
+        // Cover both tightening and loosening orders across the case set.
+        if raw[0] > 0.0 {
+            ms.reverse();
+        }
+        for &mv in &ms {
+            let cold_sys = substituted(&sys, &tighten, mv);
+            let cold = cold_sys.solve();
+            let warm = par.probe(mv);
+            prop_assert!(
+                warm == cold.is_some(),
+                "verdict mismatch at m = {}: warm {} vs cold {}",
+                mv, warm, cold.is_some()
+            );
+            if let Some(reference) = cold {
+                // The committed warm potentials are a genuine solution of
+                // the substituted system (not necessarily the canonical
+                // one — that is solve_cold's job).
+                prop_assert!(
+                    cold_sys.check(par.potentials(), 1e-9),
+                    "warm potentials violate the substituted system at m = {}",
+                    mv
+                );
+                // The canonical path is bit-identical to DifferenceSystem.
+                // Clone so the probe chain above stays genuinely warm.
+                let mut canonical = par.clone();
+                let got = canonical.solve_cold(mv).expect("cold solve agrees on feasibility");
+                prop_assert_eq!(got, reference);
+            }
+        }
+    }
+
+    /// The Newton exact optimum agrees with the historical bisection
+    /// search on base-feasible systems: `|s_newton − s_bisect| < 1e-6`
+    /// (bisection resolution is the binding tolerance), and the solution
+    /// returned alongside the exact slack satisfies the tightened system.
+    #[test]
+    fn exact_slack_agrees_with_bisection_cross_check(
+        n in 3usize..=8,
+        m in 4usize..=20,
+        raw in prop::collection::vec(-2.0f64..2.0, 96),
+    ) {
+        let mut k = 0usize;
+        let mut next = |raw: &[f64]| {
+            let v = raw[k % raw.len()];
+            k += 1;
+            v
+        };
+        // Potential-generated bounds keep the base system feasible by
+        // construction: bound = φ_i − φ_j + margin with margin ≥ 0 admits
+        // y = φ at m = 0.
+        let phi: Vec<f64> = (0..n).map(|_| q8(next(&raw))).collect();
+        let mut sys = DifferenceSystem::new(n);
+        let mut tighten = Vec::with_capacity(m);
+        for _ in 0..m {
+            let i = ((next(&raw) + 2.0) / 4.0 * n as f64) as usize % n;
+            let j = ((next(&raw) + 2.0) / 4.0 * n as f64) as usize % n;
+            let margin = q8((next(&raw) + 2.0) / 4.0 * 1.5);
+            sys.add(i, j, phi[i] - phi[j] + margin);
+            tighten.push(q8((next(&raw) + 2.0) / 4.0 * 1.5));
+        }
+
+        let hi = 4.0;
+        let (s_bisect, _, _) = sys.maximize_slack_with_stats(&tighten, hi, 1e-9);
+        let mut par = ParametricSystem::new(&sys, &tighten);
+        let (s_exact, sol) = par
+            .maximize_slack_exact(hi)
+            .expect("base-feasible system has a maximal slack");
+        prop_assert!(
+            (s_exact - s_bisect).abs() < 1e-6,
+            "exact {} vs bisection {}",
+            s_exact,
+            s_bisect
+        );
+        prop_assert!(
+            substituted(&sys, &tighten, s_exact).check(&sol, 1e-9),
+            "exact-slack solution violates the tightened system at s = {}",
+            s_exact
+        );
+    }
+
+    /// Seeding the engine with arbitrary finite labels (as the flow does
+    /// when it carries potentials across placement iterations) never
+    /// changes a verdict or the exact optimum, only the work done.
+    #[test]
+    fn seeded_engine_matches_fresh_engine(
+        n in 3usize..=8,
+        m in 4usize..=20,
+        raw in prop::collection::vec(-2.0f64..2.0, 96),
+    ) {
+        let (sys, tighten) = decode_system(n, m, &raw, -0.5, 2.0, 0.0, 1.5);
+        let seed: Vec<f64> = (0..n).map(|v| q8(raw[(7 * v + 3) % raw.len()] * 1.5)).collect();
+
+        let mut fresh = ParametricSystem::new(&sys, &tighten);
+        let mut seeded = ParametricSystem::new(&sys, &tighten);
+        seeded.seed(&seed);
+
+        let fresh_opt = fresh.max_feasible(4.0);
+        let seeded_opt = seeded.max_feasible(4.0);
+        match (fresh_opt, seeded_opt) {
+            (Some(a), Some(b)) => prop_assert_eq!(a, b),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "feasibility disagrees: fresh {:?} vs seeded {:?}", a, b),
+        }
+        for &mv in &[0.0, 0.5, 1.25] {
+            prop_assert_eq!(fresh.probe(mv), seeded.probe(mv));
+        }
+    }
+}

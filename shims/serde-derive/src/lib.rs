@@ -7,13 +7,17 @@
 use proc_macro::TokenStream;
 
 /// Expands to nothing; the shim's `Serialize` is blanket-implemented.
-#[proc_macro_derive(Serialize)]
+/// Registers the `#[serde(...)]` helper attribute so field annotations
+/// (e.g. `#[serde(default = "...")]`) parse; the shim ignores them.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Expands to nothing; the shim's `Deserialize` is blanket-implemented.
-#[proc_macro_derive(Deserialize)]
+/// Registers the `#[serde(...)]` helper attribute so field annotations
+/// parse; the shim ignores them.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
