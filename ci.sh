@@ -28,4 +28,11 @@ scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 (cd "$scratch" && "$tables_bin" --small table2 > tables_small_ci.log)
 
+# Large-suite tractability smoke: Table I on s38417 (LP relaxation +
+# rounding at ~13k columns, B&B capped at 2 s) must finish within a
+# hard wall-clock budget — regressions in the priced simplex or the
+# incremental rounding show up here as a timeout.
+echo "==> tables --suite s38417 table1 (smoke, 120s budget)"
+(cd "$scratch" && timeout 120 "$tables_bin" --suite s38417 table1 2 > tables_s38417_ci.log)
+
 echo "ci.sh: all checks passed"

@@ -12,6 +12,8 @@ use rotary_netlist::geom::Point;
 use rotary_netlist::BenchmarkSuite;
 use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
 use rotary_solver::graph::{Source, SpfaGraph};
+use rotary_solver::lp::{LpProblem, Pricing, RowKind};
+use rotary_solver::rounding::{greedy_round_loaded, greedy_round_loaded_rescan, LoadedCandidate};
 use rotary_solver::sparse::{CsrMatrix, SparseLu};
 use rotary_solver::{DifferenceSystem, ParametricSystem};
 use rotary_timing::{SequentialGraph, Technology};
@@ -314,10 +316,123 @@ fn bench_parametric(c: &mut Criterion) {
     });
 }
 
+/// An s38417-sized eq. 3 relaxation: `items` flip-flops with up to `k`
+/// candidate rings each out of `bins` rings, min-max load with a small
+/// distinct wirelength tiebreak — the column/row shape stage 3 hands the
+/// simplex on the largest suites (~13k columns × ~1.5k rows).
+fn assignment_lp(items: usize, bins: usize, k: usize) -> LpProblem {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (1u64 << 31) as f64
+    };
+    let mut obj = Vec::new();
+    let mut item_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(items);
+    let mut bin_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); bins];
+    for i in 0..items {
+        let first = (i * 7) % bins;
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(k);
+        let mut seen = vec![false; bins];
+        for c in 0..k {
+            let bin = (first + c * (c + 3)) % bins;
+            if seen[bin] {
+                continue;
+            }
+            seen[bin] = true;
+            let col = obj.len();
+            obj.push(1e-4 * (1.0 + next()));
+            bin_rows[bin].push((col, 0.25 + next()));
+            row.push((col, 1.0));
+        }
+        item_rows.push(row);
+    }
+    let t = obj.len();
+    obj.push(1.0);
+    let mut lp = LpProblem::minimize(obj);
+    for row in &item_rows {
+        lp.add_row(RowKind::Eq, 1.0, row);
+    }
+    for mut br in bin_rows {
+        if br.is_empty() {
+            continue;
+        }
+        br.push((t, -1.0));
+        lp.add_row(RowKind::Le, 0.0, &br);
+    }
+    lp
+}
+
+/// Rounding input at the same scale: per-row candidate lists where the LP
+/// left one dominant fraction and a couple of small competitors.
+fn rounding_rows(items: usize, bins: usize, k: usize) -> Vec<Vec<LoadedCandidate>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (1u64 << 31) as f64
+    };
+    (0..items)
+        .map(|i| {
+            let first = (i * 11) % bins;
+            let lead = 0.55 + 0.45 * next();
+            let mut rest = 1.0 - lead;
+            (0..k)
+                .map(|c| {
+                    let bin = (first + c * (c + 5)) % bins;
+                    let frac = if c == 0 {
+                        lead
+                    } else {
+                        let f = rest / (k - c) as f64;
+                        rest -= f;
+                        f
+                    };
+                    (bin, frac, 0.25 + next())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let lp = assignment_lp(1463, 49, 9);
+    let mut devex = lp.clone();
+    devex.set_pricing(Pricing::DevexPartial);
+    let mut dantzig = lp;
+    dantzig.set_pricing(Pricing::Dantzig);
+    c.bench_function("lp/simplex_devex_partial_s38417_sized", |b| {
+        b.iter(|| std::hint::black_box(devex.solve()))
+    });
+    c.bench_function("lp/simplex_dantzig_full_s38417_sized", |b| {
+        b.iter(|| std::hint::black_box(dantzig.solve()))
+    });
+
+    // The same comparison on the *real* s38417 relaxation (stage-3
+    // problem at the stage-2 schedule, this file's K = 9 pruning depth).
+    let (costs, _, n_rings) = setup_costs(BenchmarkSuite::S38417);
+    let (real, _) = rotary_core::assign::min_max_lp(&costs, n_rings);
+    let mut real_devex = real.clone();
+    real_devex.set_pricing(Pricing::DevexPartial);
+    let mut real_dantzig = real;
+    real_dantzig.set_pricing(Pricing::Dantzig);
+    c.bench_function("lp/simplex_devex_partial_s38417_real", |b| {
+        b.iter(|| std::hint::black_box(real_devex.solve()))
+    });
+    c.bench_function("lp/simplex_dantzig_full_s38417_real", |b| {
+        b.iter(|| std::hint::black_box(real_dantzig.solve()))
+    });
+
+    let rows = rounding_rows(1463, 49, 6);
+    c.bench_function("lp/round_incremental_s38417_sized", |b| {
+        b.iter(|| std::hint::black_box(greedy_round_loaded(&rows, 49)))
+    });
+    c.bench_function("lp/round_rescan_s38417_sized", |b| {
+        b.iter(|| std::hint::black_box(greedy_round_loaded_rescan(&rows, 49)))
+    });
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
     targets = bench_tapping, bench_assignment, bench_skew, bench_sta, bench_sparse_lu, bench_spfa,
-        bench_parametric
+        bench_parametric, bench_lp
 }
 criterion_main!(kernels);

@@ -6,7 +6,12 @@
 //! cargo run --release -p rotary-bench --bin tables -- table2 ... table7
 //! cargo run --release -p rotary-bench --bin tables -- fig1 fig2 fig4 fig5
 //! cargo run --release -p rotary-bench --bin tables -- --small all   # 2 small suites only
+//! cargo run --release -p rotary-bench --bin tables -- --suite s38417 table1 5
 //! ```
+//!
+//! `--suite NAME` (repeatable) restricts every target to the named
+//! suite(s) — the CI smoke uses it to bound a large-suite run to one
+//! table without paying for the full battery.
 //!
 //! Absolute numbers differ from the paper (synthetic netlists, different
 //! machine); shapes — who wins, by what rough factor — are the
@@ -40,10 +45,35 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
     args.retain(|a| a != "--small");
+    let mut only: Vec<BenchmarkSuite> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--suite" {
+            args.remove(i);
+            let Some(name) = (i < args.len()).then(|| args.remove(i)) else {
+                eprintln!("--suite needs a suite name (e.g. --suite s38417)");
+                std::process::exit(2);
+            };
+            match BenchmarkSuite::ALL.iter().find(|s| s.name().eq_ignore_ascii_case(&name)) {
+                Some(&s) => only.push(s),
+                None => {
+                    eprintln!(
+                        "unknown suite {name}; known: {}",
+                        BenchmarkSuite::ALL.iter().map(|s| s.name()).collect::<Vec<_>>().join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
     if args.is_empty() {
         args.push("all".into());
     }
-    let suites: Vec<BenchmarkSuite> = if small {
+    let suites: Vec<BenchmarkSuite> = if !only.is_empty() {
+        only
+    } else if small {
         vec![BenchmarkSuite::S9234, BenchmarkSuite::S5378]
     } else {
         BenchmarkSuite::ALL.to_vec()

@@ -253,4 +253,36 @@ mod tests {
         assert_eq!(pct(0.345), "+34.5%");
         assert_eq!(imp(100.0, 120.0), "-20.0%");
     }
+
+    /// Full-suite version of the toy-flow identity tests in `rotary_core`:
+    /// carrying the stage-3 LP basis and the candidate-ring cache across
+    /// flow iterations must not change a single output bit on a real
+    /// ISCAS89 workload under the min-max-cap objective.
+    fn warm_cold_suite_identity(suite: BenchmarkSuite) {
+        let warm_cfg =
+            FlowConfig { objective: AssignmentObjective::MaxLoadCap, ..FlowConfig::default() };
+        let cold_cfg = FlowConfig { warm_start: false, ..warm_cfg };
+        let mut a = suite.circuit(TABLE_SEED);
+        let mut b = suite.circuit(TABLE_SEED);
+        let w = Flow::new(warm_cfg).run(&mut a, suite.ring_grid());
+        let c = Flow::new(cold_cfg).run(&mut b, suite.ring_grid());
+        assert_eq!(w.schedule, c.schedule);
+        assert_eq!(w.assignment, c.assignment);
+        assert_eq!(w.base, c.base);
+        assert_eq!(w.iterations, c.iterations);
+        assert_eq!(w.taps.solutions, c.taps.solutions);
+        for (&ff_a, &ff_b) in a.flip_flops().iter().zip(&b.flip_flops()) {
+            assert_eq!(a.position(ff_a), b.position(ff_b));
+        }
+    }
+
+    #[test]
+    fn warm_started_flow_is_bit_identical_on_s9234() {
+        warm_cold_suite_identity(BenchmarkSuite::S9234);
+    }
+
+    #[test]
+    fn warm_started_flow_is_bit_identical_on_s5378() {
+        warm_cold_suite_identity(BenchmarkSuite::S5378);
+    }
 }

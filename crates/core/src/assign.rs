@@ -14,9 +14,9 @@
 use crate::tapping::CandidateCosts;
 use rotary_ring::RingId;
 use rotary_solver::ilp::{BranchAndBound, IlpOutcome};
-use rotary_solver::lp::{LpProblem, LpSolution, LpStatus, RowKind};
+use rotary_solver::lp::{LpBasis, LpProblem, LpSolution, LpStatus, RowKind};
 use rotary_solver::mcmf::FlowNetwork;
-use rotary_solver::rounding::greedy_round;
+use rotary_solver::rounding::{greedy_round, greedy_round_loaded};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -49,8 +49,16 @@ pub enum AssignError {
     /// the candidate pruning disconnected some flip-flop from all rings
     /// with residual capacity.
     InsufficientCapacity,
-    /// The LP relaxation failed to solve (numerical breakdown).
-    RelaxationFailed,
+    /// The LP relaxation failed to reach optimality. Carries the simplex
+    /// verdict (iteration limit vs numerical breakdown vs infeasible) and
+    /// the iterations spent, so callers can tell "raise the budget" from
+    /// "the arithmetic broke down".
+    RelaxationFailed {
+        /// Terminal status the simplex reported.
+        status: LpStatus,
+        /// Simplex iterations performed before giving up.
+        iterations: usize,
+    },
 }
 
 impl std::fmt::Display for AssignError {
@@ -59,12 +67,45 @@ impl std::fmt::Display for AssignError {
             Self::InsufficientCapacity => {
                 write!(f, "ring capacities cannot accommodate all flip-flops")
             }
-            Self::RelaxationFailed => write!(f, "LP relaxation did not reach optimality"),
+            Self::RelaxationFailed { status, iterations } => write!(
+                f,
+                "LP relaxation did not reach optimality: {status:?} after {iterations} iterations"
+            ),
         }
     }
 }
 
 impl std::error::Error for AssignError {}
+
+/// Reusable state carried across the re-solves of the flow loop (the
+/// assignment analogue of `skew::SkewContext`): the optimal basis of the
+/// previous relaxation warm-starts the next one. The LP's constraint
+/// *values* move between flow iterations (the loads in the ring rows), so
+/// the carried basis is revalidated on the new coefficients and silently
+/// falls back to a cold start when it is no longer primal feasible —
+/// solutions are bit-identical either way thanks to the simplex's
+/// canonical basis extraction.
+#[derive(Debug, Clone, Default)]
+pub struct AssignContext {
+    basis: Option<LpBasis>,
+}
+
+impl AssignContext {
+    /// A context with no carried basis (first solve is cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the carried basis; the next solve starts cold.
+    pub fn reset(&mut self) {
+        self.basis = None;
+    }
+
+    /// Whether a basis from a previous solve is being carried.
+    pub fn has_basis(&self) -> bool {
+        self.basis.is_some()
+    }
+}
 
 /// Section V: min-cost network flow over the Fig. 4 network.
 ///
@@ -138,7 +179,11 @@ pub fn assign_network_flow_with_stats(
 /// candidate pair, column-major by flip-flop) plus the makespan variable
 /// `t` (last column); `min t` s.t. `Σ_j x_ij = 1` and
 /// `Σ_i C^p_ij·x_ij − t ≤ 0`.
-fn min_max_lp(costs: &CandidateCosts, n_rings: usize) -> (LpProblem, Vec<Vec<usize>>) {
+///
+/// Public so benchmarks can price the real relaxation under different
+/// simplex pricing rules; flow code goes through
+/// [`assign_min_max_cap_ctx`].
+pub fn min_max_lp(costs: &CandidateCosts, n_rings: usize) -> (LpProblem, Vec<Vec<usize>>) {
     let f = costs.len();
     let mut var_of = Vec::with_capacity(f);
     let mut n_vars = 0usize;
@@ -194,7 +239,8 @@ fn max_load_of(costs: &CandidateCosts, n_rings: usize, rings: &[RingId]) -> f64 
     loads.into_iter().fold(0.0, f64::max)
 }
 
-/// Section VI: LP-relaxation + greedy rounding (Fig. 5).
+/// Section VI: LP-relaxation + greedy rounding (Fig. 5). Cold solve; see
+/// [`assign_min_max_cap_ctx`] for the warm-started flow-loop variant.
 ///
 /// # Errors
 ///
@@ -204,12 +250,34 @@ pub fn assign_min_max_cap(
     costs: &CandidateCosts,
     n_rings: usize,
 ) -> Result<AssignOutcome, AssignError> {
+    assign_min_max_cap_ctx(costs, n_rings, &mut AssignContext::new())
+}
+
+/// [`assign_min_max_cap`] with an [`AssignContext`] carried across calls:
+/// the optimal basis of the previous relaxation warm-starts the current
+/// simplex. The context is updated with this solve's optimal basis on
+/// success and cleared on failure.
+///
+/// # Errors
+///
+/// [`AssignError::RelaxationFailed`] if the simplex does not reach
+/// optimality.
+pub fn assign_min_max_cap_ctx(
+    costs: &CandidateCosts,
+    n_rings: usize,
+    ctx: &mut AssignContext,
+) -> Result<AssignOutcome, AssignError> {
     let (lp, var_of) = min_max_lp(costs, n_rings);
-    let sol = lp.solve();
+    let (sol, basis) = lp.solve_with_basis(ctx.basis.as_ref());
     if sol.status != LpStatus::Optimal {
-        return Err(AssignError::RelaxationFailed);
+        ctx.reset();
+        return Err(AssignError::RelaxationFailed {
+            status: sol.status,
+            iterations: sol.iterations,
+        });
     }
-    let rings = round_assignment(costs, &sol, &var_of);
+    ctx.basis = basis;
+    let rings = round_assignment(costs, &sol, &var_of, n_rings);
     let achieved = max_load_of(costs, n_rings, &rings);
     let lp_opt = sol.objective.max(1e-12);
     Ok(AssignOutcome {
@@ -222,20 +290,47 @@ pub fn assign_min_max_cap(
 }
 
 /// Greedy rounding of the relaxation solution into ring choices.
+///
+/// Two deterministic heuristics round the same fractions — the paper's
+/// plain Fig. 5 argmax ([`greedy_round`]) and the load-aware
+/// [`greedy_round_loaded`] (which steers near-tie rows away from the most
+/// loaded rings) — and whichever achieves the lower peak ring load wins,
+/// with ties going to the paper's rule. Both are cheap next to the LP
+/// solve, and the best-of-two is never worse than the paper's rounding on
+/// the eq. 3 objective.
 fn round_assignment(
     costs: &CandidateCosts,
     sol: &LpSolution,
     var_of: &[Vec<usize>],
+    n_rings: usize,
 ) -> Vec<RingId> {
-    let fractions: Vec<Vec<(usize, f64)>> = costs
+    let rows: Vec<Vec<(usize, f64, f64)>> = costs
         .candidates
         .iter()
         .zip(var_of)
         .map(|(cands, vars)| {
-            cands.iter().zip(vars).map(|(&(rid, _, _), &v)| (rid.index(), sol.x[v])).collect()
+            cands
+                .iter()
+                .zip(vars)
+                .map(|(&(rid, _, load), &v)| (rid.index(), sol.x[v], load))
+                .collect()
         })
         .collect();
-    greedy_round(&fractions).into_iter().map(|j| RingId(j as u32)).collect()
+    let peak_of = |choice: &[usize]| {
+        let mut loads = vec![0.0f64; n_rings];
+        for (i, &j) in choice.iter().enumerate() {
+            let &(_, _, c) =
+                rows[i].iter().find(|&&(r, _, _)| r == j).expect("rounded choice is a candidate");
+            loads[j] += c;
+        }
+        loads.into_iter().fold(0.0, f64::max)
+    };
+    let flat: Vec<Vec<(usize, f64)>> =
+        rows.iter().map(|r| r.iter().map(|&(j, v, _)| (j, v)).collect()).collect();
+    let plain = greedy_round(&flat);
+    let loaded = greedy_round_loaded(&rows, n_rings);
+    let choice = if peak_of(&loaded) < peak_of(&plain) { loaded } else { plain };
+    choice.into_iter().map(|j| RingId(j as u32)).collect()
 }
 
 /// Result of the generic branch & bound route of Table I.

@@ -22,7 +22,7 @@
 use crate::assign::{self, Assignment};
 use crate::metrics::CostSnapshot;
 use crate::skew::{self, SkewSchedule, SkewStats};
-use crate::tapping::{CandidateCosts, TapAssignments};
+use crate::tapping::{CandidateCache, CandidateCosts, TapAssignments};
 use crate::telemetry::{FlowTelemetry, Stage};
 use rotary_netlist::Circuit;
 use rotary_place::{Placer, PlacerConfig, PseudoNet};
@@ -226,6 +226,11 @@ impl Flow {
         // (period search, stage 2, stage 4). Cleared before each use when
         // warm starting is disabled.
         let mut skew_ctx = skew::SkewContext::new();
+        // Optimal LP basis carried across the stage-3 relaxation solves,
+        // and the candidate ring lists carried across stage-3 cost
+        // computations — both cleared per pass when warm starting is off.
+        let mut assign_ctx = assign::AssignContext::new();
+        let mut cand_cache = CandidateCache::new();
 
         // Determine the effective clock period once, after the initial
         // placement: rings are physical hardware whose period cannot change
@@ -283,9 +288,22 @@ impl Flow {
             // Stage 3: flip-flop assignment at the stage-2 schedule.
             {
                 let mut stage = telemetry.stage(Stage::Assignment, iter);
-                let costs = CandidateCosts::compute(circuit, &array, &stage2, cfg.candidate_rings);
+                if !cfg.warm_start {
+                    assign_ctx.reset();
+                    cand_cache.reset();
+                }
+                let reused_before = cand_cache.reused();
+                let costs = CandidateCosts::compute_cached(
+                    circuit,
+                    &array,
+                    &stage2,
+                    cfg.candidate_rings,
+                    &mut cand_cache,
+                );
                 stage.set_problem_size(costs.total_candidates());
-                let (a, solver_iters) = self.assign(&costs, &capacities, array.rings().len());
+                stage.set_reused_work(cand_cache.reused() - reused_before);
+                let (a, solver_iters) =
+                    self.assign(&costs, &capacities, array.rings().len(), &mut assign_ctx);
                 stage.add_solver_iterations(solver_iters);
                 assignment = a;
             }
@@ -418,6 +436,7 @@ impl Flow {
         costs: &CandidateCosts,
         capacities: &[usize],
         n_rings: usize,
+        ctx: &mut assign::AssignContext,
     ) -> (Assignment, usize) {
         match self.config.objective {
             AssignmentObjective::TappingCost => {
@@ -434,7 +453,8 @@ impl Flow {
                 }
             }
             AssignmentObjective::MaxLoadCap => {
-                let out = assign::assign_min_max_cap(costs, n_rings).expect("LP relaxation solves");
+                let out = assign::assign_min_max_cap_ctx(costs, n_rings, ctx)
+                    .expect("LP relaxation solves");
                 (out.assignment, out.lp_iterations)
             }
         }
@@ -718,11 +738,21 @@ mod tests {
     /// parameter — so disabling warm starts must not change a single bit
     /// of the outcome.
     fn assert_warm_matches_cold(variant: SkewVariant, seed: u64) {
+        assert_warm_matches_cold_objective(variant, AssignmentObjective::TappingCost, seed);
+    }
+
+    fn assert_warm_matches_cold_objective(
+        variant: SkewVariant,
+        objective: AssignmentObjective,
+        seed: u64,
+    ) {
         let mut a = toy(seed);
         let mut b = toy(seed);
-        let warm = Flow::new(FlowConfig { skew_variant: variant, ..FlowConfig::default() });
+        let warm =
+            Flow::new(FlowConfig { skew_variant: variant, objective, ..FlowConfig::default() });
         let cold = Flow::new(FlowConfig {
             skew_variant: variant,
+            objective,
             warm_start: false,
             ..FlowConfig::default()
         });
@@ -746,6 +776,29 @@ mod tests {
     #[test]
     fn warm_start_is_bit_identical_to_cold_minimax() {
         assert_warm_matches_cold(SkewVariant::Minimax, 10);
+    }
+
+    /// The stage-3 LP warm start (carried optimal basis) and the candidate
+    /// ring-list cache must not change a single bit of the outcome either:
+    /// the simplex's canonical basis extraction makes the reported solution
+    /// a function of (problem data, optimal basis set) only, and the
+    /// 1e-9·wl objective tiebreak makes that optimum unique in practice.
+    #[test]
+    fn warm_start_is_bit_identical_to_cold_max_load_cap() {
+        assert_warm_matches_cold_objective(
+            SkewVariant::WeightedSum,
+            AssignmentObjective::MaxLoadCap,
+            11,
+        );
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_to_cold_max_load_cap_minimax() {
+        assert_warm_matches_cold_objective(
+            SkewVariant::Minimax,
+            AssignmentObjective::MaxLoadCap,
+            12,
+        );
     }
 
     #[test]

@@ -1,86 +1,7 @@
-//! Deterministic scoped-thread fan-out for embarrassingly parallel
-//! per-flip-flop work.
-//!
-//! [`par_map`] splits an index range into contiguous chunks, one per
-//! worker, and each worker writes results into its own slice of the output
-//! — so the result vector is *identical* to the sequential
-//! `(0..n).map(f).collect()` regardless of how many threads run or how
-//! they interleave. The flow's determinism guarantee (same circuit, same
-//! seed ⇒ bit-identical outcome) therefore survives parallelization.
-//!
-//! Small inputs stay sequential: spawning threads for a handful of
-//! flip-flops costs more than it saves.
+//! Deterministic scoped-thread fan-out — re-exported from
+//! [`rotary_solver::par`], which owns the implementation so the simplex
+//! pricing scan and the per-flip-flop tapping kernels share one set of
+//! [`ParConfig`] thresholds. The historical `rotary_core::par::par_map`
+//! path keeps working for existing callers.
 
-use std::num::NonZeroUsize;
-use std::thread;
-
-/// Inputs below this size run sequentially.
-const MIN_PARALLEL: usize = 64;
-
-/// Upper bound on worker threads (beyond this the per-item work in the
-/// tapping kernels no longer scales).
-const MAX_THREADS: usize = 8;
-
-/// Maps `f` over `0..n` with scoped worker threads, returning the same
-/// vector as `(0..n).map(f).collect()` — deterministically, independent of
-/// thread count and scheduling.
-pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(MAX_THREADS)
-        .min(n.max(1));
-    if workers <= 1 || n < MIN_PARALLEL {
-        return (0..n).map(f).collect();
-    }
-
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(workers);
-    thread::scope(|s| {
-        for (w, slice) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                let base = w * chunk;
-                for (k, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(base + k));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|slot| slot.expect("every chunk slot is written by its worker")).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn matches_sequential_map_above_threshold() {
-        let n = MIN_PARALLEL * 3 + 7;
-        let expect: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
-        assert_eq!(par_map(n, |i| i * i + 1), expect);
-    }
-
-    #[test]
-    fn small_and_empty_inputs() {
-        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
-        assert_eq!(par_map(3, |i| i + 10), vec![10, 11, 12]);
-    }
-
-    #[test]
-    fn calls_f_exactly_once_per_index() {
-        let n = MIN_PARALLEL * 2;
-        let calls = AtomicUsize::new(0);
-        let out = par_map(n, |i| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            i
-        });
-        assert_eq!(calls.load(Ordering::Relaxed), n);
-        assert_eq!(out, (0..n).collect::<Vec<_>>());
-    }
-}
+pub use rotary_solver::par::{par_map, par_map_with, ParConfig};

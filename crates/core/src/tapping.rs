@@ -9,9 +9,41 @@
 
 use crate::par::par_map;
 use crate::skew::SkewSchedule;
-use rotary_netlist::{CellId, Circuit};
+use rotary_netlist::{CellId, Circuit, Point};
 use rotary_ring::{RingArray, RingId, TapSolution};
 use serde::{Deserialize, Serialize};
+
+/// Cross-iteration cache of the per-flip-flop nearest-`k` candidate ring
+/// lists — the geometric half of [`CandidateCosts::compute`]. The tap
+/// solves depend on the skew schedule and are always recomputed; the ring
+/// list only depends on the flip-flop position, so it is reused whenever
+/// that position is bit-identical to the cached one (exactness over hit
+/// rate: a moved flip-flop always gets a fresh nearest-`k` query).
+#[derive(Debug, Clone, Default)]
+pub struct CandidateCache {
+    k: usize,
+    entries: Vec<(Point, Vec<RingId>)>,
+    reused: usize,
+}
+
+impl CandidateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets all cached ring lists.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.reused = 0;
+    }
+
+    /// Ring lists served from cache (telemetry: geometry queries saved)
+    /// since construction or the last [`CandidateCache::reset`].
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+}
 
 /// Per-flip-flop candidate rings with tapping costs and load capacitances.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,24 +72,65 @@ impl CandidateCosts {
         schedule: &SkewSchedule,
         k: usize,
     ) -> Self {
+        Self::compute_cached(circuit, array, schedule, k, &mut CandidateCache::new())
+    }
+
+    /// [`CandidateCosts::compute`] with a [`CandidateCache`] carried across
+    /// calls: flip-flops whose position has not moved reuse their cached
+    /// nearest-`k` ring list and only re-solve the taps at the new
+    /// schedule. Results are bit-identical to the uncached computation.
+    pub fn compute_cached(
+        circuit: &Circuit,
+        array: &RingArray,
+        schedule: &SkewSchedule,
+        k: usize,
+        cache: &mut CandidateCache,
+    ) -> Self {
         let flip_flops = circuit.flip_flops();
         assert_eq!(flip_flops.len(), schedule.targets.len(), "one skew target per flip-flop");
+        if cache.k != k || cache.entries.len() != flip_flops.len() {
+            cache.reset();
+            cache.k = k;
+        }
         let wire_cap = array.params().wire_cap;
-        let candidates = par_map(flip_flops.len(), |i| {
+        let cached: &[(Point, Vec<RingId>)] = &cache.entries;
+        // (costed candidates, freshly computed ring list on a miss, cache hit)
+        type PerFf = (Vec<(RingId, f64, f64)>, Option<Vec<RingId>>, bool);
+        let per_ff: Vec<PerFf> = par_map(flip_flops.len(), |i| {
             let ff = flip_flops[i];
             let target = schedule.targets[i];
             let pos = circuit.position(ff);
             let cap = circuit.cell(ff).input_cap;
-            array
-                .candidate_rings(pos, k)
+            let (rings, fresh, hit) = match cached.get(i) {
+                Some((p, rings)) if *p == pos => (rings.clone(), None, true),
+                _ => {
+                    let rings = array.candidate_rings(pos, k);
+                    (rings.clone(), Some(rings), false)
+                }
+            };
+            let costed = rings
                 .into_iter()
                 .map(|rid| {
                     let sol = array.ring(rid).tap_for_target(pos, cap, target);
                     let load = wire_cap * sol.wirelength + cap;
                     (rid, sol.wirelength, load)
                 })
-                .collect()
+                .collect();
+            (costed, fresh, hit)
         });
+        let mut candidates = Vec::with_capacity(per_ff.len());
+        let mut entries = Vec::with_capacity(per_ff.len());
+        for (i, (costed, fresh, hit)) in per_ff.into_iter().enumerate() {
+            if hit {
+                cache.reused += 1;
+                entries.push(cache.entries[i].clone());
+            } else {
+                let pos = circuit.position(flip_flops[i]);
+                entries.push((pos, fresh.expect("miss carries the fresh ring list")));
+            }
+            candidates.push(costed);
+        }
+        cache.entries = entries;
         Self { flip_flops, candidates }
     }
 
@@ -220,6 +293,37 @@ mod tests {
                 assert!(load > 0.0, "load includes the FF pin cap");
             }
         }
+    }
+
+    #[test]
+    fn cache_reuses_ring_lists_only_for_unmoved_flip_flops() {
+        let (mut c, array, s) = setup();
+        let mut cache = CandidateCache::new();
+        let cold = CandidateCosts::compute_cached(&c, &array, &s, 4, &mut cache);
+        assert_eq!(cache.reused(), 0, "first pass has nothing to reuse");
+
+        // Same placement, new schedule: every ring list is reused, and the
+        // recomputed tap costs match the uncached computation bit for bit.
+        let s2 =
+            SkewSchedule { targets: s.targets.iter().map(|t| t + 0.11).collect(), ..s.clone() };
+        let warm = CandidateCosts::compute_cached(&c, &array, &s2, 4, &mut cache);
+        assert_eq!(cache.reused(), c.flip_flop_count());
+        let reference = CandidateCosts::compute(&c, &array, &s2, 4);
+        assert_eq!(warm.candidates, reference.candidates);
+        assert_eq!(cold.flip_flops, warm.flip_flops);
+
+        // Move one flip-flop: exactly that entry misses.
+        let ff = c.flip_flops()[3];
+        let pos = c.position(ff);
+        c.set_position(ff, rotary_netlist::Point { x: pos.x + 40.0, y: pos.y });
+        let before = cache.reused();
+        let moved = CandidateCosts::compute_cached(&c, &array, &s2, 4, &mut cache);
+        assert_eq!(cache.reused() - before, c.flip_flop_count() - 1);
+        assert_eq!(moved.candidates, CandidateCosts::compute(&c, &array, &s2, 4).candidates);
+
+        // Changing k invalidates everything.
+        let _ = CandidateCosts::compute_cached(&c, &array, &s2, 3, &mut cache);
+        assert_eq!(cache.reused(), 0);
     }
 
     #[test]

@@ -119,6 +119,10 @@ pub struct StageRecord {
     /// Inner solver iterations: simplex pivots, feasibility solves,
     /// augmenting paths, or canceled cycles. Zero for non-solver stages.
     pub solver_iterations: usize,
+    /// Work units served from a cross-iteration cache instead of being
+    /// recomputed (e.g. candidate ring lists reused by stage 3). Zero for
+    /// stages without a cache.
+    pub reused_work: usize,
 }
 
 /// The full per-stage log of one [`crate::flow::Flow::run`].
@@ -142,6 +146,7 @@ impl FlowTelemetry {
             iteration,
             problem_size: 0,
             solver_iterations: 0,
+            reused_work: 0,
             start: Instant::now(),
         }
     }
@@ -206,13 +211,15 @@ impl FlowTelemetry {
         for (k, r) in self.records.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"stage\": \"{}\", \"fig3_stage\": {}, \"iteration\": {}, \
-                 \"seconds\": {}, \"problem_size\": {}, \"solver_iterations\": {}}}{}\n",
+                 \"seconds\": {}, \"problem_size\": {}, \"solver_iterations\": {}, \
+                 \"reused_work\": {}}}{}\n",
                 r.stage.name(),
                 r.stage.number(),
                 r.iteration,
                 json_f64(r.seconds),
                 r.problem_size,
                 r.solver_iterations,
+                r.reused_work,
                 if k + 1 < self.records.len() { "," } else { "" },
             ));
         }
@@ -238,6 +245,7 @@ pub struct StageScope<'a> {
     iteration: usize,
     problem_size: usize,
     solver_iterations: usize,
+    reused_work: usize,
     start: Instant,
 }
 
@@ -252,6 +260,12 @@ impl StageScope<'_> {
         self.solver_iterations += iters;
     }
 
+    /// Records work units this pass served from a cache instead of
+    /// recomputing.
+    pub fn set_reused_work(&mut self, reused: usize) {
+        self.reused_work = reused;
+    }
+
     /// Ends the scope now (equivalent to dropping it).
     pub fn finish(self) {}
 }
@@ -264,6 +278,7 @@ impl Drop for StageScope<'_> {
             seconds: self.start.elapsed().as_secs_f64(),
             problem_size: self.problem_size,
             solver_iterations: self.solver_iterations,
+            reused_work: self.reused_work,
         });
     }
 }
@@ -273,7 +288,14 @@ mod tests {
     use super::*;
 
     fn record(stage: Stage, iteration: usize, seconds: f64) -> StageRecord {
-        StageRecord { stage, iteration, seconds, problem_size: 10, solver_iterations: 3 }
+        StageRecord {
+            stage,
+            iteration,
+            seconds,
+            problem_size: 10,
+            solver_iterations: 3,
+            reused_work: 0,
+        }
     }
 
     #[test]
@@ -284,6 +306,7 @@ mod tests {
             scope.set_problem_size(77);
             scope.add_solver_iterations(5);
             scope.add_solver_iterations(2);
+            scope.set_reused_work(13);
         }
         assert_eq!(t.records().len(), 1);
         let r = t.records()[0];
@@ -291,6 +314,7 @@ mod tests {
         assert_eq!(r.iteration, 2);
         assert_eq!(r.problem_size, 77);
         assert_eq!(r.solver_iterations, 7);
+        assert_eq!(r.reused_work, 13);
         assert!(r.seconds >= 0.0);
     }
 

@@ -14,8 +14,14 @@
 //!   [`difference`], [`mcmf`] and the skew scheduler in `rotary-core`.
 //! * [`lp`] — a two-phase (Big-M) revised primal simplex with a sparse LU
 //!   basis factorization, sparse columns, Bland anti-cycling fallback and
-//!   periodic refactorization. Exact enough for every LP the flow solves
-//!   (assignment LP relaxations and small skew LPs).
+//!   periodic refactorization. Devex partial pricing by default (full
+//!   Dantzig scan kept as the property-tested reference) and optimal-basis
+//!   warm starts for the structurally identical re-solves of the flow
+//!   loop. Exact enough for every LP the flow solves (assignment LP
+//!   relaxations and small skew LPs).
+//! * [`par`] — deterministic scoped-thread fan-out ([`par::par_map`])
+//!   shared by the pricing scan here and the tapping kernels in
+//!   `rotary-core`.
 //! * [`mcmf`] — min-cost max-flow via successive shortest paths with
 //!   Johnson potentials, plus negative-cycle-canceling min-cost
 //!   *circulation* used by the weighted-sum skew optimization dual.
@@ -45,13 +51,15 @@ pub mod graph;
 pub mod ilp;
 pub mod lp;
 pub mod mcmf;
+pub mod par;
 pub mod rounding;
 pub mod sparse;
 
 pub use difference::{DifferenceSystem, ParametricSystem};
 pub use graph::{RelaxOutcome, ShortestPaths, SpfaGraph, SpfaResult, WarmSpfa};
 pub use ilp::{BranchAndBound, IlpOutcome};
-pub use lp::{LpProblem, LpSolution, LpStatus, RowKind};
+pub use lp::{LpBasis, LpProblem, LpSolution, LpStatus, Pricing, RowKind};
 pub use mcmf::{ArcId, FlowNetwork, NodeId};
-pub use rounding::greedy_round;
+pub use par::{par_map, par_map_with, ParConfig};
+pub use rounding::{greedy_round, greedy_round_loaded, greedy_round_loaded_rescan};
 pub use sparse::{BasisFactorization, CsrMatrix, SparseLu};

@@ -450,6 +450,13 @@ impl BasisFactorization {
     /// indexed by basis position; `out` is indexed by original row.
     pub fn btran(&self, c: &[f64], out: &mut [f64]) {
         let mut c = c.to_vec();
+        self.btran_in_place(&mut c, out);
+    }
+
+    /// [`Self::btran`] without the defensive copy: the eta pass clobbers
+    /// `c`. For hot loops that rebuild `c` every iteration anyway (the
+    /// simplex prices with two BTRANs per pivot).
+    pub fn btran_in_place(&self, c: &mut [f64], out: &mut [f64]) {
         for eta in self.etas.iter().rev() {
             let mut acc = c[eta.position];
             for &(i, wi) in &eta.entries {
@@ -457,7 +464,7 @@ impl BasisFactorization {
             }
             c[eta.position] = acc / eta.pivot;
         }
-        self.lu.btran(&c, out);
+        self.lu.btran(c, out);
     }
 
     /// Records a pivot: basis `position` was replaced by the entering

@@ -11,7 +11,8 @@
 
 use proptest::prelude::*;
 use rotary_solver::graph::{Source, SpfaGraph, SpfaResult};
-use rotary_solver::lp::{LpProblem, LpStatus, RowKind};
+use rotary_solver::lp::{LpProblem, LpStatus, Pricing, RowKind};
+use rotary_solver::rounding::greedy_round;
 
 /// Quantizes to multiples of 1/8 so reference and kernel do bit-exact
 /// dyadic-rational arithmetic (no tolerance games in the comparisons).
@@ -152,6 +153,111 @@ proptest! {
         }
         let cx: f64 = c.iter().zip(&s.x).map(|(ci, xi)| ci * xi).sum();
         prop_assert!((cx - s.objective).abs() <= 1e-7 * scale);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Devex partial pricing vs full Dantzig pricing
+// ---------------------------------------------------------------------------
+
+/// Builds the eq. 3 min-max-capacitance relaxation for a random
+/// assignment instance: `x_ik` per (item, candidate bin) arc plus the
+/// makespan `t` (last column); `min t + tiebreak·wl` s.t. `Σ_k x_ik = 1`
+/// and `Σ_i load·x − t ≤ 0` per bin. Returns the LP and the per-item
+/// `(bin, column)` lists for rounding.
+#[allow(clippy::type_complexity)]
+fn min_max_instance(
+    items: usize,
+    bins: usize,
+    raw: &[f64],
+) -> (LpProblem, Vec<Vec<(usize, usize)>>) {
+    let mut k = 0usize;
+    let mut next = move |raw: &[f64]| {
+        let v = raw[k % raw.len()];
+        k += 1;
+        v
+    };
+    let mut var_of: Vec<Vec<(usize, usize)>> = Vec::with_capacity(items);
+    let mut obj = Vec::new();
+    let mut loads: Vec<(usize, usize, f64)> = Vec::new(); // (bin, col, load)
+    for _ in 0..items {
+        let cands = 2 + (((next(raw) + 2.0) * 10.0) as usize) % 3;
+        let mut row = Vec::with_capacity(cands);
+        for c in 0..cands {
+            let bin = (((next(raw) + 2.0) * 7.0) as usize + c) % bins;
+            if row.iter().any(|&(b, _)| b == bin) {
+                continue;
+            }
+            let col = obj.len();
+            let wl = q8((next(raw) + 2.0).abs());
+            // Strictly distinct per-column costs, comfortably above the
+            // simplex's reduced-cost tolerance: without them eq. 3
+            // instances have alternate optimal vertices, and the two
+            // pricing rules legitimately stop at different corners. The
+            // jitter must be hash-like, not linear in `col` — a linear
+            // term cancels exactly when two items with identical draws
+            // swap bins (their column indices shift in lockstep).
+            let jitter = ((col as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as f64;
+            obj.push(1e-4 * wl + 1e-7 * (jitter + 1.0));
+            loads.push((bin, col, q8(0.25 + (next(raw) + 2.0) / 4.0)));
+            row.push((bin, col));
+        }
+        var_of.push(row);
+    }
+    let t_var = obj.len();
+    obj.push(1.0);
+    let mut lp = LpProblem::minimize(obj);
+    for row in &var_of {
+        let coeffs: Vec<(usize, f64)> = row.iter().map(|&(_, col)| (col, 1.0)).collect();
+        lp.add_row(RowKind::Eq, 1.0, &coeffs);
+    }
+    for bin in 0..bins {
+        let mut coeffs: Vec<(usize, f64)> =
+            loads.iter().filter(|&&(b, _, _)| b == bin).map(|&(_, col, l)| (col, l)).collect();
+        if coeffs.is_empty() {
+            continue;
+        }
+        coeffs.push((t_var, -1.0));
+        lp.add_row(RowKind::Le, 0.0, &coeffs);
+    }
+    (lp, var_of)
+}
+
+proptest! {
+    /// Devex reference weights with the partial-pricing candidate list
+    /// reach the same optimum as the full Dantzig scan (the pricing rule
+    /// changes the pivot path, never the optimum), and the greedily
+    /// rounded integral assignment is identical on eq. 3 instances.
+    #[test]
+    fn devex_partial_pricing_matches_dantzig(
+        items in 3usize..=14,
+        bins in 2usize..=5,
+        raw in prop::collection::vec(-2.0f64..2.0, 96),
+    ) {
+        let (mut lp_a, var_of) = min_max_instance(items, bins, &raw);
+        let (mut lp_b, _) = min_max_instance(items, bins, &raw);
+        lp_a.set_pricing(Pricing::Dantzig);
+        lp_b.set_pricing(Pricing::DevexPartial);
+        let sa = lp_a.solve();
+        let sb = lp_b.solve();
+        prop_assert_eq!(sa.status, LpStatus::Optimal);
+        prop_assert_eq!(sb.status, LpStatus::Optimal);
+        prop_assert!(
+            (sa.objective - sb.objective).abs() < 1e-6,
+            "optimum mismatch: Dantzig {} vs Devex {}",
+            sa.objective,
+            sb.objective
+        );
+        let fractions_of = |x: &[f64]| -> Vec<Vec<(usize, f64)>> {
+            var_of
+                .iter()
+                .map(|row| row.iter().map(|&(bin, col)| (bin, x[col])).collect())
+                .collect()
+        };
+        prop_assert_eq!(
+            greedy_round(&fractions_of(&sa.x)),
+            greedy_round(&fractions_of(&sb.x))
+        );
     }
 }
 
