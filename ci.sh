@@ -35,4 +35,11 @@ trap 'rm -rf "$scratch"' EXIT
 echo "==> tables --suite s38417 table1 (smoke, 120s budget)"
 (cd "$scratch" && timeout 120 "$tables_bin" --suite s38417 table1 2 > tables_s38417_ci.log)
 
+# Stage-4 tractability smoke: the full Fig. 3 loop on s15850 runs the
+# incremental circulation engine through every re-wrap round and flow
+# iteration (~2.5 s when healthy) — a regression in the warm-start path
+# or the bulk-augmentation kernel shows up here as a timeout.
+echo "==> tables --suite s15850 table4 (smoke, 60s budget)"
+(cd "$scratch" && timeout 60 "$tables_bin" --suite s15850 table4 > tables_s15850_ci.log)
+
 echo "ci.sh: all checks passed"

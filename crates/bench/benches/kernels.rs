@@ -13,6 +13,7 @@ use rotary_netlist::BenchmarkSuite;
 use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
 use rotary_solver::graph::{Source, SpfaGraph};
 use rotary_solver::lp::{LpProblem, Pricing, RowKind};
+use rotary_solver::mcmf::{Circulation, FlowNetwork};
 use rotary_solver::rounding::{greedy_round_loaded, greedy_round_loaded_rescan, LoadedCandidate};
 use rotary_solver::sparse::{CsrMatrix, SparseLu};
 use rotary_solver::{DifferenceSystem, ParametricSystem};
@@ -429,10 +430,125 @@ fn bench_lp(c: &mut Criterion) {
     });
 }
 
+/// Fixed-point cost scale matching `core::skew`'s engine integration.
+const COST_SCALE: f64 = 1_099_511_627_776.0; // 2^40
+
+/// Stage-4 circulation dual at a given flip-flop count: `n` nodes plus
+/// the reference node R, ~4n constraint arcs generated from a potential
+/// (every cycle non-negative, as a feasible timing system guarantees; a
+/// tight chain forces deep shortest-path trees like long FF-to-FF paths
+/// do), and an R-arc pair per node with integer weight capacity and
+/// ±ideal cost. Returns `(pairs, caps, quantized costs)` in the same arc
+/// order `core::skew` builds: constraints first, then R pairs.
+fn circulation_instance(n: usize) -> (Vec<(u32, u32)>, Vec<i64>, Vec<i64>) {
+    let phi = |v: usize| 0.001 * ((v * 37) % 1000) as f64;
+    let q = |x: f64| (x * COST_SCALE).round() as i64;
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let weights: Vec<i64> = (0..n).map(|i| 1 + ((i * 13) % 40) as i64).collect();
+    let total_w: i64 = weights.iter().sum();
+    let mut pairs = Vec::with_capacity(6 * n);
+    let mut caps = Vec::with_capacity(6 * n);
+    let mut costs = Vec::with_capacity(6 * n);
+    for v in 0..n - 1 {
+        pairs.push((v as u32, (v + 1) as u32));
+        caps.push(total_w);
+        costs.push(q(phi(v) - phi(v + 1)));
+    }
+    for _ in 0..3 * n {
+        let i = next() % n;
+        let j = next() % n;
+        if i == j {
+            continue;
+        }
+        let slack = (next() % 64) as f64 / 256.0;
+        pairs.push((i as u32, j as u32));
+        caps.push(total_w);
+        costs.push(q(phi(i) - phi(j) + slack));
+    }
+    for (i, &w) in weights.iter().enumerate() {
+        let t = 0.25 * ((i * 7) % 8) as f64;
+        pairs.push((i as u32, n as u32));
+        caps.push(w);
+        costs.push(q(t));
+        pairs.push((n as u32, i as u32));
+        caps.push(w);
+        costs.push(q(-t));
+    }
+    (pairs, caps, costs)
+}
+
+fn bench_mcmf(c: &mut Criterion) {
+    // s35932 has 1728 flip-flops — the largest stage-4 instance the
+    // battery solves.
+    let n = 1728;
+    let (pairs, caps, costs) = circulation_instance(n);
+    c.bench_function("mcmf/circulation_cold_s35932_sized", |b| {
+        b.iter_batched(
+            || Circulation::new(n + 1, &pairs),
+            |mut eng| {
+                eng.solve(&caps, &costs, false);
+                std::hint::black_box(eng.canonical_distances())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Warm re-solve after a phase re-wrap round: a T/2 shift on ~3% of
+    // the R-arc pairs (the flip-flops that wrapped), everything else
+    // untouched — the exact cost drift `Flow::cost_driven` produces.
+    let mut warm_src = Circulation::new(n + 1, &pairs);
+    warm_src.solve(&caps, &costs, false);
+    let base = pairs.len() - 2 * n;
+    let half = (0.5 * COST_SCALE) as i64;
+    let mut wrapped = costs.clone();
+    for i in (0..n).step_by(32) {
+        wrapped[base + 2 * i] += half;
+        wrapped[base + 2 * i + 1] -= half;
+    }
+    c.bench_function("mcmf/circulation_warm_rewrap_s35932_sized", |b| {
+        b.iter_batched(
+            || warm_src.clone(),
+            |mut eng| {
+                eng.solve(&caps, &wrapped, true);
+                std::hint::black_box(eng.canonical_distances())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The one-shot f64 reference the incremental engine replaced, kept at
+    // a smaller size (s15850-ish flip-flop count) so the bench stays
+    // tractable — it augments one path per round.
+    let n_ref = 600;
+    let (rpairs, rcaps, rcosts) = circulation_instance(n_ref);
+    c.bench_function("mcmf/reference_circulation_n600", |b| {
+        b.iter_batched(
+            || {
+                let mut net = FlowNetwork::new(n_ref + 1);
+                for ((&(i, j), &cap), &cost) in rpairs.iter().zip(&rcaps).zip(&rcosts) {
+                    net.add_arc(
+                        net.node(i as usize),
+                        net.node(j as usize),
+                        cap,
+                        cost as f64 / COST_SCALE,
+                    );
+                }
+                net
+            },
+            |mut net| std::hint::black_box(net.min_cost_circulation()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
     targets = bench_tapping, bench_assignment, bench_skew, bench_sta, bench_sparse_lu, bench_spfa,
-        bench_parametric, bench_lp
+        bench_parametric, bench_lp, bench_mcmf
 }
 criterion_main!(kernels);

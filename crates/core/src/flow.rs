@@ -21,6 +21,7 @@
 
 use crate::assign::{self, Assignment};
 use crate::metrics::CostSnapshot;
+use crate::par::{par_map_with, ParConfig};
 use crate::skew::{self, SkewSchedule, SkewStats};
 use crate::tapping::{CandidateCache, CandidateCosts, TapAssignments};
 use crate::telemetry::{FlowTelemetry, Stage};
@@ -335,6 +336,7 @@ impl Flow {
                 );
                 stage.set_problem_size(stats.constraints);
                 stage.add_solver_iterations(stats.solver_iterations);
+                stage.set_reused_work(stats.reused_work);
                 schedule = sched;
             }
 
@@ -487,15 +489,23 @@ impl Flow {
             *tech
         };
         let ffs = circuit.flip_flops();
+        // The per-FF anchor precompute (nearest ring point, ring delay at
+        // it, stub delay over the tap distance) is independent across
+        // flip-flops, so it fans out over scoped worker threads like the
+        // candidate-cost kernel; the result is bit-identical to the
+        // sequential loop.
+        let per_ff: Vec<(f64, f64, f64)> = par_map_with(&ParConfig::default(), ffs.len(), |i| {
+            let ring = array.ring(assignment.rings[i]);
+            let pos = circuit.position(ffs[i]);
+            let (c_point, l) = ring.nearest_point(pos);
+            let a = ring.delay_at(c_point, false);
+            let b = array.params().stub_delay(l, circuit.cell(ffs[i]).input_cap);
+            (a, b, l)
+        });
         let mut ring_delay = Vec::with_capacity(ffs.len());
         let mut stub_delay = Vec::with_capacity(ffs.len());
         let mut distance = Vec::with_capacity(ffs.len());
-        for (&ff, &rid) in ffs.iter().zip(&assignment.rings) {
-            let ring = array.ring(rid);
-            let pos = circuit.position(ff);
-            let (c_point, l) = ring.nearest_point(pos);
-            let a = ring.delay_at(c_point, false);
-            let b = array.params().stub_delay(l, circuit.cell(ff).input_cap);
+        for (a, b, l) in per_ff {
             ring_delay.push(a);
             stub_delay.push(b);
             distance.push(l);
@@ -534,6 +544,8 @@ impl Flow {
                     let (s, st) = solve(&ring_delay, &stub_delay, ctx);
                     sched = s;
                     stats.solver_iterations += st.solver_iterations;
+                    stats.constraints = stats.constraints.max(st.constraints);
+                    stats.reused_work += st.reused_work;
                 }
                 (sched, stats)
             }
@@ -571,6 +583,8 @@ impl Flow {
                     let (s, st) = solve(&ideal, ctx);
                     sched = s;
                     stats.solver_iterations += st.solver_iterations;
+                    stats.constraints = stats.constraints.max(st.constraints);
+                    stats.reused_work += st.reused_work;
                 }
                 (sched, stats)
             }

@@ -14,7 +14,7 @@
 //!   dual (the LP's network structure), with `w_i = l_i` as the paper
 //!   suggests.
 
-use rotary_solver::mcmf::FlowNetwork;
+use rotary_solver::mcmf::Circulation;
 use rotary_solver::{DifferenceSystem, ParametricSystem};
 use rotary_timing::{SequentialGraph, Technology};
 use serde::{Deserialize, Serialize};
@@ -48,8 +48,13 @@ pub struct SkewStats {
     /// Difference constraints in the timing system that was solved.
     pub constraints: usize,
     /// Inner solver iterations: feasibility solves of the binary search
-    /// (max-slack / minimax) or negative cycles canceled (weighted).
+    /// (max-slack / minimax) or correction paths routed (weighted).
     pub solver_iterations: usize,
+    /// Work carried over from the warm-start context instead of being
+    /// recomputed: seeded potential labels (parametric schedulers) or arc
+    /// pairs whose circulation flow survived a re-solve (weighted). Zero
+    /// on cold solves.
+    pub reused_work: usize,
 }
 
 /// Warm-start state carried across scheduling calls within one flow run.
@@ -71,6 +76,9 @@ pub struct SkewContext {
     minimax: Option<Vec<f64>>,
     /// Potentials of the weighted-schedule feasibility system.
     weighted: Option<Vec<f64>>,
+    /// Persistent min-cost-circulation engine of the weighted-sum dual
+    /// (flow + integer potentials), reused while the arc topology matches.
+    circulation: Option<CirculationState>,
 }
 
 impl SkewContext {
@@ -80,14 +88,29 @@ impl SkewContext {
     }
 }
 
+/// The weighted-sum dual's circulation engine plus the `(from, to)` pairs
+/// it was built over. The timing-graph topology is fixed across phase
+/// re-wrap rounds (only reference-arc costs move by `k·T/2`) and across
+/// Fig. 3 iterations (only bounds and weights drift), so one engine
+/// serves the whole flow run; the stored pairs gate reuse — an engine
+/// built for a different system is discarded, never warm-started.
+#[derive(Debug, Clone)]
+struct CirculationState {
+    engine: Circulation,
+    pairs: Vec<(u32, u32)>,
+}
+
 /// Seeds `par` from a context slot when the variable counts line up
 /// (they can differ transiently, e.g. across a ring-grid sweep).
-fn seed_from(par: &mut ParametricSystem, slot: &Option<Vec<f64>>) {
+/// Returns the number of labels seeded (0 on a cold start).
+fn seed_from(par: &mut ParametricSystem, slot: &Option<Vec<f64>>) -> usize {
     if let Some(labels) = slot {
         if labels.len() == par.num_vars() {
             par.seed(labels);
+            return labels.len();
         }
     }
+    0
 }
 
 /// The smallest clock period at which the skew constraints admit any
@@ -128,10 +151,14 @@ pub fn min_feasible_period_ctx(
         }
     }
     let mut par = ParametricSystem::new(&sys, &tighten);
-    seed_from(&mut par, &ctx.period);
+    let seeded = seed_from(&mut par, &ctx.period);
     let excess = par.min_feasible(1e6).expect("timing constraints infeasible at any period");
     ctx.period = Some(par.potentials().to_vec());
-    let stats = SkewStats { constraints: sys.constraints().len(), solver_iterations: par.solves() };
+    let stats = SkewStats {
+        constraints: sys.constraints().len(),
+        solver_iterations: par.solves(),
+        reused_work: seeded,
+    };
     (tech.clock_period + excess, stats)
 }
 
@@ -211,7 +238,7 @@ pub fn max_slack_schedule_ctx(
     let (sys, _) = timing_system(graph, &tech_eff, 0.0, 0);
     let tighten = vec![1.0; sys.constraints().len()];
     let mut par = ParametricSystem::new(&sys, &tighten);
-    seed_from(&mut par, &ctx.stage2);
+    let seeded = seed_from(&mut par, &ctx.stage2);
     let (slack, mut targets) = par
         .maximize_slack_exact(period)
         .expect("base system must be feasible for slack maximization");
@@ -220,6 +247,7 @@ pub fn max_slack_schedule_ctx(
     let stats = SkewStats {
         constraints: sys.constraints().len(),
         solver_iterations: period_stats.solver_iterations + par.solves(),
+        reused_work: period_stats.reused_work + seeded,
     };
     (SkewSchedule { targets, slack, period }, stats)
 }
@@ -303,7 +331,7 @@ pub fn minimax_schedule_ctx(
         tighten.push(1.0);
     }
     let mut par = ParametricSystem::new(&sys, &tighten);
-    seed_from(&mut par, &ctx.minimax);
+    let seeded = seed_from(&mut par, &ctx.minimax);
     let (s, mut sol) = par
         .maximize_slack_exact(delta_max)
         .unwrap_or_else(|| panic!("timing constraints infeasible at slack {m}"));
@@ -315,7 +343,11 @@ pub fn minimax_schedule_ctx(
     for v in &mut sol {
         *v -= r;
     }
-    let stats = SkewStats { constraints: sys.constraints().len(), solver_iterations: par.solves() };
+    let stats = SkewStats {
+        constraints: sys.constraints().len(),
+        solver_iterations: par.solves(),
+        reused_work: seeded,
+    };
     (SkewSchedule { targets: sol, slack: m, period: tech.clock_period }, stats)
 }
 
@@ -356,11 +388,27 @@ pub fn weighted_schedule_with_stats(
     weighted_schedule_ctx(graph, tech, ideal, weight, m, &mut SkewContext::new())
 }
 
+/// Fixed-point scale for the circulation's integer arc costs: 2^40.
+///
+/// A power of two keeps quantization and recovery exact in `f64`:
+/// `(cost · 2^40).round()` introduces at most 2^−41 ns ≈ 4.5e−13 of error
+/// per arc — far below every feasibility tolerance in the flow — and the
+/// final division of an integer dual difference by 2^40 is an exact
+/// floating-point operation (the differences are schedule-sized, well
+/// under 2^53 scaled units). Exact integer costs are what make warm and
+/// cold solves bit-identical: the engine's canonical duals depend only on
+/// the quantized problem, not on which optimal circulation a solve found.
+const COST_SCALE: f64 = 1_099_511_627_776.0;
+
 /// [`weighted_schedule_with_stats`] with warm-start context: the timing
-/// feasibility pre-check relaxes from the previous iteration's potentials
-/// instead of a cold solve. The circulation dual itself is
-/// context-independent (its engine already persists labels across
-/// cancellations internally), so the schedule is identical either way.
+/// feasibility pre-check relaxes from the previous iteration's potentials,
+/// and the min-cost-circulation dual re-solves incrementally on the
+/// engine carried in the context — flow and potentials persist across
+/// phase re-wrap rounds and flow iterations, so only the arcs whose costs
+/// or bounds actually moved are de/re-saturated and the resulting small
+/// imbalances routed. The recovered schedule comes from the engine's
+/// canonical integer duals, which are a constant of the quantized problem
+/// (see [`COST_SCALE`]), so warm and cold schedules are bit-identical.
 ///
 /// # Panics
 ///
@@ -392,41 +440,61 @@ pub fn weighted_schedule_ctx(
     //
     // With flows f on those arcs, LP duality gives
     //   min Σ w|y−t| = −min-cost circulation,
-    // and an optimal y is recovered from the circulation's potentials:
-    //   y_i = −π_i (up to a common shift), where π are shortest distances
+    // and an optimal y is recovered from the circulation's duals:
+    //   y_i = −d_i (up to a common shift), where d are shortest distances
     // in the optimal residual network.
+    //
+    // The arc *topology* is fixed for the whole flow run — constraint arcs
+    // follow the timing graph, and every flip-flop gets its R-arc pair
+    // (capacity 0 when its weight rounds to 0, which keeps the pair inert
+    // without changing the node/arc layout) — so the engine in the context
+    // is rebuilt only when the topology genuinely differs (e.g. across a
+    // ring-grid sweep) and warm-starts otherwise.
     const W_SCALE: f64 = 64.0;
-    let mut net = FlowNetwork::new(n + 1);
-    let reference = net.node(n);
+    let quantize = |x: f64| (x * COST_SCALE).round() as i64;
     // Every negative-cost simple cycle crosses R (cycles of constraint
     // arcs alone sum ≥ 0 — the system is feasible), so circulation flow on
     // any constraint arc is bounded by the total R-arc capacity. A finite
     // cap lets the solver saturate negative-bound constraint arcs without
     // overflow while changing no optimum.
-    let w_caps: Vec<i64> = weight.iter().map(|&w| (w * W_SCALE).round() as i64).collect();
-    let total_w: i64 = w_caps.iter().filter(|&&c| c > 0).sum::<i64>().max(1);
+    let w_caps: Vec<i64> = weight.iter().map(|&w| ((w * W_SCALE).round() as i64).max(0)).collect();
+    let total_w: i64 = w_caps.iter().sum::<i64>().max(1);
+    let n_arcs = sys.constraints().len() + 2 * n;
+    let mut pairs = Vec::with_capacity(n_arcs);
+    let mut caps = Vec::with_capacity(n_arcs);
+    let mut costs = Vec::with_capacity(n_arcs);
     for c in sys.constraints() {
-        net.add_arc(net.node(c.i), net.node(c.j), total_w, c.bound);
+        pairs.push((c.i as u32, c.j as u32));
+        caps.push(total_w);
+        costs.push(quantize(c.bound));
     }
     for (i, &cap) in w_caps.iter().enumerate() {
-        if cap <= 0 {
-            continue;
-        }
-        net.add_arc(net.node(i), reference, cap, ideal[i]);
-        net.add_arc(reference, net.node(i), cap, -ideal[i]);
+        let q = quantize(ideal[i]);
+        pairs.push((i as u32, n as u32));
+        caps.push(cap);
+        costs.push(q);
+        pairs.push((n as u32, i as u32));
+        caps.push(cap);
+        costs.push(-q);
     }
-    net.min_cost_circulation();
-    let pi = net.optimal_potentials();
-    let mut targets: Vec<f64> = (0..n).map(|i| -pi[i]).collect();
-    // Shift so the reference potential maps to 0 (pure normalization; all
-    // constraints are differences).
-    let shift = -pi[n];
-    for t in &mut targets {
-        *t -= shift;
-    }
+    let (mut state, warm) = match ctx.circulation.take() {
+        Some(s) if s.pairs == pairs => (s, true),
+        _ => (CirculationState { engine: Circulation::new(n + 1, &pairs), pairs }, false),
+    };
+    let circ_stats = state.engine.solve(&caps, &costs, warm);
+    let d = state.engine.canonical_distances();
+    ctx.circulation = Some(state);
+    // Shift so the reference node maps to 0 (pure normalization; all
+    // constraints are differences). Integer subtraction, then one exact
+    // power-of-two division.
+    let shift = d[n];
+    let targets: Vec<f64> = (0..n).map(|i| (shift - d[i]) as f64 / COST_SCALE).collect();
     debug_assert!(sys.check(&targets, 1e-6), "dual recovery violated timing");
-    let stats =
-        SkewStats { constraints: sys.constraints().len(), solver_iterations: net.cancellations() };
+    let stats = SkewStats {
+        constraints: sys.constraints().len(),
+        solver_iterations: circ_stats.correction_paths,
+        reused_work: circ_stats.reused_arcs,
+    };
     (SkewSchedule { targets, slack: m, period: tech.clock_period }, stats)
 }
 

@@ -23,8 +23,10 @@
 //!   shared by the pricing scan here and the tapping kernels in
 //!   `rotary-core`.
 //! * [`mcmf`] — min-cost max-flow via successive shortest paths with
-//!   Johnson potentials, plus negative-cycle-canceling min-cost
-//!   *circulation* used by the weighted-sum skew optimization dual.
+//!   Johnson potentials, plus two min-cost *circulation* engines for the
+//!   weighted-sum skew optimization dual: the one-shot `f64` reference and
+//!   the incremental integer-cost [`mcmf::Circulation`] (CSR residual
+//!   storage, bulk augmentation, warm re-solves) the flow runs on.
 //! * [`difference`] — feasibility and optimization of difference-constraint
 //!   systems (`y_i − y_j ≤ b_ij`) via shortest paths; the graph-based
 //!   engine behind max-slack and minimax skew scheduling.
@@ -59,7 +61,7 @@ pub use difference::{DifferenceSystem, ParametricSystem};
 pub use graph::{RelaxOutcome, ShortestPaths, SpfaGraph, SpfaResult, WarmSpfa};
 pub use ilp::{BranchAndBound, IlpOutcome};
 pub use lp::{LpBasis, LpProblem, LpSolution, LpStatus, Pricing, RowKind};
-pub use mcmf::{ArcId, FlowNetwork, NodeId};
+pub use mcmf::{ArcId, Circulation, CirculationStats, FlowNetwork, NodeId};
 pub use par::{par_map, par_map_with, ParConfig};
 pub use rounding::{greedy_round, greedy_round_loaded, greedy_round_loaded_rescan};
 pub use sparse::{BasisFactorization, CsrMatrix, SparseLu};

@@ -1,6 +1,6 @@
 //! Min-cost network flow.
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! * [`FlowNetwork::min_cost_flow`] — successive shortest augmenting paths
 //!   with Johnson potentials (Dijkstra inside); optimal for the flip-flop
@@ -8,21 +8,32 @@
 //!   and integral capacities.
 //! * [`FlowNetwork::min_cost_circulation`] — saturate every negative-cost
 //!   arc, then route the resulting imbalances back via successive shortest
-//!   paths; used for the dual of the weighted-sum skew optimization, where
-//!   arcs carry signed costs and no source/sink exists.
+//!   paths; the original one-shot engine for the dual of the weighted-sum
+//!   skew optimization, where arcs carry signed costs and no source/sink
+//!   exists. Kept as the reference implementation.
+//! * [`Circulation`] — the incremental engine the flow actually runs:
+//!   fixed topology built once into flat CSR adjacency (mirroring
+//!   [`crate::graph::WarmSpfa`]), exact *integer* arc costs, bulk
+//!   augmentation (every multi-source Dijkstra serves all reachable
+//!   deficits along its shortest-path tree, not one path per round), and
+//!   warm re-solves that keep the previous flow and potentials when only
+//!   caps/costs change.
 //!
-//! Costs are `f64`; all comparisons use a small tolerance. Capacities are
-//! integral (`i64`), so augmentations preserve integrality and the
+//! [`FlowNetwork`] costs are `f64` with a small comparison tolerance;
+//! [`Circulation`] costs are `i64` (callers quantize once) so optimality
+//! is exact and the recovered duals are canonical. Capacities are integral
+//! (`i64`) everywhere, so augmentations preserve integrality and the
 //! assignment solutions are automatically 0/1.
 //!
 //! All Bellman–Ford-style work (potential initialization, negative-cycle
 //! search, optimal potentials) runs on the shared SPFA kernel in
-//! [`crate::graph`]; only the Dijkstra inner loop of the successive
-//! shortest-path method lives here.
+//! [`crate::graph`]; only the Dijkstra inner loops of the successive
+//! shortest-path methods live here.
 
 use crate::graph::{Source, SpfaGraph};
 use serde::{Deserialize, Serialize};
-use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Node handle in a [`FlowNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -80,7 +91,20 @@ impl FlowNetwork {
     }
 
     /// Correction paths routed by [`Self::min_cost_circulation`] so far
-    /// (telemetry; historically negative-cycle cancellations).
+    /// (telemetry). Each is one successive-shortest-path augmentation of
+    /// phase 2 — *not* a negative-cycle cancellation; the PR-2 rewrite
+    /// replaced Klein's cycle canceling with saturate-and-correct but kept
+    /// the old counter name, fixed here.
+    pub fn correction_paths(&self) -> usize {
+        self.cancellations
+    }
+
+    /// Deprecated alias of [`Self::correction_paths`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `correction_paths`: the engine routes SSP correction \
+                paths, it does not cancel negative cycles"
+    )]
     pub fn cancellations(&self) -> usize {
         self.cancellations
     }
@@ -344,6 +368,397 @@ impl FlowNetwork {
     }
 }
 
+/// Effort counters of one [`Circulation::solve`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CirculationStats {
+    /// Correction paths augmented in phase 2 (one per served deficit).
+    pub correction_paths: usize,
+    /// Multi-source Dijkstra rounds (each serves a batch of deficits).
+    pub rounds: usize,
+    /// Residual arcs force-saturated in phase 1 (negative reduced cost
+    /// under the starting potentials).
+    pub saturated_arcs: usize,
+    /// Arc pairs whose carried flow survived the cap update untouched —
+    /// work a cold solve would redo from scratch. Zero on cold solves.
+    pub reused_arcs: usize,
+}
+
+const NO_ARC: u32 = u32::MAX;
+
+/// Incremental min-cost circulation over a fixed arc topology.
+///
+/// Built once from `(from, to)` endpoint pairs; every [`Self::solve`] call
+/// supplies fresh capacities and **integer** costs for the same pairs.
+/// Storage is flat: paired residual slots (`2k` forward, `2k + 1` twin,
+/// twin of slot `a` is `a ^ 1`) and a CSR adjacency over the slots, so the
+/// scan of a node's residual out-arcs is one contiguous slice — no
+/// `Vec<Vec<u32>>` pointer chasing, no per-solve graph rebuild.
+///
+/// The algorithm is saturate-and-correct, like
+/// [`FlowNetwork::min_cost_circulation`], with two upgrades:
+///
+/// * **Bulk augmentation** — each multi-source Dijkstra (from all excess
+///   nodes, on reduced costs) serves *every* deficit it finalizes, walking
+///   the shortest-path tree once per deficit in `(dist, node)` order,
+///   instead of routing a single path and rerunning. The potential update
+///   `π_v += min(dist_v, d_max)` (where `d_max` is the largest served
+///   deficit distance) keeps every residual reduced cost non-negative, so
+///   all tree paths to served deficits are reduced-cost-zero and may be
+///   augmented in any order within the round.
+/// * **Warm starts** — flow and potentials persist across solves. A
+///   re-solve clamps the carried flow to the new caps (shedding surplus as
+///   excess/deficit pairs), re-saturates the arcs whose reduced cost went
+///   negative under the new costs, and routes only the resulting small
+///   imbalances. When few arcs changed, that is a handful of short
+///   corrections instead of thousands of full-graph rounds.
+///
+/// Costs are exact `i64` (callers quantize `f64` costs once, at a fixed
+/// power-of-two scale): every comparison is exact, so a terminating solve
+/// is *exactly* optimal — no tolerance slack. That exactness is what makes
+/// warm and cold solves interchangeable: the shortest residual distance
+/// from the virtual source to each node equals
+/// `OPT(circulation + unit demand) − OPT(circulation)`, a constant of the
+/// *problem* rather than of the particular optimal flow, so
+/// [`Self::canonical_distances`] returns bit-identical duals no matter
+/// which optimal circulation the solve landed on.
+///
+/// # Examples
+///
+/// ```
+/// use rotary_solver::mcmf::Circulation;
+///
+/// // Cycle 0 → 1 → 2 → 0, every arc cost −1, caps 2: optimum −6.
+/// let mut net = Circulation::new(3, &[(0, 1), (1, 2), (2, 0)]);
+/// net.solve(&[2, 2, 2], &[-1, -1, -1], false);
+/// assert_eq!(net.total_cost(), -6);
+/// // Re-solve with one cost flipped: warm start keeps the rest.
+/// let stats = net.solve(&[2, 2, 2], &[-1, 3, -1], true);
+/// assert_eq!(net.total_cost(), 0);
+/// assert!(stats.reused_arcs > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circulation {
+    n: usize,
+    /// Head node per residual slot (tail of slot `a` is `heads[a ^ 1]`).
+    heads: Vec<u32>,
+    /// Residual capacity per slot (forward = cap − flow, twin = flow).
+    cap: Vec<i64>,
+    /// Signed integer cost per slot (twin = −forward).
+    cost: Vec<i64>,
+    /// CSR over slots: slots leaving node `u` are
+    /// `csr_arcs[csr_start[u]..csr_start[u + 1]]`.
+    csr_start: Vec<u32>,
+    csr_arcs: Vec<u32>,
+    /// Johnson potentials; carried across warm solves.
+    potential: Vec<i64>,
+    /// Node imbalance (inflow − outflow) during a solve; all-zero between
+    /// solves.
+    excess: Vec<i64>,
+    stats: CirculationStats,
+}
+
+impl Circulation {
+    /// Builds the engine over `n` nodes and the given `(from, to)` pairs.
+    /// Pair `k` owns residual slots `2k` (forward) and `2k + 1` (twin);
+    /// capacities and costs arrive per [`Self::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn new(n: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut heads = Vec::with_capacity(2 * pairs.len());
+        for &(from, to) in pairs {
+            assert!((from as usize) < n && (to as usize) < n, "arc ({from}, {to}) out of range");
+            heads.push(to);
+            heads.push(from);
+        }
+        // CSR over slots, grouped by tail (= head of the twin).
+        let mut csr_start = vec![0u32; n + 1];
+        for a in 0..heads.len() {
+            csr_start[heads[a ^ 1] as usize + 1] += 1;
+        }
+        for u in 0..n {
+            csr_start[u + 1] += csr_start[u];
+        }
+        let mut cursor = csr_start.clone();
+        let mut csr_arcs = vec![0u32; heads.len()];
+        for a in 0..heads.len() {
+            let u = heads[a ^ 1] as usize;
+            csr_arcs[cursor[u] as usize] = a as u32;
+            cursor[u] += 1;
+        }
+        Self {
+            n,
+            heads,
+            cap: vec![0; 2 * pairs.len()],
+            cost: vec![0; 2 * pairs.len()],
+            csr_start,
+            csr_arcs,
+            potential: vec![0; n],
+            excess: vec![0; n],
+            stats: CirculationStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arc pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.heads.len() / 2
+    }
+
+    /// Flow currently on forward arc `k` (= residual capacity of its twin).
+    pub fn flow(&self, k: usize) -> i64 {
+        self.cap[2 * k + 1]
+    }
+
+    /// Total cost of the current circulation, `Σ flow_k · cost_k`, exact.
+    pub fn total_cost(&self) -> i64 {
+        (0..self.num_pairs())
+            .map(|k| i128::from(self.cap[2 * k + 1]) * i128::from(self.cost[2 * k]))
+            .sum::<i128>()
+            .try_into()
+            .expect("circulation cost fits i64")
+    }
+
+    /// The Johnson potentials of the last solve (certify `cost + π_u − π_v
+    /// ≥ 0` on every residual arc — exact, no tolerance). *Not* canonical
+    /// across different optimal circulations; use
+    /// [`Self::canonical_distances`] for dual recovery.
+    pub fn potentials(&self) -> &[i64] {
+        &self.potential
+    }
+
+    /// Effort counters of the last [`Self::solve`].
+    pub fn stats(&self) -> CirculationStats {
+        self.stats
+    }
+
+    /// Computes a minimum-cost circulation for the given capacities and
+    /// integer costs (indexed by pair, like the constructor's `pairs`).
+    ///
+    /// With `warm = false` the carried flow and potentials are discarded —
+    /// a from-scratch solve. With `warm = true` the previous solve's flow
+    /// is clamped to the new caps, arcs whose reduced cost turned negative
+    /// under the carried potentials are re-saturated, and only the
+    /// resulting imbalances are routed. Either way the result is exactly
+    /// optimal; warm starting only changes how fast it arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the pair count or a capacity
+    /// is negative.
+    pub fn solve(&mut self, caps: &[i64], costs: &[i64], warm: bool) -> CirculationStats {
+        assert_eq!(caps.len(), self.num_pairs(), "capacity vector length mismatch");
+        assert_eq!(costs.len(), self.num_pairs(), "cost vector length mismatch");
+        self.stats = CirculationStats::default();
+        debug_assert!(self.excess.iter().all(|&e| e == 0), "imbalance left by a previous solve");
+        if !warm {
+            self.potential.iter_mut().for_each(|p| *p = 0);
+        }
+        // Install the new caps/costs, clamping carried flow to the new
+        // capacity; shed flow becomes an excess/deficit pair routed below.
+        for (k, (&cap_k, &cost_k)) in caps.iter().zip(costs).enumerate() {
+            assert!(cap_k >= 0, "negative capacity");
+            let (fwd, twin) = (2 * k, 2 * k + 1);
+            let carried = if warm { self.cap[twin] } else { 0 };
+            let kept = carried.min(cap_k);
+            if kept < carried {
+                let shed = carried - kept;
+                self.excess[self.heads[twin] as usize] += shed;
+                self.excess[self.heads[fwd] as usize] -= shed;
+            } else if carried > 0 {
+                self.stats.reused_arcs += 1;
+            }
+            self.cap[fwd] = cap_k - kept;
+            self.cap[twin] = kept;
+            self.cost[fwd] = cost_k;
+            self.cost[twin] = -cost_k;
+        }
+        // Phase 1: force flow onto every residual arc whose reduced cost
+        // under the starting potentials is negative. Cold (π = 0, no
+        // carried flow) this is exactly the classic saturation of
+        // negative-cost arcs; warm it touches only the arcs whose cost
+        // moved enough to flip sign.
+        for a in 0..self.heads.len() {
+            if self.cap[a] <= 0 {
+                continue;
+            }
+            let u = self.heads[a ^ 1] as usize;
+            let v = self.heads[a] as usize;
+            if self.cost[a] + self.potential[u] - self.potential[v] < 0 {
+                let push = self.cap[a];
+                self.cap[a] = 0;
+                self.cap[a ^ 1] += push;
+                self.excess[v] += push;
+                self.excess[u] -= push;
+                self.stats.saturated_arcs += 1;
+            }
+        }
+        self.route_excess();
+        self.stats
+    }
+
+    /// Phase 2: route all node imbalances back at minimum cost. Every
+    /// residual arc has non-negative reduced cost on entry (phase 1
+    /// guarantees it), so each round is one multi-source Dijkstra from the
+    /// excess nodes, followed by bulk augmentation along its shortest-path
+    /// tree to every finalized deficit.
+    fn route_excess(&mut self) {
+        let n = self.n;
+        let mut total: i64 = self.excess.iter().filter(|&&e| e > 0).sum();
+        let mut dist = vec![i64::MAX; n];
+        let mut prev = vec![NO_ARC; n];
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+        let mut served: Vec<u32> = Vec::new();
+        while total > 0 {
+            self.stats.rounds += 1;
+            dist.iter_mut().for_each(|d| *d = i64::MAX);
+            prev.iter_mut().for_each(|p| *p = NO_ARC);
+            heap.clear();
+            served.clear();
+            for (v, &e) in self.excess.iter().enumerate() {
+                if e > 0 {
+                    dist[v] = 0;
+                    heap.push(Reverse((0, v as u32)));
+                }
+            }
+            // d_max = largest served deficit distance; caps the potential
+            // update so nodes beyond (or unreached by) this round keep the
+            // reduced-cost invariant.
+            let mut d_max = 0i64;
+            let mut served_cap = 0i64;
+            while let Some(Reverse((d, u))) = heap.pop() {
+                let u = u as usize;
+                if d > dist[u] {
+                    continue;
+                }
+                if self.excess[u] < 0 {
+                    served.push(u as u32);
+                    served_cap += -self.excess[u];
+                    d_max = d;
+                }
+                let row = self.csr_start[u] as usize..self.csr_start[u + 1] as usize;
+                for &a in &self.csr_arcs[row] {
+                    let a = a as usize;
+                    if self.cap[a] <= 0 {
+                        continue;
+                    }
+                    let v = self.heads[a] as usize;
+                    let rc = self.cost[a] + self.potential[u] - self.potential[v];
+                    debug_assert!(rc >= 0, "negative reduced cost inside Dijkstra");
+                    let nd = d + rc;
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        prev[v] = a as u32;
+                        heap.push(Reverse((nd, v as u32)));
+                    }
+                }
+                // Stop once the finalized deficits can absorb everything —
+                // after relaxing u's arcs, so tentative labels of every
+                // unfinalized node are ≥ d ≥ d_max and the capped potential
+                // update below stays valid.
+                if served_cap >= total {
+                    break;
+                }
+            }
+            if served.is_empty() {
+                // Unreachable for well-formed inputs (the twin of every
+                // push offers a route back); clear the imbalance so a
+                // later warm solve starts consistent.
+                self.excess.iter_mut().for_each(|e| *e = 0);
+                return;
+            }
+            for (v, &d) in dist.iter().enumerate() {
+                self.potential[v] += d.min(d_max);
+            }
+            // Serve the finalized deficits in (dist, node) order. Earlier
+            // pushes may saturate shared tree arcs or drain a root; those
+            // deficits simply wait for the next round.
+            for &t in &served {
+                let t = t as usize;
+                let mut push = -self.excess[t];
+                if push <= 0 {
+                    continue;
+                }
+                let mut v = t;
+                while prev[v] != NO_ARC {
+                    let a = prev[v] as usize;
+                    push = push.min(self.cap[a]);
+                    v = self.heads[a ^ 1] as usize;
+                }
+                let root = v;
+                push = push.min(self.excess[root]);
+                if push <= 0 {
+                    continue;
+                }
+                let mut v = t;
+                while prev[v] != NO_ARC {
+                    let a = prev[v] as usize;
+                    self.cap[a] -= push;
+                    self.cap[a ^ 1] += push;
+                    v = self.heads[a ^ 1] as usize;
+                }
+                self.excess[root] -= push;
+                self.excess[t] += push;
+                total -= push;
+                self.stats.correction_paths += 1;
+                if total == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Shortest integer distances from the virtual source (every node at 0)
+    /// over the residual arcs of the current circulation — the canonical
+    /// dual. Because the solve is exactly optimal, these distances are a
+    /// constant of the problem (`OPT(+unit demand) − OPT`), identical for
+    /// *every* optimal circulation; warm and cold solves therefore recover
+    /// bit-identical values with no re-solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative residual cycle (impossible after a terminating
+    /// [`Self::solve`]; guards misuse on an unsolved engine).
+    pub fn canonical_distances(&self) -> Vec<i64> {
+        let n = self.n;
+        let mut dist = vec![0i64; n];
+        let mut in_queue = vec![true; n];
+        let mut queue: VecDeque<u32> = (0..n as u32).collect();
+        // At the optimum SPFA settles in ≤ n sweeps; the pop budget only
+        // guards against calls on a non-optimal flow.
+        let mut budget = (n as u64 + 1).saturating_mul(self.heads.len() as u64 + 1);
+        while let Some(u) = queue.pop_front() {
+            assert!(budget > 0, "negative residual cycle: circulation not optimal");
+            budget -= 1;
+            let u = u as usize;
+            in_queue[u] = false;
+            let du = dist[u];
+            let row = self.csr_start[u] as usize..self.csr_start[u + 1] as usize;
+            for &a in &self.csr_arcs[row] {
+                let a = a as usize;
+                if self.cap[a] <= 0 {
+                    continue;
+                }
+                let v = self.heads[a] as usize;
+                let nd = du + self.cost[a];
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    if !in_queue[v] {
+                        in_queue[v] = true;
+                        queue.push_back(v as u32);
+                    }
+                }
+            }
+        }
+        dist
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct HeapItem {
     dist: f64,
@@ -477,6 +892,156 @@ mod tests {
         net.add_arc(net.node(1), net.node(2), 5, 1.0);
         net.add_arc(net.node(2), net.node(0), 5, 1.0);
         assert_eq!(net.min_cost_circulation(), 0.0);
+    }
+
+    /// Every residual arc of `net` satisfies `cost + d_u − d_v ≥ 0` under
+    /// the canonical distances, and the forward constraint implied by each
+    /// *unsaturated* arc holds.
+    fn assert_canonical_certificate(net: &Circulation) {
+        let d = net.canonical_distances();
+        for k in 0..net.num_pairs() {
+            for (a, sign) in [(2 * k, 1i64), (2 * k + 1, -1i64)] {
+                if net.cap[a] > 0 {
+                    let (u, v) = (net.heads[a ^ 1] as usize, net.heads[a] as usize);
+                    let rc = sign * net.cost[2 * k] + d[u] - d[v];
+                    assert!(rc >= 0, "residual slot {a} has negative reduced cost {rc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_cancels_negative_cycle_exactly() {
+        let mut net = Circulation::new(3, &[(0, 1), (1, 2), (2, 0)]);
+        let stats = net.solve(&[2, 2, 2], &[-1, -1, -1], false);
+        assert_eq!(net.total_cost(), -6);
+        assert_eq!(stats.reused_arcs, 0, "cold solve reuses nothing");
+        assert_canonical_certificate(&net);
+    }
+
+    #[test]
+    fn engine_on_positive_graph_is_zero() {
+        let mut net = Circulation::new(3, &[(0, 1), (1, 2), (2, 0)]);
+        net.solve(&[5, 5, 5], &[1, 1, 1], false);
+        assert_eq!(net.total_cost(), 0);
+        assert_eq!((0..3).map(|k| net.flow(k)).sum::<i64>(), 0);
+    }
+
+    /// Deterministic pseudo-random circulation instance: `n` nodes, a mix
+    /// of cheap cycles and signed chords.
+    fn random_instance(n: usize, m: usize, seed: u64) -> (Vec<(u32, u32)>, Vec<i64>, Vec<i64>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut pairs = Vec::new();
+        let mut caps = Vec::new();
+        let mut costs = Vec::new();
+        for v in 0..n {
+            pairs.push((v as u32, ((v + 1) % n) as u32));
+            caps.push((next() % 5) as i64);
+            costs.push((next() % 9) as i64 - 4);
+        }
+        for _ in 0..m {
+            let i = next() % n;
+            let j = next() % n;
+            if i == j {
+                continue;
+            }
+            pairs.push((i as u32, j as u32));
+            caps.push((next() % 7) as i64);
+            costs.push((next() % 13) as i64 - 6);
+        }
+        (pairs, caps, costs)
+    }
+
+    #[test]
+    fn engine_matches_reference_on_random_instances() {
+        for seed in 0..12 {
+            let (pairs, caps, costs) = random_instance(9, 24, 0xC0FFEE + seed);
+            let mut reference = FlowNetwork::new(9);
+            for ((&(f, t), &cap), &cost) in pairs.iter().zip(&caps).zip(&costs) {
+                reference.add_arc(
+                    reference.node(f as usize),
+                    reference.node(t as usize),
+                    cap,
+                    cost as f64,
+                );
+            }
+            let want = reference.min_cost_circulation();
+            let mut net = Circulation::new(9, &pairs);
+            net.solve(&caps, &costs, false);
+            assert!(
+                (net.total_cost() as f64 - want).abs() < 1e-9,
+                "seed {seed}: engine {} vs reference {want}",
+                net.total_cost()
+            );
+            assert_canonical_certificate(&net);
+        }
+    }
+
+    #[test]
+    fn warm_resolve_is_exactly_optimal_and_reuses_flow() {
+        let (pairs, caps, costs) = random_instance(11, 30, 0xBEEF);
+        let mut warm = Circulation::new(11, &pairs);
+        warm.solve(&caps, &costs, false);
+        // Perturb a few costs and re-solve warm vs a fresh cold engine.
+        let mut costs2 = costs.clone();
+        costs2[3] += 5;
+        costs2[7] -= 3;
+        costs2[12] = -costs2[12];
+        let stats = warm.solve(&caps, &costs2, true);
+        let mut cold = Circulation::new(11, &pairs);
+        cold.solve(&caps, &costs2, false);
+        assert_eq!(warm.total_cost(), cold.total_cost(), "warm must stay exactly optimal");
+        assert_eq!(
+            warm.canonical_distances(),
+            cold.canonical_distances(),
+            "canonical duals are flow-independent"
+        );
+        assert!(stats.reused_arcs > 0, "perturbing 3 of 41 arcs must keep some flow");
+        assert_canonical_certificate(&warm);
+    }
+
+    #[test]
+    fn warm_resolve_clamps_flow_to_shrunk_caps() {
+        let (pairs, caps, costs) = random_instance(8, 20, 0xDEAD);
+        let mut warm = Circulation::new(8, &pairs);
+        warm.solve(&caps, &costs, false);
+        let caps2: Vec<i64> = caps.iter().map(|&c| c / 2).collect();
+        warm.solve(&caps2, &costs, true);
+        for (k, &cap) in caps2.iter().enumerate() {
+            assert!(warm.flow(k) <= cap, "arc {k} overflows its shrunk cap");
+            assert!(warm.flow(k) >= 0);
+        }
+        let mut cold = Circulation::new(8, &pairs);
+        cold.solve(&caps2, &costs, false);
+        assert_eq!(warm.total_cost(), cold.total_cost());
+        assert_eq!(warm.canonical_distances(), cold.canonical_distances());
+    }
+
+    #[test]
+    fn bulk_augmentation_serves_many_deficits_per_round() {
+        // Three negative 2-cycles into a shared hub: phase 1 saturates the
+        // three spoke arcs, leaving one excess hub and three deficit
+        // spokes, and a single Dijkstra round serves all three.
+        let mut pairs = Vec::new();
+        for k in 0..3u32 {
+            let v = 1 + k;
+            pairs.push((v, 0));
+            pairs.push((0, v));
+        }
+        let mut net = Circulation::new(4, &pairs);
+        let stats = net.solve(&[3; 6], &[-2, 1, -2, 1, -2, 1], false);
+        assert_eq!(net.total_cost(), -3 * 3);
+        assert!(stats.correction_paths >= 3, "three pairs need three corrections");
+        assert!(
+            stats.rounds < stats.correction_paths,
+            "bulk rounds ({}) must batch corrections ({})",
+            stats.rounds,
+            stats.correction_paths
+        );
     }
 
     #[test]
