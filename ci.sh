@@ -42,4 +42,19 @@ echo "==> tables --suite s38417 table1 (smoke, 120s budget)"
 echo "==> tables --suite s15850 table4 (smoke, 60s budget)"
 (cd "$scratch" && timeout 60 "$tables_bin" --suite s15850 table4 > tables_s15850_ci.log)
 
+# Stage-2 scheduling smoke: period search + max-slack, cold then warm
+# over drifted placements. The binary itself asserts the delta-rebind
+# engine reused state, so a dead warm path fails even well under budget.
+echo "==> tables --suite s15850 stage2 (smoke, 60s budget)"
+(cd "$scratch" && timeout 60 "$tables_bin" --suite s15850 stage2 > tables_stage2_ci.log)
+
+# Staleness guard: the committed small-suite battery must match a fresh
+# run byte-for-byte. --redact-cpu blanks every wall-clock column, so the
+# regenerated file depends only on the deterministic computation; any
+# drift means someone changed results without re-measuring the artifacts.
+echo "==> tables --redact-cpu --small (staleness guard vs tables_small_output.txt)"
+(cd "$scratch" && "$tables_bin" --redact-cpu --small table3 table4 table5 table6 table7 variation \
+  > tables_small_output.txt 2>&1)
+diff -u tables_small_output.txt "$scratch/tables_small_output.txt"
+
 echo "ci.sh: all checks passed"

@@ -315,6 +315,47 @@ fn bench_parametric(c: &mut Criterion) {
             }
         })
     });
+
+    // Delta rebind: one Fig. 3 placement iteration perturbs a small
+    // fraction of the bounds, then stage 2 re-solves. The warm engine
+    // patches the dirty arcs and relaxes from the carried fixpoint; the
+    // baseline pays a full rebuild plus a cold Newton solve.
+    let patched: Vec<f64> = sys
+        .constraints()
+        .iter()
+        .enumerate()
+        .map(|(k, cns)| {
+            if k % 16 == 0 {
+                cns.bound + if k % 32 == 0 { 0.0009765625 } else { -0.0009765625 }
+            } else {
+                cns.bound
+            }
+        })
+        .collect();
+    let updates: Vec<(usize, f64)> =
+        patched.iter().enumerate().filter(|&(k, _)| k % 16 == 0).map(|(k, &b)| (k, b)).collect();
+    let mut warmed = ParametricSystem::new(&sys, &tighten);
+    warmed.maximize_slack_exact(hi).expect("timing system feasible before the delta");
+    c.bench_function("difference/delta_rebind_resolve_s9234", |b| {
+        b.iter_batched(
+            || warmed.clone(),
+            |mut par| {
+                par.update_bounds(&updates);
+                std::hint::black_box(par.maximize_slack_exact(hi))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("difference/full_rebuild_resolve_s9234", |b| {
+        b.iter(|| {
+            let mut rebuilt = DifferenceSystem::new(sys.num_vars());
+            for (cns, &bound) in sys.constraints().iter().zip(&patched) {
+                rebuilt.add(cns.i, cns.j, bound);
+            }
+            let mut par = ParametricSystem::new(&rebuilt, &tighten);
+            std::hint::black_box(par.maximize_slack_exact(hi))
+        })
+    });
 }
 
 /// An s38417-sized eq. 3 relaxation: `items` flip-flops with up to `k`

@@ -7,11 +7,18 @@
 //! cargo run --release -p rotary-bench --bin tables -- fig1 fig2 fig4 fig5
 //! cargo run --release -p rotary-bench --bin tables -- --small all   # 2 small suites only
 //! cargo run --release -p rotary-bench --bin tables -- --suite s38417 table1 5
+//! cargo run --release -p rotary-bench --bin tables -- --suite s15850 stage2
 //! ```
 //!
 //! `--suite NAME` (repeatable) restricts every target to the named
 //! suite(s) — the CI smoke uses it to bound a large-suite run to one
-//! table without paying for the full battery.
+//! table without paying for the full battery. `--redact-cpu` prints every
+//! wall-clock column as `-`, which makes the output fully deterministic:
+//! the CI staleness guard regenerates `tables_small_output.txt` with it
+//! and diffs byte-for-byte against the committed copy. The `stage2`
+//! target is a scheduling smoke: period search plus max-slack solves,
+//! cold then warm across drifted placements, asserting the delta-rebind
+//! engine actually reuses state.
 //!
 //! Absolute numbers differ from the paper (synthetic netlists, different
 //! machine); shapes — who wins, by what rough factor — are the
@@ -24,7 +31,24 @@ use rotary_netlist::BenchmarkSuite;
 use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
 use rotary_solver::greedy_round;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// When set (`--redact-cpu`), every wall-clock column prints as `-` so
+/// the output depends only on the deterministic computation, never the
+/// machine — the CI staleness guard diffs such a run byte-for-byte.
+static REDACT_CPU: AtomicBool = AtomicBool::new(false);
+
+/// Formats a seconds value at the given precision, or `-` under
+/// `--redact-cpu`. Width is applied by the caller's `{:>N}` so redacted
+/// and live runs keep identical column layout.
+fn cpu(v: f64, prec: usize) -> String {
+    if REDACT_CPU.load(Ordering::Relaxed) {
+        "-".into()
+    } else {
+        format!("{v:.prec$}")
+    }
+}
 
 struct Ctx {
     suites: Vec<BenchmarkSuite>,
@@ -45,6 +69,10 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
     args.retain(|a| a != "--small");
+    if args.iter().any(|a| a == "--redact-cpu") {
+        REDACT_CPU.store(true, Ordering::Relaxed);
+        args.retain(|a| a != "--redact-cpu");
+    }
     let mut only: Vec<BenchmarkSuite> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -113,6 +141,7 @@ fn main() {
             "fig4" => fig4(),
             "fig5" => fig5(),
             "variation" => variation(&mut ctx),
+            "stage2" => stage2(&mut ctx),
             other if other.parse::<u64>().is_ok() => {}
             other => eprintln!("unknown target {other}"),
         }
@@ -123,50 +152,113 @@ fn main() {
 
 /// Prints the per-stage flow telemetry of every suite battery the targets
 /// above ran, and dumps the same data as JSON to `BENCH_flow.json` so
-/// future sessions get a perf trajectory.
+/// future sessions get a perf trajectory. The dump *merges* with any
+/// existing file: suites not re-run this invocation keep their recorded
+/// entries, so a `--small` or `--suite` run no longer clobbers the
+/// five-suite battery.
 fn telemetry(ctx: &Ctx) {
     if ctx.results.is_empty() {
         return;
     }
-    header("FLOW TELEMETRY — wall time / problem size / solver iterations per stage");
+    header("FLOW TELEMETRY — wall time / problem size / solver iterations / reuse per stage");
     for (name, r) in &ctx.results {
         for (label, out) in [("network-flow", &r.nf), ("ilp", &r.ilp)] {
             println!(
-                "{name} [{label}]: {} iteration(s), stages 2-5 {:.2}s, placer {:.2}s",
+                "{name} [{label}]: {} iteration(s), stages 2-5 {}s, placer {}s",
                 out.telemetry.iterations(),
-                out.stage_seconds(),
-                out.placer_seconds(),
+                cpu(out.stage_seconds(), 2),
+                cpu(out.placer_seconds(), 2),
             );
-            for (stage, secs, passes, iters) in out.telemetry.totals_by_stage() {
+            let reuse = out.telemetry.reuse_by_stage();
+            for (k, (stage, secs, passes, iters)) in
+                out.telemetry.totals_by_stage().into_iter().enumerate()
+            {
                 if passes == 0 {
                     continue;
                 }
+                let (_, reused, delta, touched) = reuse[k];
                 println!(
-                    "  {}. {:<22} {:>9.3}s  {:>2} pass(es)  {:>6} solver iters",
+                    "  {}. {:<22} {:>9}s  {:>2} pass(es)  {:>6} solver iters  \
+                     {:>9} reused  {:>6} Δarcs  {:>7} touched",
                     stage.number(),
                     stage.name(),
-                    secs,
+                    cpu(secs, 3),
                     passes,
                     iters,
+                    reused,
+                    delta,
+                    touched,
                 );
             }
         }
     }
+    let mut suites: BTreeMap<String, String> = std::fs::read_to_string("BENCH_flow.json")
+        .ok()
+        .map(|doc| parse_top_level(&doc))
+        .unwrap_or_default();
+    for (name, r) in &ctx.results {
+        suites.insert(
+            name.to_string(),
+            format!(
+                "{{\n\"network_flow\": {},\n\"ilp\": {}\n}}",
+                r.nf.telemetry.to_json().trim_end(),
+                r.ilp.telemetry.to_json().trim_end(),
+            ),
+        );
+    }
     let mut json = String::from("{\n");
-    let n = ctx.results.len();
-    for (k, (name, r)) in ctx.results.iter().enumerate() {
-        json.push_str(&format!(
-            "\"{name}\": {{\n\"network_flow\": {},\n\"ilp\": {}\n}}{}\n",
-            r.nf.telemetry.to_json().trim_end(),
-            r.ilp.telemetry.to_json().trim_end(),
-            if k + 1 < n { "," } else { "" },
-        ));
+    let n = suites.len();
+    for (k, (name, body)) in suites.iter().enumerate() {
+        json.push_str(&format!("\"{name}\": {body}{}\n", if k + 1 < n { "," } else { "" }));
     }
     json.push_str("}\n");
     match std::fs::write("BENCH_flow.json", &json) {
-        Ok(()) => println!("(telemetry JSON written to BENCH_flow.json)"),
+        Ok(()) => println!("(telemetry JSON merged into BENCH_flow.json)"),
         Err(e) => eprintln!("could not write BENCH_flow.json: {e}"),
     }
+}
+
+/// Splits a `BENCH_flow.json` document into its top-level
+/// `"suite": { ... }` entries by brace counting. The file is
+/// machine-written — no string value ever contains a brace — so counting
+/// is exact; a malformed document simply yields fewer entries, which the
+/// merge then overwrites.
+fn parse_top_level(doc: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let mut i = match doc.find('{') {
+        Some(p) => p + 1,
+        None => return out,
+    };
+    while i < doc.len() {
+        let Some(q1) = doc[i..].find('"') else { break };
+        let key_start = i + q1 + 1;
+        let Some(q2) = doc[key_start..].find('"') else { break };
+        let key = doc[key_start..key_start + q2].to_string();
+        let after_key = key_start + q2 + 1;
+        let Some(ob) = doc[after_key..].find('{') else { break };
+        let start = after_key + ob;
+        let mut depth = 0usize;
+        let mut end = start;
+        for (off, c) in doc[start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = start + off + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if end == start {
+            break;
+        }
+        out.insert(key, doc[start..end].to_string());
+        i = end;
+    }
+    out
 }
 
 fn header(title: &str) {
@@ -181,16 +273,18 @@ fn table1(ctx: &mut Ctx) {
     for suite in ctx.suites.clone() {
         let row = table1_row(suite, ctx.bnb_budget);
         let bnb_ig = row.bnb_ig.map(|g| format!("{g:.2}")).unwrap_or_else(|| "—".into());
-        let bnb_cpu = if row.bnb_timed_out {
+        let bnb_cpu = if REDACT_CPU.load(Ordering::Relaxed) {
+            "-".into()
+        } else if row.bnb_timed_out {
             format!("> {:.0}s", ctx.bnb_budget.as_secs_f64())
         } else {
             format!("{:.2}", row.bnb_cpu)
         };
         println!(
-            "{:<8} | {:>8.2} {:>9.2} | {:>10} {:>9}",
+            "{:<8} | {:>8.2} {:>9} | {:>10} {:>9}",
             suite.name(),
             row.greedy_ig,
-            row.greedy_cpu,
+            cpu(row.greedy_cpu, 2),
             bnb_ig,
             bnb_cpu
         );
@@ -229,7 +323,7 @@ fn table3(ctx: &mut Ctx) {
     for suite in ctx.suites.clone() {
         let r = ctx.results_for(suite).clone();
         println!(
-            "{:<8} {:>7.1} {:>9.0} {:>10.0} {:>10.0} {:>7.2} {:>7.2} {:>7.2} {:>8.1}",
+            "{:<8} {:>7.1} {:>9.0} {:>10.0} {:>10.0} {:>7.2} {:>7.2} {:>7.2} {:>8}",
             suite.name(),
             r.base.afd,
             r.base.tapping_wl,
@@ -238,7 +332,7 @@ fn table3(ctx: &mut Ctx) {
             r.base_power.clock_mw,
             r.base_power.signal_mw,
             r.base_power.total(),
-            r.base_cpu
+            cpu(r.base_cpu, 1)
         );
     }
 }
@@ -263,7 +357,7 @@ fn table4(ctx: &mut Ctx) {
         let r = ctx.results_for(suite).clone();
         let f = r.nf.final_snapshot();
         println!(
-            "{:<8} {:>7.1} | {:>9.0} {:>8} | {:>10.0} {:>8} | {:>10.0} {:>8} | {:>8.1} {:>8.1}",
+            "{:<8} {:>7.1} | {:>9.0} {:>8} | {:>10.0} {:>8} | {:>10.0} {:>8} | {:>8} {:>8}",
             suite.name(),
             f.afd,
             f.tapping_wl,
@@ -272,8 +366,8 @@ fn table4(ctx: &mut Ctx) {
             imp(r.base.signal_wl, f.signal_wl),
             f.total_wl(),
             imp(r.base.total_wl(), f.total_wl()),
-            r.nf_cpu.0,
-            r.nf_cpu.1
+            cpu(r.nf_cpu.0, 1),
+            cpu(r.nf_cpu.1, 1)
         );
     }
     println!("(iterations to convergence ≤ {})", 5);
@@ -292,7 +386,7 @@ fn table5(ctx: &mut Ctx) {
         let nf = r.nf.final_snapshot();
         let il = r.ilp.final_snapshot();
         println!(
-            "{:<8} | {:>7.3} {:>8.1} | {:>8.1} {:>8} {:>7.3} {:>8} | {:>10.0} {:>8} | {:>8.2}",
+            "{:<8} | {:>7.3} {:>8.1} | {:>8.1} {:>8} {:>7.3} {:>8} | {:>10.0} {:>8} | {:>8}",
             suite.name(),
             nf.max_ring_cap,
             nf.afd,
@@ -302,7 +396,7 @@ fn table5(ctx: &mut Ctx) {
             imp(nf.max_ring_cap, il.max_ring_cap),
             il.total_wl(),
             imp(nf.total_wl(), il.total_wl()),
-            r.ilp_assign_cpu
+            cpu(r.ilp_assign_cpu, 2)
         );
     }
 }
@@ -547,6 +641,65 @@ fn variation(ctx: &mut Ctx) {
             rep.rotary_skew_mean * 1e3,
             rep.rotary_skew_sigma * 1e3,
             rep.reduction_factor()
+        );
+    }
+}
+
+/// Stage-2 scheduling smoke: period search plus max-slack solves, cold
+/// then warm across deterministically drifted placements. The warm
+/// re-solves go through `SkewContext`'s delta-rebind path — the run
+/// aborts if the engine fails to reuse state, so a CI timeout *or* a
+/// dead warm path both show up here.
+fn stage2(ctx: &mut Ctx) {
+    use rotary_core::skew::{self, SkewContext};
+    use rotary_timing::SequentialGraph;
+    header("STAGE-2 SMOKE — period search + max-slack (cold, then warm drifted re-solves)");
+    for suite in ctx.suites.clone() {
+        let mut circuit = suite.circuit(TABLE_SEED);
+        let tech = rotary_core::flow::FlowConfig::default().tech;
+        let mut sctx = SkewContext::new();
+        let t0 = std::time::Instant::now();
+        let graph = SequentialGraph::extract(&circuit, &tech);
+        let (period, pstats) = skew::min_feasible_period_ctx(&graph, &tech, &mut sctx);
+        let t_period = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
+        let (cold, cstats) = skew::max_slack_schedule_ctx(&graph, &tech, &mut sctx);
+        let t_cold = t0.elapsed().as_secs_f64();
+        // Drift every flip-flop by a few µm (deterministic pattern, the
+        // scale of one incremental-placement step) and re-solve warm.
+        let mut t_warm = 0.0;
+        let (mut reused, mut delta, mut solves) = (0usize, 0usize, 0usize);
+        for round in 1..=3usize {
+            let ffs: Vec<_> = circuit.flip_flops().to_vec();
+            for (k, &ff) in ffs.iter().enumerate() {
+                let p = circuit.position(ff);
+                let dx = ((k + round) % 5) as f64 - 2.0;
+                let dy = ((k * 3 + round) % 5) as f64 - 2.0;
+                circuit.set_position(ff, Point::new(p.x + dx, p.y + dy));
+            }
+            let graph = SequentialGraph::extract(&circuit, &tech);
+            let t0 = std::time::Instant::now();
+            let (_, st) = skew::max_slack_schedule_ctx(&graph, &tech, &mut sctx);
+            t_warm += t0.elapsed().as_secs_f64();
+            reused += st.reused_work;
+            delta += st.delta_arcs;
+            solves += st.solver_iterations;
+        }
+        assert!(reused > 0, "warm stage-2 re-solves must reuse engine state on {suite}");
+        println!(
+            "{:<8} period {:.4} ns  slack {:.4} ns | search {}s ({} solves)  cold {}s \
+             ({} solves)  3 warm re-solves {}s ({} solves, {} reused, {} Δarcs)",
+            suite.name(),
+            period,
+            cold.slack,
+            cpu(t_period, 3),
+            pstats.solver_iterations,
+            cpu(t_cold, 3),
+            cstats.solver_iterations,
+            cpu(t_warm, 3),
+            solves,
+            reused,
+            delta,
         );
     }
 }

@@ -247,6 +247,9 @@ impl Flow {
                 let (min_p, stats) =
                     skew::min_feasible_period_ctx(&graph0, &cfg.tech, &mut skew_ctx);
                 stage.add_solver_iterations(stats.solver_iterations);
+                stage.set_reused_work(stats.reused_work);
+                stage.add_delta_arcs(stats.delta_arcs);
+                stage.add_affected_vertices(stats.affected_vertices);
                 if min_p > cfg.tech.clock_period {
                     1.15 * min_p
                 } else {
@@ -282,6 +285,9 @@ impl Flow {
                 let (stage2, stats) = skew::max_slack_schedule_ctx(&graph, &tech, &mut skew_ctx);
                 stage.set_problem_size(stats.constraints);
                 stage.add_solver_iterations(stats.solver_iterations);
+                stage.set_reused_work(stats.reused_work);
+                stage.add_delta_arcs(stats.delta_arcs);
+                stage.add_affected_vertices(stats.affected_vertices);
                 (graph, stage2)
             };
             let m = cfg.slack_fraction * stage2.slack;
@@ -337,6 +343,8 @@ impl Flow {
                 stage.set_problem_size(stats.constraints);
                 stage.add_solver_iterations(stats.solver_iterations);
                 stage.set_reused_work(stats.reused_work);
+                stage.add_delta_arcs(stats.delta_arcs);
+                stage.add_affected_vertices(stats.affected_vertices);
                 schedule = sched;
             }
 
@@ -546,6 +554,8 @@ impl Flow {
                     stats.solver_iterations += st.solver_iterations;
                     stats.constraints = stats.constraints.max(st.constraints);
                     stats.reused_work += st.reused_work;
+                    stats.delta_arcs += st.delta_arcs;
+                    stats.affected_vertices += st.affected_vertices;
                 }
                 (sched, stats)
             }
@@ -585,6 +595,8 @@ impl Flow {
                     stats.solver_iterations += st.solver_iterations;
                     stats.constraints = stats.constraints.max(st.constraints);
                     stats.reused_work += st.reused_work;
+                    stats.delta_arcs += st.delta_arcs;
+                    stats.affected_vertices += st.affected_vertices;
                 }
                 (sched, stats)
             }

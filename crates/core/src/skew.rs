@@ -51,31 +51,43 @@ pub struct SkewStats {
     /// (max-slack / minimax) or correction paths routed (weighted).
     pub solver_iterations: usize,
     /// Work carried over from the warm-start context instead of being
-    /// recomputed: seeded potential labels (parametric schedulers) or arc
-    /// pairs whose circulation flow survived a re-solve (weighted). Zero
-    /// on cold solves.
+    /// recomputed: constraint arcs and potential labels a delta-rebound
+    /// parametric engine kept intact (parametric schedulers) or arc pairs
+    /// whose circulation flow survived a re-solve (weighted). Zero on cold
+    /// solves.
     pub reused_work: usize,
+    /// Constraint bounds that actually changed when the context's engine
+    /// was re-targeted at this call's system (the delta the incremental
+    /// relaxation replays). Zero on cold solves.
+    pub delta_arcs: usize,
+    /// Distinct variables whose potentials moved across this call's
+    /// relaxations (the affected region). Zero for the weighted dual's
+    /// circulation phase, which tracks reuse in arcs instead.
+    pub affected_vertices: usize,
 }
 
 /// Warm-start state carried across scheduling calls within one flow run.
 ///
 /// The timing-graph *topology* is fixed over the Fig. 3 loop — only the
-/// bounds drift as incremental placement moves the cells — so the feasible
-/// potentials of one iteration are an excellent relaxation seed for the
-/// next. Each scheduler family keeps its own slot (the systems differ in
-/// variable count and parametrization). Seeding is purely an accelerator:
-/// every returned schedule comes from a canonical cold solve at the final
-/// parameter, so results are bit-identical with or without a context.
+/// bounds drift as incremental placement moves the cells — so each
+/// scheduler family keeps its whole [`ParametricSystem`] engine (CSR
+/// graph, optimal potentials, critical cycle) in its own slot and
+/// re-targets it at the next iteration's system via
+/// [`ParametricSystem::rebind`]: only the bounds that actually changed are
+/// replayed, and the next solve seeds relaxation from those arcs alone.
+/// Warm state is purely an accelerator: every returned schedule comes from
+/// a canonical cold solve at the final parameter, so results are
+/// bit-identical with or without a context.
 #[derive(Debug, Clone, Default)]
 pub struct SkewContext {
-    /// Potentials of the period-search parametrization.
-    period: Option<Vec<f64>>,
-    /// Potentials of the stage-2 max-slack system.
-    stage2: Option<Vec<f64>>,
-    /// Potentials of the minimax system (`n + 1` variables).
-    minimax: Option<Vec<f64>>,
-    /// Potentials of the weighted-schedule feasibility system.
-    weighted: Option<Vec<f64>>,
+    /// Engine of the period-search parametrization.
+    period: Option<ParametricSystem>,
+    /// Engine of the stage-2 max-slack system.
+    stage2: Option<ParametricSystem>,
+    /// Engine of the minimax system (`n + 1` variables).
+    minimax: Option<ParametricSystem>,
+    /// Engine of the weighted-schedule feasibility pre-check.
+    weighted: Option<ParametricSystem>,
     /// Persistent min-cost-circulation engine of the weighted-sum dual
     /// (flow + integer potentials), reused while the arc topology matches.
     circulation: Option<CirculationState>,
@@ -100,17 +112,24 @@ struct CirculationState {
     pairs: Vec<(u32, u32)>,
 }
 
-/// Seeds `par` from a context slot when the variable counts line up
-/// (they can differ transiently, e.g. across a ring-grid sweep).
-/// Returns the number of labels seeded (0 on a cold start).
-fn seed_from(par: &mut ParametricSystem, slot: &Option<Vec<f64>>) -> usize {
-    if let Some(labels) = slot {
-        if labels.len() == par.num_vars() {
-            par.seed(labels);
-            return labels.len();
+/// Takes the slot's engine and re-targets it at `sys`/`tighten` when the
+/// shape matches (patching only the changed bounds), or builds a fresh
+/// engine otherwise (first iteration, or a different circuit across a
+/// ring-grid sweep). Returns `(engine, reused_work, delta_arcs)`:
+/// `reused_work` counts the labels plus unchanged constraint arcs the warm
+/// path kept, zero on a cold build.
+fn lease_engine(
+    slot: &mut Option<ParametricSystem>,
+    sys: &DifferenceSystem,
+    tighten: &[f64],
+) -> (ParametricSystem, usize, usize) {
+    if let Some(mut par) = slot.take() {
+        if let Some(delta) = par.rebind(sys, tighten) {
+            let reused = par.num_vars() + (par.num_constraints() - delta);
+            return (par, reused, delta);
         }
     }
-    0
+    (ParametricSystem::new(sys, tighten), 0, 0)
 }
 
 /// The smallest clock period at which the skew constraints admit any
@@ -150,15 +169,20 @@ pub fn min_feasible_period_ctx(
             tighten[row] = -1.0;
         }
     }
-    let mut par = ParametricSystem::new(&sys, &tighten);
-    let seeded = seed_from(&mut par, &ctx.period);
+    let (mut par, reused, delta) = lease_engine(&mut ctx.period, &sys, &tighten);
+    // Engines persist across calls, so their lifetime counters must be
+    // snapshot-diffed to get this call's share.
+    let solves0 = par.solves();
+    let affected0 = par.affected_vertices();
     let excess = par.min_feasible(1e6).expect("timing constraints infeasible at any period");
-    ctx.period = Some(par.potentials().to_vec());
     let stats = SkewStats {
         constraints: sys.constraints().len(),
-        solver_iterations: par.solves(),
-        reused_work: seeded,
+        solver_iterations: par.solves() - solves0,
+        reused_work: reused,
+        delta_arcs: delta,
+        affected_vertices: par.affected_vertices() - affected0,
     };
+    ctx.period = Some(par);
     (tech.clock_period + excess, stats)
 }
 
@@ -237,18 +261,21 @@ pub fn max_slack_schedule_ctx(
     let tech_eff = Technology { clock_period: period, ..*tech };
     let (sys, _) = timing_system(graph, &tech_eff, 0.0, 0);
     let tighten = vec![1.0; sys.constraints().len()];
-    let mut par = ParametricSystem::new(&sys, &tighten);
-    let seeded = seed_from(&mut par, &ctx.stage2);
+    let (mut par, reused, delta) = lease_engine(&mut ctx.stage2, &sys, &tighten);
+    let solves0 = par.solves();
+    let affected0 = par.affected_vertices();
     let (slack, mut targets) = par
         .maximize_slack_exact(period)
         .expect("base system must be feasible for slack maximization");
-    ctx.stage2 = Some(par.potentials().to_vec());
-    normalize(&mut targets);
     let stats = SkewStats {
         constraints: sys.constraints().len(),
-        solver_iterations: period_stats.solver_iterations + par.solves(),
-        reused_work: period_stats.reused_work + seeded,
+        solver_iterations: period_stats.solver_iterations + (par.solves() - solves0),
+        reused_work: period_stats.reused_work + reused,
+        delta_arcs: period_stats.delta_arcs + delta,
+        affected_vertices: period_stats.affected_vertices + (par.affected_vertices() - affected0),
     };
+    ctx.stage2 = Some(par);
+    normalize(&mut targets);
     (SkewSchedule { targets, slack, period }, stats)
 }
 
@@ -330,12 +357,12 @@ pub fn minimax_schedule_ctx(
         sys.add(reference, i, delta_max - ring_delay[i] - 2.0 * stub_delay[i]);
         tighten.push(1.0);
     }
-    let mut par = ParametricSystem::new(&sys, &tighten);
-    let seeded = seed_from(&mut par, &ctx.minimax);
+    let (mut par, reused, delta) = lease_engine(&mut ctx.minimax, &sys, &tighten);
+    let solves0 = par.solves();
+    let affected0 = par.affected_vertices();
     let (s, mut sol) = par
         .maximize_slack_exact(delta_max)
         .unwrap_or_else(|| panic!("timing constraints infeasible at slack {m}"));
-    ctx.minimax = Some(par.potentials().to_vec());
     let _delta = delta_max - s;
     // Shift so the reference variable is exactly 0.
     let r = sol[reference];
@@ -345,9 +372,12 @@ pub fn minimax_schedule_ctx(
     }
     let stats = SkewStats {
         constraints: sys.constraints().len(),
-        solver_iterations: par.solves(),
-        reused_work: seeded,
+        solver_iterations: par.solves() - solves0,
+        reused_work: reused,
+        delta_arcs: delta,
+        affected_vertices: par.affected_vertices() - affected0,
     };
+    ctx.minimax = Some(par);
     (SkewSchedule { targets: sol, slack: m, period: tech.clock_period }, stats)
 }
 
@@ -425,13 +455,21 @@ pub fn weighted_schedule_ctx(
     assert_eq!(ideal.len(), n);
     assert_eq!(weight.len(), n);
     let (sys, _) = timing_system(graph, tech, m, 0);
-    {
+    let (pre_reused, pre_delta, pre_solves, pre_affected) = {
+        // The pre-check system is all-zero tighten, so the rebound engine's
+        // delta seeding applies at any probe parameter: after the first
+        // converged probe, subsequent calls relax only from changed arcs —
+        // across re-wrap rounds with unchanged bounds that is zero seeds
+        // and an instant re-certification.
         let tighten = vec![0.0; sys.constraints().len()];
-        let mut par = ParametricSystem::new(&sys, &tighten);
-        seed_from(&mut par, &ctx.weighted);
+        let (mut par, reused, delta) = lease_engine(&mut ctx.weighted, &sys, &tighten);
+        let solves0 = par.solves();
+        let affected0 = par.affected_vertices();
         assert!(par.probe(0.0), "timing constraints infeasible at slack {m}");
-        ctx.weighted = Some(par.potentials().to_vec());
-    }
+        let out = (reused, delta, par.solves() - solves0, par.affected_vertices() - affected0);
+        ctx.weighted = Some(par);
+        out
+    };
 
     // Dual network: node per flip-flop + reference node R = n.
     // Constraint y_i − y_j ≤ b  ⇒ arc i → j, cost b, cap ∞.
@@ -492,8 +530,10 @@ pub fn weighted_schedule_ctx(
     debug_assert!(sys.check(&targets, 1e-6), "dual recovery violated timing");
     let stats = SkewStats {
         constraints: sys.constraints().len(),
-        solver_iterations: circ_stats.correction_paths,
-        reused_work: circ_stats.reused_arcs,
+        solver_iterations: circ_stats.correction_paths + pre_solves,
+        reused_work: circ_stats.reused_arcs + pre_reused,
+        delta_arcs: pre_delta,
+        affected_vertices: pre_affected,
     };
     (SkewSchedule { targets, slack: m, period: tech.clock_period }, stats)
 }

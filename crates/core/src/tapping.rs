@@ -17,13 +17,30 @@ use serde::{Deserialize, Serialize};
 /// lists — the geometric half of [`CandidateCosts::compute`]. The tap
 /// solves depend on the skew schedule and are always recomputed; the ring
 /// list only depends on the flip-flop position, so it is reused whenever
-/// that position is bit-identical to the cached one (exactness over hit
-/// rate: a moved flip-flop always gets a fresh nearest-`k` query).
+/// the cached list provably still holds: either the position is
+/// bit-identical to the cached anchor, or the flip-flop has drifted less
+/// than half the list's stability margin from it
+/// ([`RingArray::candidate_rings_with_margin`]). Incremental placement
+/// moves most flip-flops by a fraction of a ring pitch per iteration, so
+/// the margin rule is what makes the warm path fire on real circuits —
+/// while staying exact: a reused list is mathematically identical to what
+/// the fresh query would return.
 #[derive(Debug, Clone, Default)]
 pub struct CandidateCache {
     k: usize,
-    entries: Vec<(Point, Vec<RingId>)>,
+    entries: Vec<CacheEntry>,
     reused: usize,
+}
+
+/// One flip-flop's cached nearest-`k` query: the position it was computed
+/// at, the drift margin it tolerates, and the ordered ring list. The
+/// anchor and margin are kept (not re-centered) on reuse so drift
+/// accumulates against the original query point.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    anchor: Point,
+    margin: f64,
+    rings: Vec<RingId>,
 }
 
 impl CandidateCache {
@@ -76,9 +93,12 @@ impl CandidateCosts {
     }
 
     /// [`CandidateCosts::compute`] with a [`CandidateCache`] carried across
-    /// calls: flip-flops whose position has not moved reuse their cached
-    /// nearest-`k` ring list and only re-solve the taps at the new
-    /// schedule. Results are bit-identical to the uncached computation.
+    /// calls: flip-flops whose position is unchanged *or* has drifted less
+    /// than half its cached list's stability margin reuse the nearest-`k`
+    /// ring list and only re-solve the taps at the new position and
+    /// schedule. Results are bit-identical to the uncached computation
+    /// (the margin rule is a proof, not a heuristic — see
+    /// [`RingArray::candidate_rings_with_margin`]).
     pub fn compute_cached(
         circuit: &Circuit,
         array: &RingArray,
@@ -93,19 +113,21 @@ impl CandidateCosts {
             cache.k = k;
         }
         let wire_cap = array.params().wire_cap;
-        let cached: &[(Point, Vec<RingId>)] = &cache.entries;
-        // (costed candidates, freshly computed ring list on a miss, cache hit)
-        type PerFf = (Vec<(RingId, f64, f64)>, Option<Vec<RingId>>, bool);
+        let cached: &[CacheEntry] = &cache.entries;
+        // (costed candidates, freshly computed entry on a miss, cache hit)
+        type PerFf = (Vec<(RingId, f64, f64)>, Option<(Vec<RingId>, f64)>, bool);
         let per_ff: Vec<PerFf> = par_map(flip_flops.len(), |i| {
             let ff = flip_flops[i];
             let target = schedule.targets[i];
             let pos = circuit.position(ff);
             let cap = circuit.cell(ff).input_cap;
             let (rings, fresh, hit) = match cached.get(i) {
-                Some((p, rings)) if *p == pos => (rings.clone(), None, true),
+                Some(e) if e.anchor == pos || 2.0 * e.anchor.manhattan(pos) < e.margin => {
+                    (e.rings.clone(), None, true)
+                }
                 _ => {
-                    let rings = array.candidate_rings(pos, k);
-                    (rings.clone(), Some(rings), false)
+                    let (rings, margin) = array.candidate_rings_with_margin(pos, k);
+                    (rings.clone(), Some((rings, margin)), false)
                 }
             };
             let costed = rings
@@ -125,8 +147,9 @@ impl CandidateCosts {
                 cache.reused += 1;
                 entries.push(cache.entries[i].clone());
             } else {
-                let pos = circuit.position(flip_flops[i]);
-                entries.push((pos, fresh.expect("miss carries the fresh ring list")));
+                let anchor = circuit.position(flip_flops[i]);
+                let (rings, margin) = fresh.expect("miss carries the fresh query");
+                entries.push(CacheEntry { anchor, margin, rings });
             }
             candidates.push(costed);
         }
@@ -296,7 +319,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_reuses_ring_lists_only_for_unmoved_flip_flops() {
+    fn cache_reuses_ring_lists_within_the_drift_margin() {
         let (mut c, array, s) = setup();
         let mut cache = CandidateCache::new();
         let cold = CandidateCosts::compute_cached(&c, &array, &s, 4, &mut cache);
@@ -312,10 +335,26 @@ mod tests {
         assert_eq!(warm.candidates, reference.candidates);
         assert_eq!(cold.flip_flops, warm.flip_flops);
 
-        // Move one flip-flop: exactly that entry misses.
+        // Drift one flip-flop by a quarter of its tolerated margin: the
+        // cached list still provably holds, so every entry reuses — and the
+        // costs (computed at the *new* position) still match a fresh run
+        // bit for bit.
         let ff = c.flip_flops()[3];
         let pos = c.position(ff);
-        c.set_position(ff, rotary_netlist::Point { x: pos.x + 40.0, y: pos.y });
+        let (_, margin) = array.candidate_rings_with_margin(pos, 4);
+        assert!(margin.is_finite() && margin > 0.0, "fixture should have a usable margin");
+        c.set_position(ff, rotary_netlist::Point { x: pos.x + margin / 8.0, y: pos.y });
+        let before = cache.reused();
+        let drifted = CandidateCosts::compute_cached(&c, &array, &s2, 4, &mut cache);
+        assert_eq!(cache.reused() - before, c.flip_flop_count(), "drift within margin reuses");
+        assert_eq!(drifted.candidates, CandidateCosts::compute(&c, &array, &s2, 4).candidates);
+
+        // Move it across the die (the nearest-ring list genuinely changes,
+        // so the margin certificate cannot hold): exactly that entry
+        // misses and gets a fresh query.
+        let far = rotary_netlist::Point { x: c.die.hi.x - pos.x, y: c.die.hi.y - pos.y };
+        assert_ne!(array.candidate_rings(far, 4), array.candidate_rings(pos, 4));
+        c.set_position(ff, far);
         let before = cache.reused();
         let moved = CandidateCosts::compute_cached(&c, &array, &s2, 4, &mut cache);
         assert_eq!(cache.reused() - before, c.flip_flop_count() - 1);
@@ -324,6 +363,37 @@ mod tests {
         // Changing k invalidates everything.
         let _ = CandidateCosts::compute_cached(&c, &array, &s2, 3, &mut cache);
         assert_eq!(cache.reused(), 0);
+    }
+
+    /// Drift accumulates against the original anchor: repeated small moves
+    /// must not leapfrog the margin certificate by re-centering it.
+    #[test]
+    fn cache_drift_accumulates_against_the_anchor() {
+        let (mut c, array, s) = setup();
+        let mut cache = CandidateCache::new();
+        let _ = CandidateCosts::compute_cached(&c, &array, &s, 4, &mut cache);
+        let ff = c.flip_flops()[0];
+        let anchor = c.position(ff);
+        let (_, margin) = array.candidate_rings_with_margin(anchor, 4);
+        assert!(margin.is_finite() && margin > 0.0);
+        // Each step is well inside the margin, but their *sum* crosses it:
+        // the fourth pass must re-query even though the last single step
+        // was tiny.
+        let step = margin / 5.0;
+        let mut hits = Vec::new();
+        for k in 1..=4 {
+            c.set_position(
+                ff,
+                rotary_netlist::Point { x: anchor.x + step * k as f64, y: anchor.y },
+            );
+            let before = cache.reused();
+            let got = CandidateCosts::compute_cached(&c, &array, &s, 4, &mut cache);
+            hits.push(cache.reused() - before == c.flip_flop_count());
+            assert_eq!(got.candidates, CandidateCosts::compute(&c, &array, &s, 4).candidates);
+        }
+        assert!(hits[0], "drift 1/5 of margin: certificate holds");
+        assert!(hits[1], "drift 2/5 of margin: certificate still holds");
+        assert!(!hits[2], "accumulated drift of 3/5 margin (2δ > margin) must re-query");
     }
 
     #[test]

@@ -120,9 +120,18 @@ pub struct StageRecord {
     /// augmenting paths, or canceled cycles. Zero for non-solver stages.
     pub solver_iterations: usize,
     /// Work units served from a cross-iteration cache instead of being
-    /// recomputed (e.g. candidate ring lists reused by stage 3). Zero for
-    /// stages without a cache.
+    /// recomputed (e.g. candidate ring lists reused by stage 3, or
+    /// constraint arcs a delta-rebound parametric engine did not have to
+    /// re-examine). Zero for stages without a cache.
     pub reused_work: usize,
+    /// Constraint arcs whose bounds actually changed when a persistent
+    /// solver engine was re-targeted at this pass's system (the delta the
+    /// incremental path replays). Zero for stages without such an engine.
+    pub delta_arcs: usize,
+    /// Distinct variables whose labels moved during this pass's
+    /// relaxations — the size of the affected region the delta seeding
+    /// propagated through. Zero for stages without relaxation solves.
+    pub affected_vertices: usize,
 }
 
 /// The full per-stage log of one [`crate::flow::Flow::run`].
@@ -147,6 +156,8 @@ impl FlowTelemetry {
             problem_size: 0,
             solver_iterations: 0,
             reused_work: 0,
+            delta_arcs: 0,
+            affected_vertices: 0,
             start: Instant::now(),
         }
     }
@@ -194,6 +205,20 @@ impl FlowTelemetry {
         out
     }
 
+    /// Per-stage warm-start rollup in Fig. 3 order: `(stage, reused_work,
+    /// delta_arcs, affected_vertices)`. Stages that never ran (or carry no
+    /// engine) report zeros.
+    pub fn reuse_by_stage(&self) -> [(Stage, usize, usize, usize); 7] {
+        let mut out = STAGES.map(|s| (s, 0usize, 0usize, 0usize));
+        for r in &self.records {
+            let slot = &mut out[r.stage.index()];
+            slot.1 += r.reused_work;
+            slot.2 += r.delta_arcs;
+            slot.3 += r.affected_vertices;
+        }
+        out
+    }
+
     fn seconds_where(&self, pred: impl Fn(Stage) -> bool) -> f64 {
         self.records.iter().filter(|r| pred(r.stage)).map(|r| r.seconds).sum()
     }
@@ -212,7 +237,7 @@ impl FlowTelemetry {
             s.push_str(&format!(
                 "    {{\"stage\": \"{}\", \"fig3_stage\": {}, \"iteration\": {}, \
                  \"seconds\": {}, \"problem_size\": {}, \"solver_iterations\": {}, \
-                 \"reused_work\": {}}}{}\n",
+                 \"reused_work\": {}, \"delta_arcs\": {}, \"affected_vertices\": {}}}{}\n",
                 r.stage.name(),
                 r.stage.number(),
                 r.iteration,
@@ -220,6 +245,8 @@ impl FlowTelemetry {
                 r.problem_size,
                 r.solver_iterations,
                 r.reused_work,
+                r.delta_arcs,
+                r.affected_vertices,
                 if k + 1 < self.records.len() { "," } else { "" },
             ));
         }
@@ -246,6 +273,8 @@ pub struct StageScope<'a> {
     problem_size: usize,
     solver_iterations: usize,
     reused_work: usize,
+    delta_arcs: usize,
+    affected_vertices: usize,
     start: Instant,
 }
 
@@ -266,6 +295,16 @@ impl StageScope<'_> {
         self.reused_work = reused;
     }
 
+    /// Accumulates bound deltas replayed into a persistent solver engine.
+    pub fn add_delta_arcs(&mut self, arcs: usize) {
+        self.delta_arcs += arcs;
+    }
+
+    /// Accumulates the affected-region sizes of this pass's relaxations.
+    pub fn add_affected_vertices(&mut self, vertices: usize) {
+        self.affected_vertices += vertices;
+    }
+
     /// Ends the scope now (equivalent to dropping it).
     pub fn finish(self) {}
 }
@@ -279,6 +318,8 @@ impl Drop for StageScope<'_> {
             problem_size: self.problem_size,
             solver_iterations: self.solver_iterations,
             reused_work: self.reused_work,
+            delta_arcs: self.delta_arcs,
+            affected_vertices: self.affected_vertices,
         });
     }
 }
@@ -295,6 +336,8 @@ mod tests {
             problem_size: 10,
             solver_iterations: 3,
             reused_work: 0,
+            delta_arcs: 0,
+            affected_vertices: 0,
         }
     }
 
@@ -307,6 +350,9 @@ mod tests {
             scope.add_solver_iterations(5);
             scope.add_solver_iterations(2);
             scope.set_reused_work(13);
+            scope.add_delta_arcs(4);
+            scope.add_delta_arcs(6);
+            scope.add_affected_vertices(21);
         }
         assert_eq!(t.records().len(), 1);
         let r = t.records()[0];
@@ -315,6 +361,8 @@ mod tests {
         assert_eq!(r.problem_size, 77);
         assert_eq!(r.solver_iterations, 7);
         assert_eq!(r.reused_work, 13);
+        assert_eq!(r.delta_arcs, 10);
+        assert_eq!(r.affected_vertices, 21);
         assert!(r.seconds >= 0.0);
     }
 
@@ -347,6 +395,26 @@ mod tests {
     }
 
     #[test]
+    fn reuse_by_stage_rolls_up_warm_start_fields() {
+        let mut t = FlowTelemetry::new();
+        let mut a = record(Stage::SkewOptimization, 0, 1.0);
+        a.reused_work = 100;
+        a.delta_arcs = 7;
+        a.affected_vertices = 30;
+        let mut b = record(Stage::SkewOptimization, 1, 1.0);
+        b.reused_work = 50;
+        b.delta_arcs = 3;
+        b.affected_vertices = 12;
+        t.push(a);
+        t.push(b);
+        let rollup = t.reuse_by_stage();
+        let s2 = rollup[2];
+        assert_eq!(s2.0, Stage::SkewOptimization);
+        assert_eq!((s2.1, s2.2, s2.3), (150, 10, 42));
+        assert_eq!(rollup[4].1, 0, "stage 4 never ran");
+    }
+
+    #[test]
     fn json_is_well_formed_and_complete() {
         let mut t = FlowTelemetry::new();
         t.push(record(Stage::InitialPlacement, 0, 0.25));
@@ -357,6 +425,8 @@ mod tests {
         assert!(json.contains("\"stage_seconds\": 0.5"));
         assert!(json.contains("\"placer_seconds\": 0.25"));
         assert!(json.contains("\"iterations\": 1"));
+        assert!(json.contains("\"delta_arcs\": 0"));
+        assert!(json.contains("\"affected_vertices\": 0"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
         assert_eq!(json.matches('[').count(), json.matches(']').count(),);

@@ -131,10 +131,26 @@ impl RingArray {
     /// flip-flop and a ring are too far away from each other, it is not
     /// necessary to insert an arc between them").
     pub fn candidate_rings(&self, p: Point, k: usize) -> Vec<RingId> {
+        self.candidate_rings_with_margin(p, k).0
+    }
+
+    /// [`RingArray::candidate_rings`] plus the list's *stability margin*:
+    /// the smallest gap between consecutive sorted boundary distances over
+    /// the first `k + 1` rings. Boundary distance is 1-Lipschitz in the
+    /// query point (Manhattan), so any query within *half* this margin of
+    /// `p` provably returns the identical ordered list — every comparison
+    /// that fixed the order holds strictly — which is what lets callers
+    /// cache the list across small placement drifts. Infinite with a
+    /// single ring; zero on tied distances (never reusable by drift).
+    pub fn candidate_rings_with_margin(&self, p: Point, k: usize) -> (Vec<RingId>, f64) {
         let mut by_dist: Vec<(usize, f64)> =
             self.rings.iter().enumerate().map(|(i, r)| (i, r.nearest_point(p).1)).collect();
         by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        by_dist.into_iter().take(k.max(1)).map(|(i, _)| RingId(i as u32)).collect()
+        let take = k.max(1);
+        let probe = take.saturating_add(1).min(by_dist.len());
+        let margin =
+            by_dist[..probe].windows(2).map(|w| w[1].1 - w[0].1).fold(f64::INFINITY, f64::min);
+        (by_dist.into_iter().take(take).map(|(i, _)| RingId(i as u32)).collect(), margin)
     }
 }
 

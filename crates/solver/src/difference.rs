@@ -14,6 +14,7 @@
 
 use crate::graph::{RelaxOutcome, Source, SpfaGraph, WarmSpfa};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Relaxation tolerance for the constraint-graph shortest paths.
 const RELAX_EPS: f64 = 1e-12;
@@ -179,6 +180,11 @@ const FALLBACK_BISECTIONS: usize = 60;
 /// parameter-independent.
 const TIGHTEN_TINY: f64 = 1e-12;
 
+/// Arc-count threshold above which genuinely cold relaxations (zero-label
+/// first sweep of a fresh engine, budget-trip restarts) run on the
+/// parallel Jacobi kernel instead of the sequential queue.
+const PAR_COLD_MIN_ARCS: usize = 16_384;
+
 /// A difference-constraint system with parametric bounds
 /// `bound_k − m·tighten_k`, solved by warm-started SPFA over a constraint
 /// graph built **once**.
@@ -202,6 +208,21 @@ const TIGHTEN_TINY: f64 = 1e-12;
 /// Feasibility verdicts are exact regardless of the starting labels: a
 /// converged relaxation certifies every constraint, and a violated cycle
 /// keeps the queue busy until detection.
+///
+/// The engine is **delta-aware**: [`Self::update_bounds`] (and the
+/// topology-checked [`Self::rebind`]) patch constraint bounds in place
+/// while keeping the CSR graph and the previous optimal potentials. As
+/// long as the labels were a converged fixpoint, only the arcs whose
+/// bounds actually changed can be violated, so the next probe seeds
+/// relaxation from just those arcs (Ramalingam–Reps-style affected-region
+/// propagation) instead of scanning every arc. On top of that,
+/// [`Self::max_feasible`] / [`Self::min_feasible`] re-certify the
+/// previously-critical cycle first and pre-scan the mutually-inverse
+/// constraint pairs the timing systems are built from: any closed walk's
+/// bound/tighten ratio is a valid Newton starting point, so the first
+/// probe is usually feasible — and exactly optimal — rather than a long
+/// descent from `hi` through wildly infeasible parameters. Hints never
+/// decide feasibility; every verdict still comes from relaxation.
 #[derive(Debug, Clone)]
 pub struct ParametricSystem {
     n: usize,
@@ -210,6 +231,27 @@ pub struct ParametricSystem {
     engine: WarmSpfa,
     scratch: Vec<f64>,
     solves: usize,
+    /// `tighten` is identically zero (weights do not depend on `m`, so a
+    /// fixpoint at one parameter is a fixpoint at every parameter).
+    tighten_zero: bool,
+    /// Mutually-inverse constraint pairs `(a, b)` with `a < b`: arc `b`
+    /// runs head-to-tail against arc `a`, so together they close a 2-cycle
+    /// (the long/short row pairs of the timing systems).
+    inverse_pairs: Vec<(u32, u32)>,
+    /// Constraint ids of the cycle that set the last optimum (empty when
+    /// the last solve clamped to `hi` or none ran); re-certified first on
+    /// the next solve.
+    critical: Vec<usize>,
+    /// Arcs whose bound changed since the labels last converged.
+    dirty: Vec<u32>,
+    /// The parameter the current labels converged at (`None`: labels are
+    /// not a known fixpoint — fresh, externally seeded, or invalidated).
+    fixpoint_m: Option<f64>,
+    /// Whether the engine has run its first full relaxation (the only
+    /// point where the parallel cold kernel may replace the queue scan).
+    cold_done: bool,
+    last_delta_arcs: usize,
+    affected: usize,
 }
 
 impl ParametricSystem {
@@ -228,6 +270,14 @@ impl ParametricSystem {
         let arcs: Vec<(usize, usize)> = sys.constraints().iter().map(|c| (c.j, c.i)).collect();
         let mut engine = WarmSpfa::new(sys.num_vars(), &arcs);
         engine.reset_zero();
+        let mut by_endpoints: HashMap<(u32, u32), u32> = HashMap::with_capacity(arcs.len());
+        let mut inverse_pairs = Vec::new();
+        for (id, &(tail, head)) in arcs.iter().enumerate() {
+            if let Some(&other) = by_endpoints.get(&(head as u32, tail as u32)) {
+                inverse_pairs.push((other, id as u32));
+            }
+            by_endpoints.entry((tail as u32, head as u32)).or_insert(id as u32);
+        }
         Self {
             n: sys.num_vars(),
             constraints: sys.constraints().to_vec(),
@@ -235,6 +285,14 @@ impl ParametricSystem {
             engine,
             scratch: vec![0.0; sys.num_vars()],
             solves: 0,
+            tighten_zero: tighten.iter().all(|&t| t == 0.0),
+            inverse_pairs,
+            critical: Vec::new(),
+            dirty: Vec::new(),
+            fixpoint_m: None,
+            cold_done: false,
+            last_delta_arcs: 0,
+            affected: 0,
         }
     }
 
@@ -253,6 +311,18 @@ impl ParametricSystem {
         self.solves
     }
 
+    /// How many bounds the most recent [`Self::update_bounds`] /
+    /// [`Self::rebind`] actually changed (telemetry).
+    pub fn delta_arcs(&self) -> usize {
+        self.last_delta_arcs
+    }
+
+    /// Total distinct vertices touched by relaxation across all solves so
+    /// far (telemetry; callers snapshot and diff across a solve).
+    pub fn affected_vertices(&self) -> usize {
+        self.affected
+    }
+
     /// The current potentials (the labels of the last successful probe or
     /// cold solve; a feasible assignment for that parameter).
     pub fn potentials(&self) -> &[f64] {
@@ -268,6 +338,79 @@ impl ParametricSystem {
     /// Panics if `labels.len()` differs from the variable count.
     pub fn seed(&mut self, labels: &[f64]) {
         self.engine.load_dist(labels);
+        // External labels are not a known fixpoint of any parameter.
+        self.fixpoint_m = None;
+        self.dirty.clear();
+        self.cold_done = true;
+    }
+
+    /// Patches constraint bounds in place, keeping the graph and the
+    /// current potentials. Returns how many bounds actually changed.
+    /// Changed arcs are remembered so the next probe can seed relaxation
+    /// from them alone when the labels are still a known fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn update_bounds(&mut self, updates: &[(usize, f64)]) -> usize {
+        let mut changed = 0usize;
+        for &(k, b) in updates {
+            if self.constraints[k].bound != b {
+                self.constraints[k].bound = b;
+                changed += 1;
+                if self.fixpoint_m.is_some() {
+                    if self.dirty.len() < self.constraints.len() {
+                        self.dirty.push(k as u32);
+                    } else {
+                        // More pending deltas than arcs: a full scan is
+                        // cheaper than replaying them.
+                        self.fixpoint_m = None;
+                        self.dirty.clear();
+                    }
+                }
+            }
+        }
+        self.last_delta_arcs = changed;
+        changed
+    }
+
+    /// Re-targets the engine at a freshly built system with the **same**
+    /// variable count, constraint topology, and tighten vector, patching
+    /// only the bounds that differ (via [`Self::update_bounds`]). Returns
+    /// the number of changed bounds, or `None` when the shape does not
+    /// match — the caller then rebuilds from scratch.
+    ///
+    /// This is the flow-loop entry point: the incremental placer perturbs
+    /// every flip-flop's constraint *bounds* between iterations, but the
+    /// sequential-pair structure (and hence the graph) is fixed, so the
+    /// previous iteration's engine — potentials, critical cycle, inverse
+    /// pairs — carries over intact.
+    pub fn rebind(&mut self, sys: &DifferenceSystem, tighten: &[f64]) -> Option<usize> {
+        if sys.num_vars() != self.n
+            || sys.constraints().len() != self.constraints.len()
+            || tighten.len() != self.tighten.len()
+        {
+            return None;
+        }
+        let same_shape = sys
+            .constraints()
+            .iter()
+            .zip(&self.constraints)
+            .zip(tighten.iter().zip(&self.tighten))
+            .all(|((c_new, c_old), (&t_new, &t_old))| {
+                c_new.i == c_old.i && c_new.j == c_old.j && t_new == t_old
+            });
+        if !same_shape {
+            return None;
+        }
+        let updates: Vec<(usize, f64)> = sys
+            .constraints()
+            .iter()
+            .enumerate()
+            .filter(|(k, c)| c.bound != self.constraints[*k].bound)
+            .map(|(k, c)| (k, c.bound))
+            .collect();
+        Some(self.update_bounds(&updates))
     }
 
     /// One relaxation round at parameter `m` from the current labels.
@@ -280,24 +423,55 @@ impl ParametricSystem {
     /// the budget trips, the round restarts from zero labels — so a probe
     /// costs at most the budget plus one cold round, while genuinely warm
     /// probes (small violated wavefront) never come near the cap.
+    ///
+    /// When the labels are a known fixpoint and only the weights of the
+    /// [`Self::update_bounds`]-recorded dirty arcs can have changed (same
+    /// parameter, or a parameter-independent system), the Θ(arcs)
+    /// violation scan is skipped entirely: relaxation seeds from the dirty
+    /// arcs alone. Genuinely cold sweeps on large systems run the parallel
+    /// Jacobi kernel.
     fn relax_at(&mut self, m: f64) -> Result<(), Vec<usize>> {
         self.solves += 1;
         self.scratch.copy_from_slice(self.engine.dist());
         let budget = 4 * self.n + self.constraints.len();
+        let big = self.constraints.len() >= PAR_COLD_MIN_ARCS;
+        // Labels are a fixpoint and non-dirty weights are unchanged at
+        // this parameter ⇒ only dirty arcs can seed violations.
+        let seedable = self.fixpoint_m.is_some_and(|fm| fm == m || self.tighten_zero);
         let constraints = &self.constraints;
         let tighten = &self.tighten;
         let weight = |id: usize| constraints[id].bound - m * tighten[id];
-        let outcome = match self.engine.relax_budgeted(weight, RELAX_EPS, budget) {
+        let first = if seedable {
+            self.engine.relax_seeded(weight, RELAX_EPS, budget, &self.dirty)
+        } else if !self.cold_done && big {
+            // Fresh engine, all-zero labels: full cold sweep in parallel.
+            Some(self.engine.relax_parallel(weight, RELAX_EPS))
+        } else {
+            self.engine.relax_budgeted(weight, RELAX_EPS, budget)
+        };
+        let outcome = match first {
             Some(outcome) => outcome,
             None => {
                 self.solves += 1;
                 self.engine.reset_zero();
-                self.engine.relax(weight, RELAX_EPS)
+                if big {
+                    self.engine.relax_parallel(weight, RELAX_EPS)
+                } else {
+                    self.engine.relax(weight, RELAX_EPS)
+                }
             }
         };
+        self.cold_done = true;
+        self.affected += self.engine.last_affected();
         match outcome {
-            RelaxOutcome::Converged => Ok(()),
+            RelaxOutcome::Converged => {
+                self.dirty.clear();
+                self.fixpoint_m = Some(m);
+                Ok(())
+            }
             RelaxOutcome::NegativeCycle(cycle) => {
+                // Restored labels are the previous fixpoint (if any), so
+                // the dirty set and fixpoint parameter stay valid as-is.
                 self.engine.load_dist(&self.scratch);
                 Err(cycle)
             }
@@ -320,8 +494,17 @@ impl ParametricSystem {
         self.engine.reset_zero();
         let constraints = &self.constraints;
         let tighten = &self.tighten;
-        match self.engine.relax(|id| constraints[id].bound - m * tighten[id], RELAX_EPS) {
-            RelaxOutcome::Converged => Some(self.engine.dist().to_vec()),
+        // Always the sequential queue from zero labels: these labels are
+        // the canonical solution consumers compare bit-for-bit.
+        let outcome = self.engine.relax(|id| constraints[id].bound - m * tighten[id], RELAX_EPS);
+        self.cold_done = true;
+        self.affected += self.engine.last_affected();
+        match outcome {
+            RelaxOutcome::Converged => {
+                self.dirty.clear();
+                self.fixpoint_m = Some(m);
+                Some(self.engine.dist().to_vec())
+            }
             RelaxOutcome::NegativeCycle(_) => {
                 self.engine.load_dist(&self.scratch);
                 None
@@ -347,6 +530,55 @@ impl ParametricSystem {
             .fold((0.0, 0.0), |(b, t), &id| (b + self.constraints[id].bound, t + self.tighten[id]))
     }
 
+    /// The cheapest ratio over the mutually-inverse 2-cycles with positive
+    /// tighten sum — a valid [`Self::max_feasible`] Newton start, since
+    /// every closed walk's ratio bounds the minimum cycle ratio from
+    /// above. Sums run in ascending-id order, matching the canonical
+    /// rotation of [`Self::cycle_sums`], so a hint-terminated Newton
+    /// returns the bit-identical optimum an extraction-terminated one
+    /// would.
+    fn two_cycle_upper_hint(&self) -> Option<(f64, Vec<usize>)> {
+        let mut best: Option<(f64, (u32, u32))> = None;
+        for &(a, b) in &self.inverse_pairs {
+            let (ai, bi) = (a as usize, b as usize);
+            let t = self.tighten[ai] + self.tighten[bi];
+            if t <= TIGHTEN_TINY {
+                continue;
+            }
+            let r = (self.constraints[ai].bound + self.constraints[bi].bound) / t;
+            if r < 0.0 || r.is_nan() {
+                continue;
+            }
+            if best.is_none_or(|(br, _)| r < br) {
+                best = Some((r, (a, b)));
+            }
+        }
+        best.map(|(r, (a, b))| (r, vec![a as usize, b as usize]))
+    }
+
+    /// The largest repair point over the mutually-inverse 2-cycles with
+    /// negative tighten sum, capped at `hi` — a valid
+    /// [`Self::min_feasible`] Newton start, since every such cycle must be
+    /// loosened at least to its own repair point.
+    fn two_cycle_lower_hint(&self, hi: f64) -> Option<(f64, Vec<usize>)> {
+        let mut best: Option<(f64, (u32, u32))> = None;
+        for &(a, b) in &self.inverse_pairs {
+            let (ai, bi) = (a as usize, b as usize);
+            let t = self.tighten[ai] + self.tighten[bi];
+            if t >= -TIGHTEN_TINY {
+                continue;
+            }
+            let r = (self.constraints[ai].bound + self.constraints[bi].bound) / t;
+            if r <= 0.0 || r > hi || r.is_nan() {
+                continue;
+            }
+            if best.is_none_or(|(br, _)| r > br) {
+                best = Some((r, (a, b)));
+            }
+        }
+        best.map(|(r, (a, b))| (r, vec![a as usize, b as usize]))
+    }
+
     /// The largest `m ∈ [0, hi]` at which the system is feasible — the
     /// minimum cycle ratio `Σbound/Σtighten` over cycles with positive
     /// tighten sum (clamped to `hi`) — found by Newton iteration: an
@@ -357,11 +589,41 @@ impl ParametricSystem {
     /// ≥ 0); returns `None` when even `m = 0` is infeasible.
     ///
     /// On success the potentials are feasible for the returned `m`.
+    ///
+    /// Newton starts from the smallest known valid upper bound instead of
+    /// `hi`: the previously-critical cycle (re-certified under the current
+    /// bounds) and the cheapest mutually-inverse 2-cycle both have ratios
+    /// ≥ the optimum, so a feasible first probe at such a ratio *is* the
+    /// optimum — hints only move the starting point, never decide
+    /// feasibility.
     pub fn max_feasible(&mut self, hi: f64) -> Option<f64> {
         let mut m = hi.max(0.0);
+        // The cycle whose ratio set the current m (returned as the new
+        // critical cycle when the probe at m succeeds).
+        let mut setter: Vec<usize> = Vec::new();
+        let prev = std::mem::take(&mut self.critical);
+        if !prev.is_empty() {
+            let (b, t) = self.cycle_sums(&prev);
+            if t > TIGHTEN_TINY {
+                let r = b / t;
+                if r >= 0.0 && r < m {
+                    m = r;
+                    setter = prev;
+                }
+            }
+        }
+        if let Some((r, pair)) = self.two_cycle_upper_hint() {
+            if r < m {
+                m = r;
+                setter = pair;
+            }
+        }
         for _ in 0..NEWTON_CAP {
             let cycle = match self.relax_at(m) {
-                Ok(()) => return Some(m),
+                Ok(()) => {
+                    self.critical = setter;
+                    return Some(m);
+                }
                 Err(cycle) => cycle,
             };
             let (b, t) = self.cycle_sums(&cycle);
@@ -381,6 +643,7 @@ impl ParametricSystem {
                 break;
             }
             m = next;
+            setter = cycle;
         }
         // Fallback: plain bisection on [0, m] with warm probes (verdicts
         // are exact; only the Newton jumps misbehaved).
@@ -412,9 +675,34 @@ impl ParametricSystem {
     /// `hi`.
     pub fn min_feasible(&mut self, hi: f64) -> Option<f64> {
         let mut m = 0.0f64;
+        // Ascend from the largest known valid lower bound: every cycle
+        // with negative tighten sum must be repaired, so its repair point
+        // `b/t` is ≤ the optimum. Hints that exceed `hi` are skipped (not
+        // concluded infeasible — that verdict stays with relaxation).
+        let mut setter: Vec<usize> = Vec::new();
+        let prev = std::mem::take(&mut self.critical);
+        if !prev.is_empty() {
+            let (b, t) = self.cycle_sums(&prev);
+            if t < -TIGHTEN_TINY {
+                let r = b / t;
+                if r > m && r <= hi {
+                    m = r;
+                    setter = prev;
+                }
+            }
+        }
+        if let Some((r, pair)) = self.two_cycle_lower_hint(hi) {
+            if r > m {
+                m = r;
+                setter = pair;
+            }
+        }
         for _ in 0..NEWTON_CAP {
             let cycle = match self.relax_at(m) {
-                Ok(()) => return Some(m),
+                Ok(()) => {
+                    self.critical = setter;
+                    return Some(m);
+                }
                 Err(cycle) => cycle,
             };
             let (b, t) = self.cycle_sums(&cycle);
@@ -432,6 +720,7 @@ impl ParametricSystem {
                 break;
             }
             m = next;
+            setter = cycle;
         }
         if !self.probe(hi) {
             return None;
@@ -618,6 +907,96 @@ mod tests {
         assert!(par.probe(0.25));
         let cold = par.solve_cold(0.0).expect("feasible");
         assert_eq!(cold, sys.solve().expect("feasible"), "bit-identical to DifferenceSystem");
+    }
+
+    #[test]
+    fn update_bounds_counts_real_changes_and_stays_exact() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 4.0);
+        sys.add(1, 0, -1.0);
+        let mut par = ParametricSystem::new(&sys, &[1.0, 0.0]);
+        assert_eq!(par.maximize_slack_exact(10.0).map(|(m, _)| m), Some(3.0));
+        // One bound unchanged, one loosened: only one delta arc.
+        assert_eq!(par.update_bounds(&[(0, 6.0), (1, -1.0)]), 1);
+        assert_eq!(par.delta_arcs(), 1);
+        let (m, y) = par.maximize_slack_exact(10.0).expect("still feasible");
+        assert_eq!(m, 5.0, "cycle ratio (6 − 1) / 1");
+        // Byte-identical to a fresh engine over the patched system.
+        let mut sys2 = DifferenceSystem::new(2);
+        sys2.add(0, 1, 6.0);
+        sys2.add(1, 0, -1.0);
+        let mut fresh = ParametricSystem::new(&sys2, &[1.0, 0.0]);
+        let (mf, yf) = fresh.maximize_slack_exact(10.0).expect("feasible");
+        assert_eq!((m, y), (mf, yf));
+    }
+
+    #[test]
+    fn rebind_patches_matching_shape_and_rejects_mismatch() {
+        let mut sys = DifferenceSystem::new(3);
+        sys.add(0, 1, 2.0);
+        sys.add(1, 0, 1.0);
+        sys.add(2, 0, 5.0);
+        let tighten = [1.0, 1.0, 0.0];
+        let mut par = ParametricSystem::new(&sys, &tighten);
+        par.maximize_slack_exact(50.0).expect("feasible");
+
+        let mut sys2 = DifferenceSystem::new(3);
+        sys2.add(0, 1, 2.5);
+        sys2.add(1, 0, 1.0);
+        sys2.add(2, 0, 4.0);
+        assert_eq!(par.rebind(&sys2, &tighten), Some(2), "two bounds changed");
+        let (m, y) = par.maximize_slack_exact(50.0).expect("feasible");
+        let mut fresh = ParametricSystem::new(&sys2, &tighten);
+        assert_eq!(fresh.maximize_slack_exact(50.0), Some((m, y)));
+
+        // Different topology or tighten: no rebind.
+        let mut sys3 = DifferenceSystem::new(3);
+        sys3.add(0, 1, 2.5);
+        sys3.add(1, 0, 1.0);
+        sys3.add(0, 2, 4.0);
+        assert_eq!(par.rebind(&sys3, &tighten), None);
+        assert_eq!(par.rebind(&sys2, &[1.0, 1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn warm_resolve_reuses_critical_cycle_in_one_probe() {
+        // Timing-like paired rows: the critical 2-cycle persists across a
+        // bound perturbation, so the warm re-solve needs exactly one
+        // feasible probe (plus the canonical cold solve).
+        let mut sys = DifferenceSystem::new(4);
+        sys.add(0, 1, 4.0);
+        sys.add(1, 0, -1.0);
+        sys.add(2, 3, 9.0);
+        sys.add(3, 2, -2.0);
+        let tighten = [1.0; 4];
+        let mut par = ParametricSystem::new(&sys, &tighten);
+        let (m0, _) = par.maximize_slack_exact(100.0).expect("feasible");
+        assert_eq!(m0, 1.5, "cycle (0,1): (4 − 1)/2");
+        let before = par.solves();
+        par.update_bounds(&[(0, 4.2), (2, 8.8)]);
+        let (m1, _) = par.maximize_slack_exact(100.0).expect("feasible");
+        assert_eq!(m1, 1.6, "cycle (0,1): (4.2 − 1)/2");
+        assert_eq!(par.solves() - before, 2, "one warm probe + one cold solve");
+    }
+
+    #[test]
+    fn delta_probe_equivalence_through_feasibility_flip() {
+        // m-independent system probed at 0: delta-seeded warm probes must
+        // agree with fresh engines as bounds swing feasible → infeasible
+        // → feasible.
+        let mut sys = DifferenceSystem::new(2);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, -0.5);
+        let tighten = [0.0, 0.0];
+        let mut par = ParametricSystem::new(&sys, &tighten);
+        assert!(par.probe(0.0));
+        for &(b0, b1) in &[(1.0, -1.5), (0.3, -0.5), (2.0, -2.0), (0.7, -0.7)] {
+            par.update_bounds(&[(0, b0), (1, b1)]);
+            let mut fresh = DifferenceSystem::new(2);
+            fresh.add(0, 1, b0);
+            fresh.add(1, 0, b1);
+            assert_eq!(par.probe(0.0), fresh.is_feasible(), "bounds ({b0}, {b1})");
+        }
     }
 
     #[test]

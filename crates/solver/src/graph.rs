@@ -27,6 +27,7 @@
 //! permutation), so the scan over a node's out-arcs is two contiguous
 //! slices.
 
+use crate::par::{par_map_with, ParConfig};
 use crate::sparse::CsrMatrix;
 use std::collections::VecDeque;
 
@@ -257,7 +258,7 @@ pub enum RelaxOutcome {
 ///   touches a wavefront, not the whole graph;
 /// * labels persist across rounds (and can be saved/restored through
 ///   [`Self::dist`] / [`Self::load_dist`]), which is what makes carrying
-///   potentials across probes, cancellations, and flow iterations cheap.
+///   potentials across probes, correction paths, and flow iterations cheap.
 ///
 /// Starting relaxation from *any* finite labels is sound: on convergence
 /// the labels certify that no arc is violated (hence every cycle has
@@ -265,6 +266,17 @@ pub enum RelaxOutcome {
 /// always keeps some arc violated, so it cannot converge past one.
 /// Predecessors and tree-path lengths are reset every round, so an
 /// extracted cycle only contains arcs relaxed *this* round.
+///
+/// Beyond the full-scan [`Self::relax`], two entry points serve the
+/// incremental parametric engine:
+///
+/// * [`Self::relax_seeded`] skips the Θ(arcs) violation scan and seeds the
+///   queue from an explicit arc set — sound whenever the caller knows the
+///   labels were a fixpoint and only those arcs changed weight
+///   (Ramalingam–Reps-style affected-region propagation);
+/// * [`Self::relax_parallel`] is a deterministic round-synchronous Jacobi
+///   relaxation (each round gathers over every node's *in*-arcs via
+///   [`par_map_with`]) for genuinely cold solves on large graphs.
 #[derive(Debug, Clone)]
 pub struct WarmSpfa {
     n: usize,
@@ -272,10 +284,18 @@ pub struct WarmSpfa {
     heads: Vec<u32>,
     adj: CsrMatrix,
     entry_arc: Vec<u32>,
+    /// Transposed adjacency (rows = heads) for the Jacobi gather; built
+    /// lazily on the first [`Self::relax_parallel`] call.
+    in_adj: Option<Box<(CsrMatrix, Vec<u32>)>>,
     dist: Vec<f64>,
     pred: Vec<u32>,
     path_len: Vec<u32>,
     in_queue: Vec<bool>,
+    /// Round stamp per node: `stamp[v] == round` ⇔ `dist[v]` changed in the
+    /// current relaxation call (feeds the `affected_vertices` telemetry).
+    stamp: Vec<u32>,
+    round: u32,
+    last_affected: usize,
 }
 
 const NO_PRED: u32 = u32::MAX;
@@ -302,10 +322,14 @@ impl WarmSpfa {
             heads: arcs.iter().map(|&(_, t)| t as u32).collect(),
             adj,
             entry_arc,
+            in_adj: None,
             dist: vec![0.0; n],
             pred: vec![NO_PRED; n],
             path_len: vec![0; n],
             in_queue: vec![false; n],
+            stamp: vec![u32::MAX; n],
+            round: 0,
+            last_affected: 0,
         }
     }
 
@@ -347,6 +371,34 @@ impl WarmSpfa {
         self.dist.iter_mut().for_each(|d| *d = 0.0);
     }
 
+    /// How many distinct nodes changed their label during the most recent
+    /// relaxation call (any entry point) — the size of the affected region.
+    pub fn last_affected(&self) -> usize {
+        self.last_affected
+    }
+
+    /// Resets per-round scratch (predecessors, path lengths, queue flags)
+    /// and advances the affected-node stamp generation.
+    fn begin_round(&mut self) {
+        self.pred.iter_mut().for_each(|p| *p = NO_PRED);
+        self.path_len.iter_mut().for_each(|l| *l = 0);
+        self.in_queue.iter_mut().for_each(|q| *q = false);
+        self.round = self.round.wrapping_add(1);
+        if self.round == 0 {
+            // One reset every 2^32 rounds keeps stale stamps impossible.
+            self.stamp.iter_mut().for_each(|s| *s = u32::MAX);
+            self.round = 1;
+        }
+        self.last_affected = 0;
+    }
+
+    fn touch(&mut self, v: usize) {
+        if self.stamp[v] != self.round {
+            self.stamp[v] = self.round;
+            self.last_affected += 1;
+        }
+    }
+
     /// Runs one relaxation round under `weight` (indexed by arc id;
     /// `f64::INFINITY` disables an arc). Only arcs violated by the current
     /// labels seed the queue. On [`RelaxOutcome::NegativeCycle`] the labels
@@ -372,20 +424,60 @@ impl WarmSpfa {
         eps: f64,
         max_pops: usize,
     ) -> Option<RelaxOutcome> {
+        self.relax_inner(weight, eps, max_pops, None)
+    }
+
+    /// [`Self::relax_budgeted`] seeded from an explicit arc set instead of
+    /// the Θ(arcs) violation scan: only `seed_arcs` are checked for
+    /// violation to build the initial queue.
+    ///
+    /// Sound **only** when every arc the current labels violate is listed
+    /// in `seed_arcs` — the contract the parametric engine upholds by
+    /// seeding with exactly the arcs whose weights changed since the labels
+    /// last converged (a fixpoint violates no arc, and an unchanged weight
+    /// cannot create a violation on its own; knock-on violations from
+    /// labels dropping during propagation are found by the queue as usual).
+    pub fn relax_seeded(
+        &mut self,
+        weight: impl Fn(usize) -> f64,
+        eps: f64,
+        max_pops: usize,
+        seed_arcs: &[u32],
+    ) -> Option<RelaxOutcome> {
+        self.relax_inner(weight, eps, max_pops, Some(seed_arcs))
+    }
+
+    fn relax_inner(
+        &mut self,
+        weight: impl Fn(usize) -> f64,
+        eps: f64,
+        max_pops: usize,
+        seed_arcs: Option<&[u32]>,
+    ) -> Option<RelaxOutcome> {
         let n = self.n;
-        self.pred.iter_mut().for_each(|p| *p = NO_PRED);
-        self.path_len.iter_mut().for_each(|l| *l = 0);
-        self.in_queue.iter_mut().for_each(|q| *q = false);
+        self.begin_round();
         let mut queue: VecDeque<u32> = VecDeque::new();
-        for id in 0..self.tails.len() {
+        let seed = |this: &mut Self, queue: &mut VecDeque<u32>, id: usize| {
             let w = weight(id);
             if !w.is_finite() {
-                continue;
+                return;
             }
-            let (f, t) = (self.tails[id] as usize, self.heads[id] as usize);
-            if self.dist[f] + w + eps < self.dist[t] && !self.in_queue[f] {
-                self.in_queue[f] = true;
+            let (f, t) = (this.tails[id] as usize, this.heads[id] as usize);
+            if this.dist[f] + w + eps < this.dist[t] && !this.in_queue[f] {
+                this.in_queue[f] = true;
                 queue.push_back(f as u32);
+            }
+        };
+        match seed_arcs {
+            None => {
+                for id in 0..self.tails.len() {
+                    seed(self, &mut queue, id);
+                }
+            }
+            Some(ids) => {
+                for &id in ids {
+                    seed(self, &mut queue, id as usize);
+                }
             }
         }
 
@@ -413,6 +505,10 @@ impl WarmSpfa {
                 let cand = du + w;
                 if cand + eps < self.dist[v] {
                     self.dist[v] = cand;
+                    if self.stamp[v] != self.round {
+                        self.stamp[v] = self.round;
+                        self.last_affected += 1;
+                    }
                     self.pred[v] = id as u32;
                     self.path_len[v] = self.path_len[u] + 1;
                     if self.path_len[v] >= n as u32 {
@@ -428,18 +524,134 @@ impl WarmSpfa {
         Some(RelaxOutcome::Converged)
     }
 
-    /// Walks the predecessor chain from a node whose tree path reached
-    /// length `n` and returns the arcs of the cycle it must contain (same
-    /// argument as [`SpfaGraph::extract_cycle`]; predecessors are reset per
-    /// round, so the chain only contains arcs relaxed this round).
-    fn extract_cycle(&self, mut v: usize) -> Vec<usize> {
-        for _ in 0..self.n {
-            let ai = self.pred[v];
-            assert_ne!(ai, NO_PRED, "length-n tree path has predecessors");
-            v = self.tails[ai as usize] as usize;
+    /// Deterministic parallel relaxation for genuinely cold solves on
+    /// large graphs: round-synchronous Jacobi Bellman–Ford. Each round
+    /// computes, for every node in parallel, the best improvement over its
+    /// *in*-arcs against the previous round's labels (first strict minimum
+    /// in transposed-CSR entry order — a fixed tie-break, so the committed
+    /// labels are identical however many threads run), then commits all
+    /// updates sequentially.
+    ///
+    /// Negative cycles are reported through the predecessor graph: pred
+    /// arcs always satisfy `dist[head] = dist_at_set[tail] + w` with labels
+    /// only decreasing afterwards, so summing around any predecessor cycle
+    /// gives total weight ≤ `0` strictly below the per-relaxation `eps`
+    /// improvement — the classic lemma that the predecessor graph stays
+    /// acyclic unless a genuinely negative cycle exists. Each round runs an
+    /// O(n) walk-coloring pass over the pred graph; if no fixpoint is
+    /// reached within `n` rounds the call falls back to the sequential
+    /// queue relaxation from the current labels, which owns the verdict.
+    pub fn relax_parallel(
+        &mut self,
+        weight: impl Fn(usize) -> f64 + Sync,
+        eps: f64,
+    ) -> RelaxOutcome {
+        let n = self.n;
+        self.begin_round();
+        if self.in_adj.is_none() {
+            let triplets: Vec<(usize, usize, f64)> = self
+                .tails
+                .iter()
+                .zip(&self.heads)
+                .map(|(&f, &t)| (t as usize, f as usize, 0.0))
+                .collect();
+            let (m, perm) = CsrMatrix::from_triplets_with_perm(n, n.max(1), &triplets);
+            self.in_adj = Some(Box::new((m, perm)));
         }
-        let start = v;
+        let cfg = ParConfig::default();
+        for _ in 0..n.max(1) {
+            let (in_adj, in_entry) = {
+                let b = self.in_adj.as_ref().expect("built above");
+                (&b.0, &b.1[..])
+            };
+            let dist = &self.dist;
+            let updates: Vec<(f64, u32)> = par_map_with(&cfg, n, |v| {
+                let mut best = dist[v];
+                let mut best_arc = NO_PRED;
+                let range = in_adj.row_range(v);
+                let (tails, _) = in_adj.row(v);
+                for (k, &u) in tails.iter().enumerate() {
+                    let id = in_entry[range.start + k] as usize;
+                    let w = weight(id);
+                    if !w.is_finite() {
+                        continue;
+                    }
+                    let cand = dist[u as usize] + w;
+                    if cand + eps < best {
+                        best = cand;
+                        best_arc = id as u32;
+                    }
+                }
+                (best, best_arc)
+            });
+            let mut changed = false;
+            for (v, &(d, a)) in updates.iter().enumerate() {
+                if a != NO_PRED {
+                    self.dist[v] = d;
+                    self.touch(v);
+                    self.pred[v] = a;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return RelaxOutcome::Converged;
+            }
+            if let Some(on_cycle) = self.find_pred_cycle_node() {
+                return RelaxOutcome::NegativeCycle(self.extract_pred_cycle(on_cycle));
+            }
+        }
+        // No fixpoint within n rounds (possible only under eps-marginal
+        // creep): let the sequential engine finish from the current labels
+        // so the verdict always comes from the queue relaxation.
+        let affected = self.last_affected;
+        let outcome =
+            self.relax_budgeted(weight, eps, usize::MAX).expect("unlimited budget cannot run out");
+        self.last_affected += affected;
+        outcome
+    }
+
+    /// Finds a node lying on a cycle of the predecessor graph, if one
+    /// exists, via walk coloring (0 = unvisited, 1 = on the current walk,
+    /// 2 = cleared): following `pred` tails from an unvisited node either
+    /// terminates, merges into a cleared walk, or re-enters the current
+    /// walk — the latter is a cycle.
+    fn find_pred_cycle_node(&self) -> Option<usize> {
+        let mut state = vec![0u8; self.n];
+        let mut path: Vec<usize> = Vec::new();
+        for s in 0..self.n {
+            if state[s] != 0 {
+                continue;
+            }
+            path.clear();
+            let mut v = s;
+            let found = loop {
+                match state[v] {
+                    1 => break Some(v),
+                    2 => break None,
+                    _ => {}
+                }
+                state[v] = 1;
+                path.push(v);
+                match self.pred[v] {
+                    NO_PRED => break None,
+                    p => v = self.tails[p as usize] as usize,
+                }
+            };
+            if found.is_some() {
+                return found;
+            }
+            for &u in &path {
+                state[u] = 2;
+            }
+        }
+        None
+    }
+
+    /// Collects the predecessor-cycle arcs starting from a node known to
+    /// lie on one, in forward order.
+    fn extract_pred_cycle(&self, start: usize) -> Vec<usize> {
         let mut arcs = Vec::new();
+        let mut v = start;
         loop {
             let ai = self.pred[v] as usize;
             arcs.push(ai);
@@ -450,6 +662,19 @@ impl WarmSpfa {
         }
         arcs.reverse();
         arcs
+    }
+
+    /// Walks the predecessor chain from a node whose tree path reached
+    /// length `n` and returns the arcs of the cycle it must contain (same
+    /// argument as [`SpfaGraph::extract_cycle`]; predecessors are reset per
+    /// round, so the chain only contains arcs relaxed this round).
+    fn extract_cycle(&self, mut v: usize) -> Vec<usize> {
+        for _ in 0..self.n {
+            let ai = self.pred[v];
+            assert_ne!(ai, NO_PRED, "length-n tree path has predecessors");
+            v = self.tails[ai as usize] as usize;
+        }
+        self.extract_pred_cycle(v)
     }
 }
 
@@ -620,5 +845,119 @@ mod tests {
         let mut warm = WarmSpfa::new(0, &[]);
         warm.reset_zero();
         assert!(matches!(warm.relax(|_| 0.0, 1e-12), RelaxOutcome::Converged));
+    }
+
+    #[test]
+    fn seeded_relax_from_fixpoint_matches_full_scan() {
+        // Converge a chain, tighten ONE arc, and re-relax seeding only that
+        // arc: the fixpoint must match a full-scan relax of the same weights.
+        let arcs = [(0usize, 1usize), (1, 2), (2, 3), (0, 3)];
+        let base = [-1.0, -1.0, -1.0, 0.0];
+        let mut seeded = WarmSpfa::new(4, &arcs);
+        seeded.reset_zero();
+        assert!(matches!(seeded.relax(|id| base[id], 1e-12), RelaxOutcome::Converged));
+        let mut full = seeded.clone();
+
+        let tight = [-2.5, -1.0, -1.0, 0.0];
+        assert!(matches!(
+            seeded.relax_seeded(|id| tight[id], 1e-12, usize::MAX, &[0]),
+            Some(RelaxOutcome::Converged)
+        ));
+        assert!(matches!(full.relax(|id| tight[id], 1e-12), RelaxOutcome::Converged));
+        assert_eq!(seeded.dist(), full.dist());
+        assert_eq!(seeded.dist(), &[0.0, -2.5, -3.5, -4.5]);
+        // The whole downstream region moved: 1, 2 and 3.
+        assert_eq!(seeded.last_affected(), 3);
+    }
+
+    #[test]
+    fn seeded_relax_finds_cycle_through_changed_arc() {
+        let arcs = [(0usize, 1usize), (1, 0)];
+        let mut warm = WarmSpfa::new(2, &arcs);
+        warm.reset_zero();
+        let base = [1.0, -0.5];
+        assert!(matches!(warm.relax(|id| base[id], 1e-12), RelaxOutcome::Converged));
+        // Tighten arc 1 so the 2-cycle sums to −1; seed only arc 1.
+        let tight = [1.0, -2.0];
+        assert!(matches!(
+            warm.relax_seeded(|id| tight[id], 1e-12, usize::MAX, &[1]),
+            Some(RelaxOutcome::NegativeCycle(_))
+        ));
+    }
+
+    #[test]
+    fn affected_count_resets_per_call() {
+        let arcs = [(0usize, 1usize)];
+        let mut warm = WarmSpfa::new(2, &arcs);
+        warm.reset_zero();
+        assert!(matches!(warm.relax(|_| -1.0, 1e-12), RelaxOutcome::Converged));
+        assert_eq!(warm.last_affected(), 1);
+        // Already a fixpoint: nothing moves this time.
+        assert!(matches!(warm.relax(|_| -1.0, 1e-12), RelaxOutcome::Converged));
+        assert_eq!(warm.last_affected(), 0);
+    }
+
+    #[test]
+    fn parallel_relax_matches_sequential_fixpoint() {
+        // Random-ish layered DAG with negative weights: the Jacobi kernel
+        // must reach the same canonical fixpoint as the queue relaxation
+        // from the same zero start.
+        let n = 50;
+        let mut arcs = Vec::new();
+        let mut weights = Vec::new();
+        for v in 1..n {
+            for step in [1usize, 7, 13] {
+                if v >= step {
+                    arcs.push((v - step, v));
+                    weights.push(-((v % 5) as f64) + (step as f64) * 0.25 - 1.0);
+                }
+            }
+        }
+        let mut seq = WarmSpfa::new(n, &arcs);
+        seq.reset_zero();
+        assert!(matches!(seq.relax(|id| weights[id], 1e-12), RelaxOutcome::Converged));
+        let mut par = WarmSpfa::new(n, &arcs);
+        par.reset_zero();
+        assert!(matches!(par.relax_parallel(|id| weights[id], 1e-12), RelaxOutcome::Converged));
+        assert_eq!(seq.dist(), par.dist());
+        assert_eq!(seq.last_affected(), par.last_affected());
+    }
+
+    #[test]
+    fn parallel_relax_detects_negative_cycle() {
+        let arcs = [(0usize, 1usize), (1, 2), (2, 0), (3, 0)];
+        let weights = [1.0, -3.0, 1.0, 1.0];
+        let mut warm = WarmSpfa::new(4, &arcs);
+        warm.reset_zero();
+        let RelaxOutcome::NegativeCycle(cycle) = warm.relax_parallel(|id| weights[id], 1e-12)
+        else {
+            panic!("cycle 0→1→2→0 has weight −1");
+        };
+        let mut ids = cycle.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let total: f64 = cycle.iter().map(|&id| weights[id]).sum();
+        assert!(total < 0.0);
+    }
+
+    #[test]
+    fn parallel_relax_zero_cycle_converges() {
+        // A zero-weight cycle must NOT be reported as negative: the pred
+        // graph stays acyclic because no arc strictly improves around it.
+        let arcs = [(0usize, 1usize), (1, 0), (2, 0)];
+        let weights = [1.0, -1.0, -4.0];
+        let mut warm = WarmSpfa::new(3, &arcs);
+        warm.reset_zero();
+        assert!(matches!(warm.relax_parallel(|id| weights[id], 1e-12), RelaxOutcome::Converged));
+        let mut seq = WarmSpfa::new(3, &arcs);
+        seq.reset_zero();
+        assert!(matches!(seq.relax(|id| weights[id], 1e-12), RelaxOutcome::Converged));
+        assert_eq!(warm.dist(), seq.dist());
+    }
+
+    #[test]
+    fn parallel_relax_empty_graph() {
+        let mut warm = WarmSpfa::new(0, &[]);
+        assert!(matches!(warm.relax_parallel(|_| 0.0, 1e-12), RelaxOutcome::Converged));
     }
 }

@@ -73,7 +73,7 @@ pub struct FlowNetwork {
     arcs: Vec<Arc>,
     adj: Vec<Vec<u32>>,
     augmentations: usize,
-    cancellations: usize,
+    correction_paths: usize,
 }
 
 const EPS: f64 = 1e-9;
@@ -81,7 +81,7 @@ const EPS: f64 = 1e-9;
 impl FlowNetwork {
     /// Creates a network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { arcs: Vec::new(), adj: vec![Vec::new(); n], augmentations: 0, cancellations: 0 }
+        Self { arcs: Vec::new(), adj: vec![Vec::new(); n], augmentations: 0, correction_paths: 0 }
     }
 
     /// Augmenting paths pushed by [`Self::min_cost_flow`] so far
@@ -96,17 +96,7 @@ impl FlowNetwork {
     /// replaced Klein's cycle canceling with saturate-and-correct but kept
     /// the old counter name, fixed here.
     pub fn correction_paths(&self) -> usize {
-        self.cancellations
-    }
-
-    /// Deprecated alias of [`Self::correction_paths`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "renamed to `correction_paths`: the engine routes SSP correction \
-                paths, it does not cancel negative cycles"
-    )]
-    pub fn cancellations(&self) -> usize {
-        self.cancellations
+        self.correction_paths
     }
 
     /// Node handle for index `i`.
@@ -349,7 +339,7 @@ impl FlowNetwork {
             }
             excess[src] -= push;
             excess[t] += push;
-            self.cancellations += 1;
+            self.correction_paths += 1;
         }
         total
     }

@@ -155,6 +155,71 @@ proptest! {
         );
     }
 
+    /// A delta-rebound engine — [`ParametricSystem::update_bounds`]
+    /// patching between solves, as [`SkewContext`] does across Fig. 3
+    /// iterations — answers every probe and every exact optimum exactly
+    /// like an engine freshly built over the patched system. Deltas flip
+    /// sign freely and regularly drive the system across the
+    /// feasible → infeasible boundary and back, so the test covers cycle
+    /// restoration (failed relaxations must leave the carried fixpoint
+    /// intact) as well as the dirty-arc seeding fast path.
+    #[test]
+    fn delta_rebound_engine_matches_fresh_builds(
+        n in 3usize..=8,
+        m in 4usize..=20,
+        rounds in 1usize..=5,
+        raw in prop::collection::vec(-2.0f64..2.0, 192),
+    ) {
+        let (sys0, tighten) = decode_system(n, m, &raw[..96], -0.5, 2.0, 0.0, 1.5);
+        let pairs: Vec<(usize, usize)> =
+            sys0.constraints().iter().map(|c| (c.i, c.j)).collect();
+        let mut bounds: Vec<f64> = sys0.constraints().iter().map(|c| c.bound).collect();
+        let mut warm = ParametricSystem::new(&sys0, &tighten);
+        let mut k = 96usize;
+        let mut next = |raw: &[f64]| {
+            let v = raw[k % raw.len()];
+            k += 1;
+            v
+        };
+        for _ in 0..rounds {
+            // Patch a random subset of bounds with dyadic deltas of both
+            // signs; strongly negative swings create negative cycles that
+            // later rounds repair.
+            let mut updates = Vec::new();
+            for (c, slot) in bounds.iter_mut().enumerate() {
+                if next(&raw) > 0.25 {
+                    let nb = q8(*slot + q8(next(&raw) * 1.5));
+                    *slot = nb;
+                    updates.push((c, nb));
+                }
+            }
+            warm.update_bounds(&updates);
+            let mut fresh_sys = DifferenceSystem::new(n);
+            for (idx, &(i, j)) in pairs.iter().enumerate() {
+                fresh_sys.add(i, j, bounds[idx]);
+            }
+            let mut fresh = ParametricSystem::new(&fresh_sys, &tighten);
+            for &mv in &[0.0, 0.5, 1.25] {
+                let (w, f) = (warm.probe(mv), fresh.probe(mv));
+                prop_assert!(w == f, "probe verdict diverged at m = {}: {} vs {}", mv, w, f);
+            }
+            match (warm.max_feasible(4.0), fresh.max_feasible(4.0)) {
+                (Some(a), Some(b)) => {
+                    prop_assert!(a == b, "exact optimum diverged: {} vs {}", a, b);
+                    // The canonical labels at the shared optimum are
+                    // bit-identical too.
+                    let wa = warm.clone().solve_cold(a);
+                    let fb = fresh.clone().solve_cold(b);
+                    prop_assert_eq!(wa, fb);
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(
+                    false, "feasibility diverged: delta-warm {:?} vs fresh {:?}", a, b
+                ),
+            }
+        }
+    }
+
     /// Seeding the engine with arbitrary finite labels (as the flow does
     /// when it carries potentials across placement iterations) never
     /// changes a verdict or the exact optimum, only the work done.

@@ -18,6 +18,42 @@ fn full_flow_on_s9234_reduces_tapping_cost_in_paper_band() {
     assert!(out.signal_wl_improvement() > -0.15);
 }
 
+/// The delta-rebound warm path must (a) actually fire on a real suite —
+/// nonzero stage-2 `reused_work` in the telemetry, which the seed
+/// revision never achieved outside toy fixtures — and (b) change
+/// nothing: schedules, assignments, taps, and final placements of the
+/// warm and cold runs are bit-identical.
+#[test]
+fn s15850_warm_flow_matches_cold_and_reuses_stage2_work() {
+    use rotary::core::telemetry::Stage;
+    let suite = BenchmarkSuite::S15850;
+    let run = |warm_start: bool| {
+        let mut circuit = suite.circuit(7);
+        let cfg = FlowConfig { warm_start, ..FlowConfig::default() };
+        (Flow::new(cfg).run(&mut circuit, suite.ring_grid()), circuit)
+    };
+    let (warm, c_warm) = run(true);
+    let (cold, c_cold) = run(false);
+
+    assert_eq!(warm.schedule, cold.schedule);
+    assert_eq!(warm.assignment, cold.assignment);
+    assert_eq!(warm.base, cold.base);
+    assert_eq!(warm.taps.solutions, cold.taps.solutions);
+    for (&fa, &fb) in c_warm.flip_flops().iter().zip(&c_cold.flip_flops()) {
+        assert_eq!(c_warm.position(fa), c_cold.position(fb));
+    }
+
+    // Warm starts fire: after the first iteration, the stage-2 engine is
+    // re-targeted via delta rebind instead of being rebuilt.
+    let reuse = warm.telemetry.reuse_by_stage();
+    let stage2 = reuse.iter().find(|r| r.0 == Stage::SkewOptimization).unwrap();
+    assert!(stage2.1 > 0, "stage-2 reused_work must be nonzero on a warm s15850 run");
+    assert!(stage2.2 > 0, "stage-2 delta_arcs must be nonzero (bounds drift every iteration)");
+    let cold_reuse = cold.telemetry.reuse_by_stage();
+    let cold_stage2 = cold_reuse.iter().find(|r| r.0 == Stage::SkewOptimization).unwrap();
+    assert_eq!(cold_stage2.1, 0, "cold runs must not report reuse");
+}
+
 #[test]
 fn flow_keeps_placement_legal_and_circuit_valid() {
     let mut circuit = BenchmarkSuite::S9234.circuit(3);
