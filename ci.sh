@@ -42,6 +42,20 @@ echo "==> tables --suite s38417 table1 (smoke, 120s budget)"
 echo "==> tables --suite s15850 table4 (smoke, 60s budget)"
 (cd "$scratch" && timeout 60 "$tables_bin" --suite s15850 table4 > tables_s15850_ci.log)
 
+# Largest-suite stage-4 smoke: the s35932 Fig. 3 loop drives the shared
+# relaxation kernel through its warm circulation route (~23k Dijkstra
+# rounds between re-wraps). The time budget catches kernel regressions;
+# the greps catch a dead warm path — every cost_driven_skew telemetry
+# row must report nonzero `reused` and `Δarcs` (the rebind footprint).
+echo "==> tables --suite s35932 table4 (smoke, 150s budget + reuse check)"
+(cd "$scratch" && timeout 150 "$tables_bin" --suite s35932 table4 > tables_s35932_ci.log)
+stage4_rows="$(grep 'cost_driven_skew' "$scratch/tables_s35932_ci.log")"
+[ "$(wc -l <<< "$stage4_rows")" -eq 2 ] \
+  || { echo "expected 2 stage-4 telemetry rows (nf + ilp):"; echo "$stage4_rows"; exit 1; }
+awk '$(NF-5) == 0 || $(NF-3) == 0 { bad = 1 }
+     END { exit bad }' <<< "$stage4_rows" \
+  || { echo "stage-4 reuse columns must be nonzero on the warm route:"; echo "$stage4_rows"; exit 1; }
+
 # Stage-2 scheduling smoke: period search + max-slack, cold then warm
 # over drifted placements. The binary itself asserts the delta-rebind
 # engine reused state, so a dead warm path fails even well under budget.

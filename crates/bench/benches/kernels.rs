@@ -13,7 +13,7 @@ use rotary_netlist::BenchmarkSuite;
 use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
 use rotary_solver::graph::{Source, SpfaGraph};
 use rotary_solver::lp::{LpProblem, Pricing, RowKind};
-use rotary_solver::mcmf::{Circulation, FlowNetwork};
+use rotary_solver::mcmf::{Circulation, DijkstraStrategy, FlowNetwork};
 use rotary_solver::rounding::{greedy_round_loaded, greedy_round_loaded_rescan, LoadedCandidate};
 use rotary_solver::sparse::{CsrMatrix, SparseLu};
 use rotary_solver::{DifferenceSystem, ParametricSystem};
@@ -557,6 +557,35 @@ fn bench_mcmf(c: &mut Criterion) {
                 eng.solve(&caps, &wrapped, true);
                 std::hint::black_box(eng.canonical_distances())
             },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The two relaxation-kernel strategies head to head on the same cold
+    // solve: the sequential binary heap vs the parallel bucket-based
+    // radix queue. Results are bit-identical (see the strategy proptest);
+    // this pair measures the crossover the `Auto` policy is betting on —
+    // on a single hardware thread the bucketed queue's batch machinery is
+    // pure overhead, with more cores it amortizes across the gather.
+    c.bench_function("mcmf/sequential_dijkstra", |b| {
+        b.iter_batched(
+            || {
+                let mut eng = Circulation::new(n + 1, &pairs);
+                eng.set_strategy(DijkstraStrategy::Sequential);
+                eng
+            },
+            |mut eng| std::hint::black_box(eng.solve(&caps, &costs, false)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mcmf/parallel_dijkstra", |b| {
+        b.iter_batched(
+            || {
+                let mut eng = Circulation::new(n + 1, &pairs);
+                eng.set_strategy(DijkstraStrategy::Bucketed);
+                eng
+            },
+            |mut eng| std::hint::black_box(eng.solve(&caps, &costs, false)),
             BatchSize::SmallInput,
         )
     });

@@ -56,13 +56,14 @@ pub struct SkewStats {
     /// whose circulation flow survived a re-solve (weighted). Zero on cold
     /// solves.
     pub reused_work: usize,
-    /// Constraint bounds that actually changed when the context's engine
-    /// was re-targeted at this call's system (the delta the incremental
-    /// relaxation replays). Zero on cold solves.
+    /// Constraint bounds (parametric schedulers) or circulation arc pairs
+    /// (weighted dual) that actually changed when the context's engine was
+    /// re-targeted at this call's system — the delta the incremental
+    /// machinery replays. Zero on cold solves.
     pub delta_arcs: usize,
     /// Distinct variables whose potentials moved across this call's
-    /// relaxations (the affected region). Zero for the weighted dual's
-    /// circulation phase, which tracks reuse in arcs instead.
+    /// relaxations, or — for the weighted dual's circulation — the
+    /// endpoint nodes of the changed arc pairs (the affected region).
     pub affected_vertices: usize,
 }
 
@@ -532,8 +533,13 @@ pub fn weighted_schedule_ctx(
         constraints: sys.constraints().len(),
         solver_iterations: circ_stats.correction_paths + pre_solves,
         reused_work: circ_stats.reused_arcs + pre_reused,
-        delta_arcs: pre_delta,
-        affected_vertices: pre_affected,
+        // Warm-rebind delta of the circulation (arc pairs whose caps or
+        // costs actually changed, and their endpoint nodes) plus the
+        // pre-check engine's replayed bounds — so the reuse columns mean
+        // "work replayed this iteration" here exactly as in the
+        // parametric stages, instead of flapping to the full arc count.
+        delta_arcs: pre_delta + circ_stats.delta_pairs,
+        affected_vertices: pre_affected + circ_stats.touched_nodes,
     };
     (SkewSchedule { targets, slack: m, period: tech.clock_period }, stats)
 }

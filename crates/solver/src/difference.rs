@@ -431,6 +431,14 @@ impl ParametricSystem {
     /// arcs alone. Genuinely cold sweeps on large systems run the parallel
     /// Jacobi kernel.
     fn relax_at(&mut self, m: f64) -> Result<(), Vec<usize>> {
+        // Probe sharing: converged labels with an empty dirty set are a
+        // certificate that *no* arc weight changed since the fixpoint —
+        // repeated probes at the same parameter (or any parameter, when
+        // the weights are parameter-independent) are answered from the
+        // one label pass that established it, zero relaxation work.
+        if self.dirty.is_empty() && self.fixpoint_m.is_some_and(|fm| fm == m || self.tighten_zero) {
+            return Ok(());
+        }
         self.solves += 1;
         self.scratch.copy_from_slice(self.engine.dist());
         let budget = 4 * self.n + self.constraints.len();

@@ -1,13 +1,28 @@
-//! Shared shortest-path / negative-cycle kernel.
+//! Shared relaxation-kernel layer: shortest paths and negative cycles for
+//! every solver in the crate.
 //!
-//! One SPFA (queue-based Bellman–Ford) implementation with amortized
-//! negative-cycle detection replaces the divergent Bellman–Ford loops that
-//! used to live in [`crate::difference`] (feasibility of difference
-//! constraints and the binary-search slack tightening built on it),
-//! [`crate::mcmf`] (potentials initialization, cycle canceling, optimal
-//! potentials), and — through those — the skew scheduler in `rotary-core`.
+//! All label-relaxation machinery lives here, parameterized over the cost
+//! semantics through the [`Cost`] trait — `f64` arc weights with an
+//! epsilon tolerance (the difference-constraint / SPFA setting) and exact
+//! `i64` reduced costs (the quantized min-cost-circulation setting) share
+//! one implementation per strategy:
 //!
-//! The kernel supports two source modes:
+//! * [`SpfaGraph`] — one-shot SPFA (queue-based Bellman–Ford) with
+//!   amortized negative-cycle detection, for cold feasibility solves;
+//! * [`WarmSpfa`] — warm-startable SPFA over a fixed topology with
+//!   sequential, budgeted, seeded, and parallel-Jacobi strategies, generic
+//!   over [`Cost`] (stage 2 runs it on `f64` bounds, the circulation's
+//!   canonical-dual recovery on `i64` residual costs);
+//! * [`Dijkstra`] — multi-source label settling over non-negative
+//!   (reduced) costs with a sequential binary-heap strategy for any
+//!   [`Cost`] and a bucketed monotone (radix) strategy for `i64`, where
+//!   equal-distance batches relax in parallel with a deterministic commit.
+//!
+//! Consumers ([`crate::difference`], [`crate::mcmf`], and — through those —
+//! the skew schedulers in `rotary-core`) pick a strategy; none of them owns
+//! a bespoke relaxation loop.
+//!
+//! The SPFA kernels support two source modes:
 //!
 //! * [`Source::Virtual`] — every node starts at distance 0, as if a
 //!   virtual super-source had a zero-weight arc to each node. This is the
@@ -29,7 +44,50 @@
 
 use crate::par::{par_map_with, ParConfig};
 use crate::sparse::CsrMatrix;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Cost semantics a relaxation kernel is generic over.
+///
+/// Two models ship: `f64` (tolerance-based comparisons, `+∞` marks both a
+/// disabled arc and an unreached label) and `i64` (exact comparisons with
+/// zero epsilon, `i64::MAX` as the sentinel). The relaxation rule is
+/// `tail + weight + eps < head` in both; exact integer kernels pass
+/// `eps = 0`, which degenerates to a strict comparison.
+pub trait Cost: Copy + PartialOrd + std::fmt::Debug + Send + Sync + 'static {
+    /// The additive identity (label of a source node).
+    const ZERO: Self;
+    /// Sentinel for "no label yet" / "arc disabled" (`+∞` / `i64::MAX`).
+    const UNREACHED: Self;
+    /// `self + rhs`; never called with [`Self::UNREACHED`] operands.
+    fn add(self, rhs: Self) -> Self;
+    /// `false` exactly for the sentinel (and, for floats, for any
+    /// non-finite value): such a weight disables its arc, such a label
+    /// means the node was never reached.
+    fn finite(self) -> bool;
+}
+
+impl Cost for f64 {
+    const ZERO: Self = 0.0;
+    const UNREACHED: Self = f64::INFINITY;
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn finite(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Cost for i64 {
+    const ZERO: Self = 0;
+    const UNREACHED: Self = i64::MAX;
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn finite(self) -> bool {
+        self != i64::MAX
+    }
+}
 
 /// Where shortest paths start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,6 +290,243 @@ impl SpfaGraph {
     }
 }
 
+/// Caller verdict after a [`Dijkstra`] node is settled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleControl {
+    /// Keep settling nodes.
+    Continue,
+    /// The settled set suffices: relax this node's arcs (so every
+    /// tentative label is at least the stopping distance — the invariant
+    /// capped potential updates rely on), then stop.
+    Stop,
+}
+
+/// Min-heap key: `(distance, node)` with ties broken toward the smaller
+/// node id, so the settle order is deterministic for every [`Cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapKey<C: Cost>(C, u32);
+
+impl<C: Cost> Eq for HeapKey<C> {}
+
+impl<C: Cost> Ord for HeapKey<C> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl<C: Cost> PartialOrd for HeapKey<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Multi-source Dijkstra over non-negative (reduced) costs, with reusable
+/// scratch. Arcs arrive per call as a closure from a node to an iterator
+/// of `(arc_id, head, weight)` — so residual-capacity filtering and
+/// reduced-cost computation stay with the caller and the hot loop
+/// monomorphizes over the provider.
+///
+/// Two strategies:
+///
+/// * [`Self::run`] — sequential binary heap, any [`Cost`]. Settles nodes
+///   in `(dist, node)` order and calls `settle` once per finalized node;
+///   [`SettleControl::Stop`] ends the pass after that node's arcs relax.
+/// * [`Self::run_bucketed`] — `i64` only: a monotone 65-bucket radix
+///   queue pops *batches* of equal-distance nodes (sorted by node id) and
+///   relaxes large batches through [`par_map_with`] with a sequential
+///   deterministic commit. Settled labels, predecessors-of-settled-nodes,
+///   and any potential update capped at the stopping distance are
+///   identical to the sequential strategy's (equal-distance settle order
+///   may differ, which only permutes work *within* one distance level).
+#[derive(Debug, Clone)]
+pub struct Dijkstra<C: Cost> {
+    dist: Vec<C>,
+    pred: Vec<u32>,
+    heap: BinaryHeap<Reverse<HeapKey<C>>>,
+}
+
+impl<C: Cost> Dijkstra<C> {
+    /// Scratch for an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        Self { dist: vec![C::UNREACHED; n], pred: vec![NO_PRED; n], heap: BinaryHeap::new() }
+    }
+
+    /// Labels of the last pass ([`Cost::UNREACHED`] where no path was
+    /// found before the pass ended).
+    pub fn dist(&self) -> &[C] {
+        &self.dist
+    }
+
+    /// Predecessor arc ids of the last pass ([`NO_PRED`] for sources and
+    /// unreached nodes). Exact shortest-path trees for settled nodes.
+    pub fn pred(&self) -> &[u32] {
+        &self.pred
+    }
+
+    fn reset(&mut self) {
+        self.dist.iter_mut().for_each(|d| *d = C::UNREACHED);
+        self.pred.iter_mut().for_each(|p| *p = NO_PRED);
+        self.heap.clear();
+    }
+
+    /// Sequential heap strategy. `sources` start at [`Cost::ZERO`];
+    /// `arcs(u)` yields `(arc_id, head, weight)` with `weight ≥ 0` (up to
+    /// `eps`); `settle(u, dist_u)` fires once per finalized node.
+    pub fn run<A, I, F>(
+        &mut self,
+        sources: impl IntoIterator<Item = usize>,
+        eps: C,
+        arcs: A,
+        mut settle: F,
+    ) where
+        A: Fn(usize) -> I,
+        I: Iterator<Item = (u32, u32, C)>,
+        F: FnMut(usize, C) -> SettleControl,
+    {
+        self.reset();
+        for s in sources {
+            self.dist[s] = C::ZERO;
+            self.heap.push(Reverse(HeapKey(C::ZERO, s as u32)));
+        }
+        while let Some(Reverse(HeapKey(d, u))) = self.heap.pop() {
+            let u = u as usize;
+            if self.dist[u].add(eps) < d {
+                continue; // stale entry
+            }
+            let verdict = settle(u, d);
+            for (aid, v, w) in arcs(u) {
+                let v = v as usize;
+                let nd = d.add(w);
+                if nd.add(eps) < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.pred[v] = aid;
+                    self.heap.push(Reverse(HeapKey(nd, v as u32)));
+                }
+            }
+            if verdict == SettleControl::Stop {
+                return;
+            }
+        }
+    }
+}
+
+impl Dijkstra<i64> {
+    /// Bucketed monotone strategy (exact integer distances only): batches
+    /// of equal-distance nodes settle together, in ascending node order,
+    /// and batches at least `cfg.min_parallel` wide gather their arc
+    /// relaxations through [`par_map_with`] before a sequential in-order
+    /// commit — so labels, predecessors, and pushes are bit-identical to
+    /// processing the batch sequentially, whatever the thread count.
+    pub fn run_bucketed<A, I, F>(
+        &mut self,
+        sources: impl IntoIterator<Item = usize>,
+        arcs: A,
+        mut settle: F,
+        cfg: &ParConfig,
+    ) where
+        A: Fn(usize) -> I + Sync,
+        I: Iterator<Item = (u32, u32, i64)>,
+        F: FnMut(usize, i64) -> SettleControl,
+    {
+        self.reset();
+        self.heap.clear();
+        // Radix buckets over the u64 key space: bucket 0 holds keys equal
+        // to the last settled distance `last`, bucket `b ≥ 1` keys whose
+        // highest differing bit from `last` is `b − 1`. Distances only
+        // grow, so redistribution on advancing `last` moves every entry to
+        // a strictly lower bucket — the classic monotone radix heap.
+        let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); 65];
+        let mut last = 0u64;
+        let bucket_of =
+            |key: u64, last: u64| -> usize { 64 - (key ^ last).leading_zeros() as usize };
+        for s in sources {
+            self.dist[s] = 0;
+            buckets[0].push((0, s as u32));
+        }
+        let mut batch: Vec<u32> = Vec::new();
+        loop {
+            if buckets[0].is_empty() {
+                let Some(b) = (1..=64).find(|&b| !buckets[b].is_empty()) else {
+                    return; // queue exhausted
+                };
+                last = buckets[b].iter().map(|&(k, _)| k).min().expect("bucket non-empty");
+                let drained = std::mem::take(&mut buckets[b]);
+                for (k, v) in drained {
+                    buckets[bucket_of(k, last)].push((k, v));
+                }
+            }
+            batch.clear();
+            for (k, v) in buckets[0].drain(..) {
+                debug_assert_eq!(k, last);
+                if self.dist[v as usize] as u64 == k {
+                    batch.push(v); // drop stale entries
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            batch.sort_unstable();
+            batch.dedup();
+            // Settle in node order; Stop truncates the batch so exactly
+            // the settled prefix relaxes its arcs (matching the
+            // sequential strategy's "relax the stopping node, then halt").
+            let mut stop = false;
+            let mut settled = batch.len();
+            for (idx, &v) in batch.iter().enumerate() {
+                if settle(v as usize, last as i64) == SettleControl::Stop {
+                    stop = true;
+                    settled = idx + 1;
+                    break;
+                }
+            }
+            let work = &batch[..settled];
+            let d = last as i64;
+            if work.len() >= cfg.min_parallel {
+                // Gather against the pre-batch labels in parallel, then
+                // commit sequentially in batch order: a candidate beaten
+                // by an earlier batch member fails its strict re-check,
+                // so the final labels/preds equal sequential processing.
+                let dist = &self.dist;
+                let proposals: Vec<Vec<(u32, i64, u32)>> = par_map_with(cfg, work.len(), |idx| {
+                    let u = work[idx] as usize;
+                    arcs(u)
+                        .filter(|&(_, v, w)| d + w < dist[v as usize])
+                        .map(|(aid, v, w)| (v, d + w, aid))
+                        .collect()
+                });
+                for plist in proposals {
+                    for (v, nd, aid) in plist {
+                        let v = v as usize;
+                        if nd < self.dist[v] {
+                            self.dist[v] = nd;
+                            self.pred[v] = aid;
+                            buckets[bucket_of(nd as u64, last)].push((nd as u64, v as u32));
+                        }
+                    }
+                }
+            } else {
+                for &u in work {
+                    for (aid, v, w) in arcs(u as usize) {
+                        let v = v as usize;
+                        let nd = d + w;
+                        if nd < self.dist[v] {
+                            self.dist[v] = nd;
+                            self.pred[v] = aid;
+                            buckets[bucket_of(nd as u64, last)].push((nd as u64, v as u32));
+                        }
+                    }
+                }
+            }
+            if stop {
+                return;
+            }
+        }
+    }
+}
+
 /// Outcome of one [`WarmSpfa::relax`] round.
 #[derive(Debug, Clone)]
 pub enum RelaxOutcome {
@@ -278,7 +573,7 @@ pub enum RelaxOutcome {
 ///   relaxation (each round gathers over every node's *in*-arcs via
 ///   [`par_map_with`]) for genuinely cold solves on large graphs.
 #[derive(Debug, Clone)]
-pub struct WarmSpfa {
+pub struct WarmSpfa<C: Cost = f64> {
     n: usize,
     tails: Vec<u32>,
     heads: Vec<u32>,
@@ -287,7 +582,7 @@ pub struct WarmSpfa {
     /// Transposed adjacency (rows = heads) for the Jacobi gather; built
     /// lazily on the first [`Self::relax_parallel`] call.
     in_adj: Option<Box<(CsrMatrix, Vec<u32>)>>,
-    dist: Vec<f64>,
+    dist: Vec<C>,
     pred: Vec<u32>,
     path_len: Vec<u32>,
     in_queue: Vec<bool>,
@@ -298,9 +593,11 @@ pub struct WarmSpfa {
     last_affected: usize,
 }
 
-const NO_PRED: u32 = u32::MAX;
+/// Sentinel predecessor-arc id for "no predecessor" (sources, unreached
+/// nodes) in every kernel's tree output.
+pub const NO_PRED: u32 = u32::MAX;
 
-impl WarmSpfa {
+impl<C: Cost> WarmSpfa<C> {
     /// Builds the engine over `n` nodes and the given `(tail, head)` arcs.
     /// Arc ids are positions in `arcs`.
     ///
@@ -323,7 +620,7 @@ impl WarmSpfa {
             adj,
             entry_arc,
             in_adj: None,
-            dist: vec![0.0; n],
+            dist: vec![C::ZERO; n],
             pred: vec![NO_PRED; n],
             path_len: vec![0; n],
             in_queue: vec![false; n],
@@ -349,7 +646,7 @@ impl WarmSpfa {
     }
 
     /// The current distance labels.
-    pub fn dist(&self) -> &[f64] {
+    pub fn dist(&self) -> &[C] {
         &self.dist
     }
 
@@ -359,7 +656,7 @@ impl WarmSpfa {
     /// # Panics
     ///
     /// Panics if `labels.len() != n`.
-    pub fn load_dist(&mut self, labels: &[f64]) {
+    pub fn load_dist(&mut self, labels: &[C]) {
         assert_eq!(labels.len(), self.n, "label vector length mismatch");
         self.dist.copy_from_slice(labels);
     }
@@ -368,7 +665,7 @@ impl WarmSpfa {
     /// converged labels are the canonical (componentwise-maximal ≤ 0)
     /// difference-constraint solution.
     pub fn reset_zero(&mut self) {
-        self.dist.iter_mut().for_each(|d| *d = 0.0);
+        self.dist.iter_mut().for_each(|d| *d = C::ZERO);
     }
 
     /// How many distinct nodes changed their label during the most recent
@@ -400,11 +697,11 @@ impl WarmSpfa {
     }
 
     /// Runs one relaxation round under `weight` (indexed by arc id;
-    /// `f64::INFINITY` disables an arc). Only arcs violated by the current
-    /// labels seed the queue. On [`RelaxOutcome::NegativeCycle`] the labels
-    /// hold a partial relaxation snapshot — callers that need the
-    /// pre-round labels back must save them first.
-    pub fn relax(&mut self, weight: impl Fn(usize) -> f64, eps: f64) -> RelaxOutcome {
+    /// [`Cost::UNREACHED`] disables an arc). Only arcs violated by the
+    /// current labels seed the queue. On [`RelaxOutcome::NegativeCycle`]
+    /// the labels hold a partial relaxation snapshot — callers that need
+    /// the pre-round labels back must save them first.
+    pub fn relax(&mut self, weight: impl Fn(usize) -> C, eps: C) -> RelaxOutcome {
         self.relax_budgeted(weight, eps, usize::MAX).expect("unlimited budget cannot run out")
     }
 
@@ -420,8 +717,8 @@ impl WarmSpfa {
     /// labels hold a partial snapshot, exactly as on a cycle.
     pub fn relax_budgeted(
         &mut self,
-        weight: impl Fn(usize) -> f64,
-        eps: f64,
+        weight: impl Fn(usize) -> C,
+        eps: C,
         max_pops: usize,
     ) -> Option<RelaxOutcome> {
         self.relax_inner(weight, eps, max_pops, None)
@@ -439,8 +736,8 @@ impl WarmSpfa {
     /// labels dropping during propagation are found by the queue as usual).
     pub fn relax_seeded(
         &mut self,
-        weight: impl Fn(usize) -> f64,
-        eps: f64,
+        weight: impl Fn(usize) -> C,
+        eps: C,
         max_pops: usize,
         seed_arcs: &[u32],
     ) -> Option<RelaxOutcome> {
@@ -449,8 +746,8 @@ impl WarmSpfa {
 
     fn relax_inner(
         &mut self,
-        weight: impl Fn(usize) -> f64,
-        eps: f64,
+        weight: impl Fn(usize) -> C,
+        eps: C,
         max_pops: usize,
         seed_arcs: Option<&[u32]>,
     ) -> Option<RelaxOutcome> {
@@ -459,11 +756,11 @@ impl WarmSpfa {
         let mut queue: VecDeque<u32> = VecDeque::new();
         let seed = |this: &mut Self, queue: &mut VecDeque<u32>, id: usize| {
             let w = weight(id);
-            if !w.is_finite() {
+            if !w.finite() {
                 return;
             }
             let (f, t) = (this.tails[id] as usize, this.heads[id] as usize);
-            if this.dist[f] + w + eps < this.dist[t] && !this.in_queue[f] {
+            if this.dist[f].add(w).add(eps) < this.dist[t] && !this.in_queue[f] {
                 this.in_queue[f] = true;
                 queue.push_back(f as u32);
             }
@@ -490,7 +787,7 @@ impl WarmSpfa {
             let u = u as usize;
             self.in_queue[u] = false;
             let du = self.dist[u];
-            if du.is_infinite() {
+            if !du.finite() {
                 continue;
             }
             let range = self.adj.row_range(u);
@@ -498,12 +795,12 @@ impl WarmSpfa {
             for (k, &v) in heads.iter().enumerate() {
                 let id = self.entry_arc[range.start + k] as usize;
                 let w = weight(id);
-                if !w.is_finite() {
+                if !w.finite() {
                     continue;
                 }
                 let v = v as usize;
-                let cand = du + w;
-                if cand + eps < self.dist[v] {
+                let cand = du.add(w);
+                if cand.add(eps) < self.dist[v] {
                     self.dist[v] = cand;
                     if self.stamp[v] != self.round {
                         self.stamp[v] = self.round;
@@ -541,11 +838,7 @@ impl WarmSpfa {
     /// O(n) walk-coloring pass over the pred graph; if no fixpoint is
     /// reached within `n` rounds the call falls back to the sequential
     /// queue relaxation from the current labels, which owns the verdict.
-    pub fn relax_parallel(
-        &mut self,
-        weight: impl Fn(usize) -> f64 + Sync,
-        eps: f64,
-    ) -> RelaxOutcome {
+    pub fn relax_parallel(&mut self, weight: impl Fn(usize) -> C + Sync, eps: C) -> RelaxOutcome {
         let n = self.n;
         self.begin_round();
         if self.in_adj.is_none() {
@@ -565,7 +858,7 @@ impl WarmSpfa {
                 (&b.0, &b.1[..])
             };
             let dist = &self.dist;
-            let updates: Vec<(f64, u32)> = par_map_with(&cfg, n, |v| {
+            let updates: Vec<(C, u32)> = par_map_with(&cfg, n, |v| {
                 let mut best = dist[v];
                 let mut best_arc = NO_PRED;
                 let range = in_adj.row_range(v);
@@ -573,11 +866,11 @@ impl WarmSpfa {
                 for (k, &u) in tails.iter().enumerate() {
                     let id = in_entry[range.start + k] as usize;
                     let w = weight(id);
-                    if !w.is_finite() {
+                    if !w.finite() {
                         continue;
                     }
-                    let cand = dist[u as usize] + w;
-                    if cand + eps < best {
+                    let cand = dist[u as usize].add(w);
+                    if cand.add(eps) < best {
                         best = cand;
                         best_arc = id as u32;
                     }

@@ -13,11 +13,12 @@
 //!   exists. Kept as the reference implementation.
 //! * [`Circulation`] — the incremental engine the flow actually runs:
 //!   fixed topology built once into flat CSR adjacency (mirroring
-//!   [`crate::graph::WarmSpfa`]), exact *integer* arc costs, bulk
-//!   augmentation (every multi-source Dijkstra serves all reachable
-//!   deficits along its shortest-path tree, not one path per round), and
-//!   warm re-solves that keep the previous flow and potentials when only
-//!   caps/costs change.
+//!   [`crate::graph::WarmSpfa`]), exact *integer* arc costs, primal-dual
+//!   rounds (each multi-source Dijkstra serves its settled deficits along
+//!   the shortest-path trees, then reroutes any saturation shortfall with
+//!   a root-guided blocking flow over the admissible subgraph — not one
+//!   path per round), and warm re-solves that keep the previous flow and
+//!   potentials when only caps/costs change.
 //!
 //! [`FlowNetwork`] costs are `f64` with a small comparison tolerance;
 //! [`Circulation`] costs are `i64` (callers quantize once) so optimality
@@ -25,15 +26,18 @@
 //! (`i64`) everywhere, so augmentations preserve integrality and the
 //! assignment solutions are automatically 0/1.
 //!
-//! All Bellman–Ford-style work (potential initialization, negative-cycle
-//! search, optimal potentials) runs on the shared SPFA kernel in
-//! [`crate::graph`]; only the Dijkstra inner loops of the successive
-//! shortest-path methods live here.
+//! No relaxation loop lives in this module: all Bellman–Ford-style work
+//! (potential initialization, negative-cycle search, optimal and canonical
+//! potentials) runs on the shared SPFA kernel in [`crate::graph`], and the
+//! Dijkstra passes of the successive-shortest-path methods run on the
+//! generic [`crate::graph::Dijkstra`] kernel — [`FlowNetwork`] with `f64`
+//! reduced costs on the sequential-heap strategy, [`Circulation`] with
+//! exact `i64` reduced costs on either the sequential or the
+//! parallel-bucketed strategy (see [`DijkstraStrategy`]).
 
-use crate::graph::{Source, SpfaGraph};
+use crate::graph::{Dijkstra, RelaxOutcome, SettleControl, Source, SpfaGraph, WarmSpfa, NO_PRED};
+use crate::par::ParConfig;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
 
 /// Node handle in a [`FlowNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -146,42 +150,37 @@ impl FlowNetwork {
         let mut potential = self.bellman_ford_potentials(s.0 as usize)?;
         let mut total_flow = 0i64;
         let mut total_cost = 0.0f64;
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev: Vec<Option<u32>> = vec![None; n];
+        let mut dij = Dijkstra::<f64>::new(n);
 
         while total_flow < target {
-            // Dijkstra on reduced costs.
-            dist.iter_mut().for_each(|d| *d = f64::INFINITY);
-            prev.iter_mut().for_each(|p| *p = None);
-            dist[s.0 as usize] = 0.0;
-            let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-            heap.push(HeapItem { dist: 0.0, node: s.0 });
-            while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
-                if d > dist[u as usize] + EPS {
-                    continue;
-                }
-                for &ai in &self.adj[u as usize] {
-                    let arc = &self.arcs[ai as usize];
-                    if arc.cap <= 0 {
-                        continue;
-                    }
-                    let v = arc.to as usize;
-                    if potential[v].is_infinite() || potential[u as usize].is_infinite() {
-                        continue;
-                    }
-                    let rc = arc.cost + potential[u as usize] - potential[v];
-                    let nd = d + rc.max(0.0); // clamp tiny negatives from fp noise
-                    if nd + EPS < dist[v] {
-                        dist[v] = nd;
-                        prev[v] = Some(ai);
-                        heap.push(HeapItem { dist: nd, node: v as u32 });
-                    }
-                }
+            // Dijkstra on reduced costs (sequential-heap strategy).
+            {
+                let (arcs, adj, pot) = (&self.arcs, &self.adj, &potential);
+                dij.run(
+                    std::iter::once(s.0 as usize),
+                    EPS,
+                    |u| {
+                        adj[u].iter().filter_map(move |&ai| {
+                            let arc = &arcs[ai as usize];
+                            if arc.cap <= 0 {
+                                return None;
+                            }
+                            let v = arc.to as usize;
+                            if pot[v].is_infinite() || pot[u].is_infinite() {
+                                return None;
+                            }
+                            let rc = arc.cost + pot[u] - pot[v];
+                            // clamp tiny negatives from fp noise
+                            Some((ai, arc.to, rc.max(0.0)))
+                        })
+                    },
+                    |_, _| SettleControl::Continue,
+                );
             }
-            if dist[t.0 as usize].is_infinite() {
+            if dij.dist()[t.0 as usize].is_infinite() {
                 break;
             }
-            for (v, d) in dist.iter().enumerate() {
+            for (v, d) in dij.dist().iter().enumerate() {
                 if d.is_finite() && potential[v].is_finite() {
                     potential[v] += d;
                 }
@@ -189,17 +188,19 @@ impl FlowNetwork {
             // Bottleneck along the path.
             let mut push = target - total_flow;
             let mut v = t.0 as usize;
-            while let Some(ai) = prev[v] {
-                push = push.min(self.arcs[ai as usize].cap);
-                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            while dij.pred()[v] != NO_PRED {
+                let ai = dij.pred()[v] as usize;
+                push = push.min(self.arcs[ai].cap);
+                v = self.arcs[ai ^ 1].to as usize;
             }
             // Apply.
             let mut v = t.0 as usize;
-            while let Some(ai) = prev[v] {
-                self.arcs[ai as usize].cap -= push;
-                self.arcs[(ai ^ 1) as usize].cap += push;
-                total_cost += push as f64 * self.arcs[ai as usize].cost;
-                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            while dij.pred()[v] != NO_PRED {
+                let ai = dij.pred()[v] as usize;
+                self.arcs[ai].cap -= push;
+                self.arcs[ai ^ 1].cap += push;
+                total_cost += push as f64 * self.arcs[ai].cost;
+                v = self.arcs[ai ^ 1].to as usize;
             }
             total_flow += push;
             self.augmentations += 1;
@@ -273,42 +274,35 @@ impl FlowNetwork {
         }
         // Phase 2: all residual arcs now cost ≥ 0, so zero potentials are
         // valid and each round is a multi-source Dijkstra from the excess
-        // nodes to the nearest deficit on reduced costs.
+        // nodes to the nearest deficit on reduced costs
+        // (sequential-heap strategy of the shared kernel).
         let mut potential = vec![0.0f64; n];
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev: Vec<Option<u32>> = vec![None; n];
+        let mut dij = Dijkstra::<f64>::new(n);
         while excess.iter().any(|&e| e > 0) {
-            dist.iter_mut().for_each(|d| *d = f64::INFINITY);
-            prev.iter_mut().for_each(|p| *p = None);
-            let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-            for (v, &e) in excess.iter().enumerate() {
-                if e > 0 {
-                    dist[v] = 0.0;
-                    heap.push(HeapItem { dist: 0.0, node: v as u32 });
-                }
+            {
+                let (arcs, adj, pot) = (&self.arcs, &self.adj, &potential);
+                dij.run(
+                    excess.iter().enumerate().filter_map(|(v, &e)| (e > 0).then_some(v)),
+                    EPS,
+                    |u| {
+                        adj[u].iter().filter_map(move |&ai| {
+                            let arc = &arcs[ai as usize];
+                            if arc.cap <= 0 {
+                                return None;
+                            }
+                            let v = arc.to as usize;
+                            let rc = arc.cost + pot[u] - pot[v];
+                            // clamp tiny negatives from fp noise
+                            Some((ai, arc.to, rc.max(0.0)))
+                        })
+                    },
+                    |_, _| SettleControl::Continue,
+                );
             }
-            while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
-                if d > dist[u as usize] + EPS {
-                    continue;
-                }
-                for &ai in &self.adj[u as usize] {
-                    let arc = &self.arcs[ai as usize];
-                    if arc.cap <= 0 {
-                        continue;
-                    }
-                    let v = arc.to as usize;
-                    let rc = arc.cost + potential[u as usize] - potential[v];
-                    let nd = d + rc.max(0.0); // clamp tiny negatives from fp noise
-                    if nd + EPS < dist[v] {
-                        dist[v] = nd;
-                        prev[v] = Some(ai);
-                        heap.push(HeapItem { dist: nd, node: v as u32 });
-                    }
-                }
-            }
-            let Some(t) = (0..n)
-                .filter(|&v| excess[v] < 0 && dist[v].is_finite())
-                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap().then(a.cmp(&b)))
+            let Some(t) =
+                (0..n).filter(|&v| excess[v] < 0 && dij.dist()[v].is_finite()).min_by(|&a, &b| {
+                    dij.dist()[a].partial_cmp(&dij.dist()[b]).unwrap().then(a.cmp(&b))
+                })
             else {
                 // Unreachable for well-formed inputs: the twin of every
                 // phase-1 arc offers a route back to its tail.
@@ -317,25 +311,27 @@ impl FlowNetwork {
             // Cap the potential update at the augmenting distance so
             // nodes beyond (or unreached by) this round keep a valid
             // reduced-cost invariant.
-            let dt = dist[t];
-            for (v, &d) in dist.iter().enumerate() {
+            let dt = dij.dist()[t];
+            for (v, &d) in dij.dist().iter().enumerate() {
                 potential[v] += d.min(dt);
             }
             // Bottleneck along the path, bounded by both imbalances.
             let mut push = -excess[t];
             let mut v = t;
-            while let Some(ai) = prev[v] {
-                push = push.min(self.arcs[ai as usize].cap);
-                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            while dij.pred()[v] != NO_PRED {
+                let ai = dij.pred()[v] as usize;
+                push = push.min(self.arcs[ai].cap);
+                v = self.arcs[ai ^ 1].to as usize;
             }
             let src = v;
             push = push.min(excess[src]);
             let mut v = t;
-            while let Some(ai) = prev[v] {
-                self.arcs[ai as usize].cap -= push;
-                self.arcs[(ai ^ 1) as usize].cap += push;
-                total += push as f64 * self.arcs[ai as usize].cost;
-                v = self.arcs[(ai ^ 1) as usize].to as usize;
+            while dij.pred()[v] != NO_PRED {
+                let ai = dij.pred()[v] as usize;
+                self.arcs[ai].cap -= push;
+                self.arcs[ai ^ 1].cap += push;
+                total += push as f64 * self.arcs[ai].cost;
+                v = self.arcs[ai ^ 1].to as usize;
             }
             excess[src] -= push;
             excess[t] += push;
@@ -371,9 +367,34 @@ pub struct CirculationStats {
     /// Arc pairs whose carried flow survived the cap update untouched —
     /// work a cold solve would redo from scratch. Zero on cold solves.
     pub reused_arcs: usize,
+    /// Arc pairs whose cap or cost actually changed relative to the warm
+    /// engine state (the warm-rebind delta: only these pairs are
+    /// re-checked for saturation). Zero on cold solves.
+    pub delta_pairs: usize,
+    /// Distinct endpoint nodes of the changed pairs. Zero on cold solves.
+    pub touched_nodes: usize,
 }
 
 const NO_ARC: u32 = u32::MAX;
+
+/// Which shared-kernel Dijkstra strategy [`Circulation::solve`] uses for
+/// its phase-2 label passes. Both strategies produce bit-identical
+/// potentials, flows, and canonical distances — the choice is purely a
+/// performance knob (see [`crate::graph::Dijkstra::run_bucketed`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DijkstraStrategy {
+    /// Bucketed when the machine offers more than one worker thread (per
+    /// [`crate::par::default_max_threads`]) *and* the instance has at
+    /// least [`Circulation::AUTO_BUCKETED_MIN_PAIRS`] pairs; sequential
+    /// otherwise — the batch machinery only pays for itself when batches
+    /// actually fan out.
+    #[default]
+    Auto,
+    /// Sequential binary heap.
+    Sequential,
+    /// Parallel bucket-based radix queue.
+    Bucketed,
+}
 
 /// Incremental min-cost circulation over a fixed arc topology.
 ///
@@ -385,22 +406,39 @@ const NO_ARC: u32 = u32::MAX;
 /// `Vec<Vec<u32>>` pointer chasing, no per-solve graph rebuild.
 ///
 /// The algorithm is saturate-and-correct, like
-/// [`FlowNetwork::min_cost_circulation`], with two upgrades:
+/// [`FlowNetwork::min_cost_circulation`], with three upgrades:
 ///
-/// * **Bulk augmentation** — each multi-source Dijkstra (from all excess
-///   nodes, on reduced costs) serves *every* deficit it finalizes, walking
-///   the shortest-path tree once per deficit in `(dist, node)` order,
-///   instead of routing a single path and rerunning. The potential update
-///   `π_v += min(dist_v, d_max)` (where `d_max` is the largest served
-///   deficit distance) keeps every residual reduced cost non-negative, so
-///   all tree paths to served deficits are reduced-cost-zero and may be
-///   augmented in any order within the round.
+/// * **Primal-dual blocking-flow rounds** — each round runs one
+///   multi-source Dijkstra (from all excess nodes, on reduced costs, via
+///   the shared [`Dijkstra`] kernel — sequential or parallel-bucketed per
+///   [`DijkstraStrategy`]) that stops as soon as the settled deficits can
+///   absorb the outstanding excess, applies the capped potential update
+///   `π_v += min(dist_v, d_max)` (where `d_max` is the stopping distance;
+///   it keeps every residual reduced cost non-negative), and then serves
+///   the settled deficits along their shortest-path trees at O(path) per
+///   push. Only when tree pushes collide on shared saturated arcs does a
+///   *blocking flow* run over the admissible (reduced-cost-zero)
+///   subgraph — a current-arc DFS from the shortest-path-tree roots that
+///   reroutes the shortfall through the detours only a plateau-rich
+///   residual has. One label pass therefore serves as many augmentations
+///   as the admissible graph supports: on warm re-wrap solves (carried
+///   potentials leave wide reduced-cost-zero regions) this collapses
+///   rounds by an order of magnitude, while on near-unique distances the
+///   admissible graph is a path, rounds stay ≈ one per augmentation, and
+///   the serve never pays the graph-scan DFS at all.
 /// * **Warm starts** — flow and potentials persist across solves. A
 ///   re-solve clamps the carried flow to the new caps (shedding surplus as
 ///   excess/deficit pairs), re-saturates the arcs whose reduced cost went
 ///   negative under the new costs, and routes only the resulting small
 ///   imbalances. When few arcs changed, that is a handful of short
 ///   corrections instead of thousands of full-graph rounds.
+/// * **Per-pair early termination** — a warm re-solve diffs the incoming
+///   caps/costs against the engine state and re-checks saturation only
+///   for the pairs that actually changed: an unchanged pair under
+///   unchanged potentials kept its non-negative reduced cost from the
+///   previous optimality certificate, so it drops out of the rebind scan
+///   entirely. The delta is reported as [`CirculationStats::delta_pairs`]
+///   / [`CirculationStats::touched_nodes`].
 ///
 /// Costs are exact `i64` (callers quantize `f64` costs once, at a fixed
 /// power-of-two scale): every comparison is exact, so a terminating solve
@@ -445,6 +483,27 @@ pub struct Circulation {
     /// solves.
     excess: Vec<i64>,
     stats: CirculationStats,
+    /// Shared-kernel Dijkstra scratch for the phase-2 label passes.
+    dij: Dijkstra<i64>,
+    /// Shared-kernel SPFA over the residual slots for
+    /// [`Self::canonical_distances`] (arc id = slot id; disabled slots
+    /// return [`i64::MAX`]).
+    canon: WarmSpfa<i64>,
+    strategy: DijkstraStrategy,
+    /// Pair indices whose caps/costs changed in the current warm rebind.
+    changed: Vec<u32>,
+    /// Stamp per node marking it touched by the current rebind delta.
+    node_stamp: Vec<u32>,
+    stamp_round: u32,
+    /// Blocking-flow scratch: current-arc cursor, on-DFS-path and
+    /// exhausted-node marks, and the DFS path as a stack of arc slots.
+    cur: Vec<u32>,
+    on_path: Vec<bool>,
+    dead: Vec<bool>,
+    path: Vec<u32>,
+    /// Dedup mark while collecting the tree roots of a round's served
+    /// deficits (cleared after each round).
+    root_seen: Vec<bool>,
 }
 
 impl Circulation {
@@ -477,6 +536,8 @@ impl Circulation {
             csr_arcs[cursor[u] as usize] = a as u32;
             cursor[u] += 1;
         }
+        let slot_arcs: Vec<(usize, usize)> =
+            (0..heads.len()).map(|a| (heads[a ^ 1] as usize, heads[a] as usize)).collect();
         Self {
             n,
             heads,
@@ -487,7 +548,28 @@ impl Circulation {
             potential: vec![0; n],
             excess: vec![0; n],
             stats: CirculationStats::default(),
+            dij: Dijkstra::new(n),
+            canon: WarmSpfa::new(n, &slot_arcs),
+            strategy: DijkstraStrategy::default(),
+            changed: Vec::new(),
+            node_stamp: vec![u32::MAX; n],
+            stamp_round: 0,
+            cur: vec![0; n],
+            on_path: vec![false; n],
+            dead: vec![false; n],
+            path: Vec::new(),
+            root_seen: vec![false; n],
         }
+    }
+
+    /// Pair count at and above which [`DijkstraStrategy::Auto`] picks the
+    /// bucketed strategy (given more than one worker thread).
+    pub const AUTO_BUCKETED_MIN_PAIRS: usize = 4096;
+
+    /// Overrides the phase-2 Dijkstra strategy (defaults to
+    /// [`DijkstraStrategy::Auto`]). Results are bit-identical either way.
+    pub fn set_strategy(&mut self, strategy: DijkstraStrategy) {
+        self.strategy = strategy;
     }
 
     /// Number of nodes.
@@ -549,11 +631,35 @@ impl Circulation {
         if !warm {
             self.potential.iter_mut().for_each(|p| *p = 0);
         }
+        self.stamp_round = self.stamp_round.wrapping_add(1);
+        if self.stamp_round == 0 {
+            self.node_stamp.iter_mut().for_each(|s| *s = u32::MAX);
+            self.stamp_round = 1;
+        }
+        self.changed.clear();
         // Install the new caps/costs, clamping carried flow to the new
         // capacity; shed flow becomes an excess/deficit pair routed below.
+        // Warm solves diff each pair against the engine state first: a
+        // pair with the same total capacity and forward cost is binary-
+        // identical to its previous residual state.
         for (k, (&cap_k, &cost_k)) in caps.iter().zip(costs).enumerate() {
             assert!(cap_k >= 0, "negative capacity");
             let (fwd, twin) = (2 * k, 2 * k + 1);
+            if warm {
+                if self.cap[fwd] + self.cap[twin] == cap_k && self.cost[fwd] == cost_k {
+                    if self.cap[twin] > 0 {
+                        self.stats.reused_arcs += 1;
+                    }
+                    continue;
+                }
+                self.changed.push(k as u32);
+                for node in [self.heads[fwd] as usize, self.heads[twin] as usize] {
+                    if self.node_stamp[node] != self.stamp_round {
+                        self.node_stamp[node] = self.stamp_round;
+                        self.stats.touched_nodes += 1;
+                    }
+                }
+            }
             let carried = if warm { self.cap[twin] } else { 0 };
             let kept = carried.min(cap_k);
             if kept < carried {
@@ -568,91 +674,115 @@ impl Circulation {
             self.cost[fwd] = cost_k;
             self.cost[twin] = -cost_k;
         }
+        self.stats.delta_pairs = self.changed.len();
         // Phase 1: force flow onto every residual arc whose reduced cost
         // under the starting potentials is negative. Cold (π = 0, no
         // carried flow) this is exactly the classic saturation of
-        // negative-cost arcs; warm it touches only the arcs whose cost
-        // moved enough to flip sign.
-        for a in 0..self.heads.len() {
-            if self.cap[a] <= 0 {
-                continue;
+        // negative-cost arcs. Warm, only the changed pairs need the check:
+        // an unchanged pair's residual slots are byte-identical to the
+        // previous solve's, whose optimality certificate already proved
+        // them non-negative under the carried potentials.
+        if warm {
+            let changed = std::mem::take(&mut self.changed);
+            for &k in &changed {
+                self.saturate_slot(2 * k as usize);
+                self.saturate_slot(2 * k as usize + 1);
             }
-            let u = self.heads[a ^ 1] as usize;
-            let v = self.heads[a] as usize;
-            if self.cost[a] + self.potential[u] - self.potential[v] < 0 {
-                let push = self.cap[a];
-                self.cap[a] = 0;
-                self.cap[a ^ 1] += push;
-                self.excess[v] += push;
-                self.excess[u] -= push;
-                self.stats.saturated_arcs += 1;
+            self.changed = changed;
+        } else {
+            for a in 0..self.heads.len() {
+                self.saturate_slot(a);
             }
         }
         self.route_excess();
         self.stats
     }
 
+    /// Saturates residual slot `a` if its reduced cost under the current
+    /// potentials is negative (phase-1 step).
+    fn saturate_slot(&mut self, a: usize) {
+        if self.cap[a] <= 0 {
+            return;
+        }
+        let u = self.heads[a ^ 1] as usize;
+        let v = self.heads[a] as usize;
+        if self.cost[a] + self.potential[u] - self.potential[v] < 0 {
+            let push = self.cap[a];
+            self.cap[a] = 0;
+            self.cap[a ^ 1] += push;
+            self.excess[v] += push;
+            self.excess[u] -= push;
+            self.stats.saturated_arcs += 1;
+        }
+    }
+
     /// Phase 2: route all node imbalances back at minimum cost. Every
     /// residual arc has non-negative reduced cost on entry (phase 1
     /// guarantees it), so each round is one multi-source Dijkstra from the
-    /// excess nodes, followed by bulk augmentation along its shortest-path
-    /// tree to every finalized deficit.
+    /// excess nodes — on the shared kernel, stopping as soon as the settled
+    /// deficits can absorb the outstanding excess — followed by the capped
+    /// potential update and a blocking flow over the admissible
+    /// (reduced-cost-zero) residual subgraph.
     fn route_excess(&mut self) {
-        let n = self.n;
         let mut total: i64 = self.excess.iter().filter(|&&e| e > 0).sum();
-        let mut dist = vec![i64::MAX; n];
-        let mut prev = vec![NO_ARC; n];
-        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+        let bucketed = match self.strategy {
+            DijkstraStrategy::Sequential => false,
+            DijkstraStrategy::Bucketed => true,
+            DijkstraStrategy::Auto => {
+                crate::par::default_max_threads() > 1
+                    && self.num_pairs() >= Self::AUTO_BUCKETED_MIN_PAIRS
+            }
+        };
+        let cfg = ParConfig::default();
         let mut served: Vec<u32> = Vec::new();
+        let mut roots: Vec<u32> = Vec::new();
         while total > 0 {
             self.stats.rounds += 1;
-            dist.iter_mut().for_each(|d| *d = i64::MAX);
-            prev.iter_mut().for_each(|p| *p = NO_ARC);
-            heap.clear();
-            served.clear();
-            for (v, &e) in self.excess.iter().enumerate() {
-                if e > 0 {
-                    dist[v] = 0;
-                    heap.push(Reverse((0, v as u32)));
-                }
-            }
-            // d_max = largest served deficit distance; caps the potential
-            // update so nodes beyond (or unreached by) this round keep the
-            // reduced-cost invariant.
+            // d_max = the stopping distance (largest settled deficit
+            // distance); caps the potential update so nodes beyond (or
+            // unreached by) this round keep the reduced-cost invariant.
+            // Every unsettled node's tentative label is ≥ d_max when the
+            // pass stops, so `min(dist, d_max)` clamps all of them to
+            // d_max — which also makes the update independent of the
+            // strategy's settle order within the stopping level.
             let mut d_max = 0i64;
             let mut served_cap = 0i64;
-            while let Some(Reverse((d, u))) = heap.pop() {
-                let u = u as usize;
-                if d > dist[u] {
-                    continue;
-                }
-                if self.excess[u] < 0 {
-                    served.push(u as u32);
-                    served_cap += -self.excess[u];
-                    d_max = d;
-                }
-                let row = self.csr_start[u] as usize..self.csr_start[u + 1] as usize;
-                for &a in &self.csr_arcs[row] {
-                    let a = a as usize;
-                    if self.cap[a] <= 0 {
-                        continue;
+            served.clear();
+            {
+                let dij = &mut self.dij;
+                let (heads, cap, cost) = (&self.heads, &self.cap, &self.cost);
+                let (csr_start, csr_arcs) = (&self.csr_start, &self.csr_arcs);
+                let (potential, excess) = (&self.potential, &self.excess);
+                let sources = excess.iter().enumerate().filter_map(|(v, &e)| (e > 0).then_some(v));
+                let arcs = |u: usize| {
+                    let row = csr_start[u] as usize..csr_start[u + 1] as usize;
+                    csr_arcs[row].iter().filter_map(move |&a| {
+                        let ai = a as usize;
+                        if cap[ai] <= 0 {
+                            return None;
+                        }
+                        let v = heads[ai] as usize;
+                        let rc = cost[ai] + potential[u] - potential[v];
+                        debug_assert!(rc >= 0, "negative reduced cost inside Dijkstra");
+                        Some((a, heads[ai], rc))
+                    })
+                };
+                let served = &mut served;
+                let settle = |u: usize, d: i64| {
+                    if excess[u] < 0 {
+                        served.push(u as u32);
+                        served_cap += -excess[u];
+                        d_max = d;
+                        if served_cap >= total {
+                            return SettleControl::Stop;
+                        }
                     }
-                    let v = self.heads[a] as usize;
-                    let rc = self.cost[a] + self.potential[u] - self.potential[v];
-                    debug_assert!(rc >= 0, "negative reduced cost inside Dijkstra");
-                    let nd = d + rc;
-                    if nd < dist[v] {
-                        dist[v] = nd;
-                        prev[v] = a as u32;
-                        heap.push(Reverse((nd, v as u32)));
-                    }
-                }
-                // Stop once the finalized deficits can absorb everything —
-                // after relaxing u's arcs, so tentative labels of every
-                // unfinalized node are ≥ d ≥ d_max and the capped potential
-                // update below stays valid.
-                if served_cap >= total {
-                    break;
+                    SettleControl::Continue
+                };
+                if bucketed {
+                    dij.run_bucketed(sources, arcs, settle, &cfg);
+                } else {
+                    dij.run(sources, 0, arcs, settle);
                 }
             }
             if served.is_empty() {
@@ -662,45 +792,204 @@ impl Circulation {
                 self.excess.iter_mut().for_each(|e| *e = 0);
                 return;
             }
-            for (v, &d) in dist.iter().enumerate() {
-                self.potential[v] += d.min(d_max);
+            for (p, &d) in self.potential.iter_mut().zip(self.dij.dist()) {
+                *p += d.min(d_max);
             }
-            // Serve the finalized deficits in (dist, node) order. Earlier
-            // pushes may saturate shared tree arcs or drain a root; those
-            // deficits simply wait for the next round.
-            for &t in &served {
-                let t = t as usize;
-                let mut push = -self.excess[t];
-                if push <= 0 {
-                    continue;
+            // Serve the settled deficits along their shortest-path trees
+            // first — O(path) per push, and on near-unique distances (the
+            // admissible subgraph is a path) it serves everything this
+            // round can serve. Only when tree pushes collide on shared
+            // saturated arcs is there anything left to reroute, and only
+            // then is the admissible subgraph plateau-rich enough for a
+            // blocking-flow pass to find the detours — so the O(scan)
+            // pass runs exactly on the rounds where it collapses the
+            // round count, never as flat overhead.
+            let want = served_cap.min(total);
+            let mut pushed = self.tree_serve(&served, total);
+            if pushed < want {
+                // Admissible excess→deficit detours start (up to distance
+                // ties at exactly d_max) from the tree roots of this
+                // round's served deficits: any other source kept a
+                // strictly positive reduced distance to every settled
+                // deficit, and the capped update preserves that gap.
+                roots.clear();
+                {
+                    let pred = self.dij.pred();
+                    for &t in &served {
+                        let mut v = t as usize;
+                        while pred[v] != NO_PRED {
+                            v = self.heads[pred[v] as usize ^ 1] as usize;
+                        }
+                        if !self.root_seen[v] {
+                            self.root_seen[v] = true;
+                            roots.push(v as u32);
+                        }
+                    }
                 }
-                let mut v = t;
-                while prev[v] != NO_ARC {
-                    let a = prev[v] as usize;
-                    push = push.min(self.cap[a]);
-                    v = self.heads[a ^ 1] as usize;
+                roots.sort_unstable();
+                pushed += self.blocking_flow(&roots);
+                for &r in &roots {
+                    self.root_seen[r as usize] = false;
                 }
-                let root = v;
-                push = push.min(self.excess[root]);
-                if push <= 0 {
-                    continue;
-                }
-                let mut v = t;
-                while prev[v] != NO_ARC {
-                    let a = prev[v] as usize;
-                    self.cap[a] -= push;
-                    self.cap[a ^ 1] += push;
-                    v = self.heads[a ^ 1] as usize;
-                }
-                self.excess[root] -= push;
-                self.excess[t] += push;
-                total -= push;
-                self.stats.correction_paths += 1;
-                if total == 0 {
-                    break;
-                }
+            }
+            total -= pushed;
+        }
+    }
+
+    /// Serves settled deficits along their Dijkstra shortest-path trees,
+    /// in settle order: bottleneck the pred chain, push, move on. Costs
+    /// O(path) per deficit — no scanning, no marks. Earlier pushes may
+    /// saturate shared tree arcs or drain a root; such deficits are left
+    /// for [`Self::blocking_flow`] (or the next round). The first served
+    /// deficit's chain is always unsaturated (Dijkstra only traverses
+    /// positive-capacity arcs), so every call pushes ≥ 1 unit — the
+    /// round-progress guarantee of [`Self::route_excess`].
+    fn tree_serve(&mut self, served: &[u32], total: i64) -> i64 {
+        let mut pushed = 0i64;
+        let pred = self.dij.pred();
+        for &t in served {
+            let t = t as usize;
+            let mut push = -self.excess[t];
+            if push <= 0 {
+                continue;
+            }
+            let mut v = t;
+            while pred[v] != NO_PRED {
+                let a = pred[v] as usize;
+                push = push.min(self.cap[a]);
+                v = self.heads[a ^ 1] as usize;
+            }
+            let root = v;
+            push = push.min(self.excess[root]);
+            if push <= 0 {
+                continue;
+            }
+            let mut v = t;
+            while pred[v] != NO_PRED {
+                let a = pred[v] as usize;
+                self.cap[a] -= push;
+                self.cap[a ^ 1] += push;
+                v = self.heads[a ^ 1] as usize;
+            }
+            self.excess[root] -= push;
+            self.excess[t] += push;
+            pushed += push;
+            self.stats.correction_paths += 1;
+            if pushed == total {
+                break;
             }
         }
+        pushed
+    }
+
+    /// Pushes a blocking flow from excess to deficit nodes over the
+    /// admissible subgraph (residual arcs with zero reduced cost under the
+    /// just-updated potentials) and returns the total units moved.
+    ///
+    /// Current-arc DFS with two standard marks: `on_path` guards against
+    /// zero-cost admissible cycles, `dead` prunes nodes whose admissible
+    /// out-arcs were exhausted when visited. An augmentation grants twin
+    /// capacity along its path, which can in principle revive pruned arcs
+    /// behind a cursor or under a `dead` mark — those are deliberately
+    /// left stale (pruning is always sound, and rewinding was measured
+    /// quadratic on plateau-heavy rounds); whatever a stale prune hides
+    /// is served by a later round. May push nothing at all — it runs on
+    /// the post-[`Self::tree_serve`] residual, where the remaining
+    /// deficits' only access may be a saturated shared arc; round
+    /// progress is the tree serve's guarantee, not this pass's.
+    fn blocking_flow(&mut self, roots: &[u32]) -> i64 {
+        let n = self.n;
+        self.cur.clear();
+        self.cur.extend_from_slice(&self.csr_start[..n]);
+        self.dead.iter_mut().for_each(|d| *d = false);
+        debug_assert!(self.on_path.iter().all(|&p| !p));
+        let mut pushed = 0i64;
+        for &s in roots {
+            let s = s as usize;
+            if self.excess[s] <= 0 || self.dead[s] {
+                continue;
+            }
+            self.on_path[s] = true;
+            self.path.clear();
+            let mut v = s;
+            loop {
+                // Advance v's cursor to its next admissible arc.
+                let row_end = self.csr_start[v + 1];
+                let mut found = NO_ARC;
+                while self.cur[v] < row_end {
+                    let a = self.csr_arcs[self.cur[v] as usize] as usize;
+                    if self.cap[a] > 0 {
+                        let h = self.heads[a] as usize;
+                        if !self.dead[h]
+                            && !self.on_path[h]
+                            && self.cost[a] + self.potential[v] - self.potential[h] == 0
+                        {
+                            found = a as u32;
+                            break;
+                        }
+                    }
+                    self.cur[v] += 1;
+                }
+                let Some(a) = (found != NO_ARC).then_some(found as usize) else {
+                    // Exhausted: retreat, pruning v for the whole pass.
+                    self.dead[v] = true;
+                    self.on_path[v] = false;
+                    match self.path.pop() {
+                        None => break,
+                        Some(pa) => {
+                            let tail = self.heads[pa as usize ^ 1] as usize;
+                            self.cur[tail] += 1;
+                            v = tail;
+                        }
+                    }
+                    continue;
+                };
+                let h = self.heads[a] as usize;
+                if self.excess[h] < 0 {
+                    // Augment along path + a, bounded by both imbalances
+                    // and the path bottleneck, then restart from s.
+                    let mut amt = self.excess[s].min(-self.excess[h]).min(self.cap[a]);
+                    for &pa in &self.path {
+                        amt = amt.min(self.cap[pa as usize]);
+                    }
+                    debug_assert!(amt > 0);
+                    self.cap[a] -= amt;
+                    self.cap[a ^ 1] += amt;
+                    for &pa in &self.path {
+                        let pa = pa as usize;
+                        self.cap[pa] -= amt;
+                        self.cap[pa ^ 1] += amt;
+                    }
+                    self.excess[s] -= amt;
+                    self.excess[h] += amt;
+                    pushed += amt;
+                    self.stats.correction_paths += 1;
+                    for &pa in &self.path {
+                        self.on_path[self.heads[pa as usize] as usize] = false;
+                    }
+                    // Cursors and `dead` marks are NOT rewound: the push
+                    // did grant twin capacity at reduced cost zero along
+                    // the path, but chasing those revived arcs would
+                    // rescan every row per augmentation (quadratic in a
+                    // plateau-heavy round, measured ~0.5 ms/round on the
+                    // s38417 re-wraps). Monotone cursors keep the pass
+                    // linear; any path a stale mark hides is found by a
+                    // later round's fresh pass.
+                    self.path.clear();
+                    if self.excess[s] <= 0 {
+                        self.on_path[s] = false;
+                        break;
+                    }
+                    v = s;
+                    continue;
+                }
+                // Descend.
+                self.path.push(a as u32);
+                self.on_path[h] = true;
+                v = h;
+            }
+        }
+        pushed
     }
 
     /// Shortest integer distances from the virtual source (every node at 0)
@@ -714,63 +1003,19 @@ impl Circulation {
     ///
     /// Panics on a negative residual cycle (impossible after a terminating
     /// [`Self::solve`]; guards misuse on an unsolved engine).
-    pub fn canonical_distances(&self) -> Vec<i64> {
-        let n = self.n;
-        let mut dist = vec![0i64; n];
-        let mut in_queue = vec![true; n];
-        let mut queue: VecDeque<u32> = (0..n as u32).collect();
-        // At the optimum SPFA settles in ≤ n sweeps; the pop budget only
-        // guards against calls on a non-optimal flow.
-        let mut budget = (n as u64 + 1).saturating_mul(self.heads.len() as u64 + 1);
-        while let Some(u) = queue.pop_front() {
-            assert!(budget > 0, "negative residual cycle: circulation not optimal");
-            budget -= 1;
-            let u = u as usize;
-            in_queue[u] = false;
-            let du = dist[u];
-            let row = self.csr_start[u] as usize..self.csr_start[u + 1] as usize;
-            for &a in &self.csr_arcs[row] {
-                let a = a as usize;
-                if self.cap[a] <= 0 {
-                    continue;
-                }
-                let v = self.heads[a] as usize;
-                let nd = du + self.cost[a];
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    if !in_queue[v] {
-                        in_queue[v] = true;
-                        queue.push_back(v as u32);
-                    }
-                }
+    pub fn canonical_distances(&mut self) -> Vec<i64> {
+        // Zero labels = virtual source; the exact (`eps = 0`) SPFA
+        // fixpoint from fixed starting labels is unique, so this matches
+        // any other relaxation order bit for bit. Disabled (zero-cap)
+        // slots report `i64::MAX` = `Cost::UNREACHED`.
+        let Self { canon, cap, cost, .. } = self;
+        canon.reset_zero();
+        match canon.relax(|a| if cap[a] > 0 { cost[a] } else { i64::MAX }, 0) {
+            RelaxOutcome::Converged => canon.dist().to_vec(),
+            RelaxOutcome::NegativeCycle(_) => {
+                panic!("negative residual cycle: circulation not optimal")
             }
         }
-        dist
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapItem {
-    dist: f64,
-    node: u32,
-}
-
-impl Eq for HeapItem {}
-
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap on dist.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
     }
 }
 
@@ -887,7 +1132,7 @@ mod tests {
     /// Every residual arc of `net` satisfies `cost + d_u − d_v ≥ 0` under
     /// the canonical distances, and the forward constraint implied by each
     /// *unsaturated* arc holds.
-    fn assert_canonical_certificate(net: &Circulation) {
+    fn assert_canonical_certificate(net: &mut Circulation) {
         let d = net.canonical_distances();
         for k in 0..net.num_pairs() {
             for (a, sign) in [(2 * k, 1i64), (2 * k + 1, -1i64)] {
@@ -906,7 +1151,8 @@ mod tests {
         let stats = net.solve(&[2, 2, 2], &[-1, -1, -1], false);
         assert_eq!(net.total_cost(), -6);
         assert_eq!(stats.reused_arcs, 0, "cold solve reuses nothing");
-        assert_canonical_certificate(&net);
+        assert_eq!(stats.delta_pairs, 0, "cold solve reports no rebind delta");
+        assert_canonical_certificate(&mut net);
     }
 
     #[test]
@@ -967,7 +1213,7 @@ mod tests {
                 "seed {seed}: engine {} vs reference {want}",
                 net.total_cost()
             );
-            assert_canonical_certificate(&net);
+            assert_canonical_certificate(&mut net);
         }
     }
 
@@ -991,7 +1237,9 @@ mod tests {
             "canonical duals are flow-independent"
         );
         assert!(stats.reused_arcs > 0, "perturbing 3 of 41 arcs must keep some flow");
-        assert_canonical_certificate(&warm);
+        assert!(stats.delta_pairs > 0 && stats.delta_pairs <= 3, "3 costs changed");
+        assert!(stats.touched_nodes > 0, "changed pairs touch nodes");
+        assert_canonical_certificate(&mut warm);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 use std::thread;
 
 /// Fan-out thresholds for [`par_map_with`].
@@ -26,15 +27,38 @@ use std::thread;
 pub struct ParConfig {
     /// Inputs below this size run sequentially.
     pub min_parallel: usize,
-    /// Upper bound on worker threads (beyond this the per-item work of the
-    /// tapping kernels no longer scales).
+    /// Upper bound on worker threads. The default follows the machine
+    /// ([`default_max_threads`]); override per call site, or fleet-wide
+    /// through the `ROTARY_THREADS` environment variable.
     pub max_threads: usize,
 }
 
 impl Default for ParConfig {
     fn default() -> Self {
-        Self { min_parallel: 64, max_threads: 8 }
+        Self { min_parallel: 64, max_threads: default_max_threads() }
     }
+}
+
+/// The default worker-thread cap: `ROTARY_THREADS` when set to a positive
+/// integer, otherwise [`thread::available_parallelism`]. Read once and
+/// cached for the process lifetime.
+///
+/// Determinism does not depend on this value: every parallel kernel in
+/// this crate commits chunked results position-stably (and the bucketed
+/// Dijkstra re-checks candidates sequentially in batch order), so the
+/// output is bit-identical for any thread count ≥ 1.
+pub fn default_max_threads() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        if let Some(v) = std::env::var_os("ROTARY_THREADS") {
+            if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    })
 }
 
 impl ParConfig {
@@ -144,6 +168,12 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(v, &vec![i; 3]);
         }
+    }
+
+    #[test]
+    fn default_cap_follows_machine_or_env() {
+        assert!(default_max_threads() >= 1);
+        assert_eq!(ParConfig::default().max_threads, default_max_threads());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use rotary::core::skew::{weighted_schedule_ctx, SkewContext};
 use rotary::netlist::geom::{Point, Rect};
 use rotary::netlist::{Cell, CellKind, Circuit, Net};
 use rotary::solver::lp::{LpProblem, LpStatus, RowKind};
-use rotary::solver::mcmf::{Circulation, FlowNetwork};
+use rotary::solver::mcmf::{Circulation, DijkstraStrategy, FlowNetwork};
 use rotary::timing::{SequentialGraph, Technology};
 
 /// Fixed-point scale matching the engine integration in `core::skew`.
@@ -158,6 +158,50 @@ proptest! {
             recovered <= opt + 1e-6,
             "recovered schedule objective {} exceeds LP optimum {}", recovered, opt
         );
+    }
+
+    /// The sequential heap and the parallel bucketed radix queue are the
+    /// same algorithm under the shared relaxation kernel: solving the same
+    /// instance — cold, then warm across a perturbed re-solve — must leave
+    /// bit-identical flows, potentials, total cost, and canonical
+    /// distances regardless of strategy. (`Bucketed` is forced explicitly;
+    /// `Auto` would fall back to the heap on a single-core machine.)
+    #[test]
+    fn bucketed_dijkstra_is_bit_identical_to_sequential(
+        n in 3usize..7,
+        witness in prop::collection::vec(0.0..2.0f64, 7),
+        raw_edges in prop::collection::vec((0usize..49, 0usize..49, 0.0..1.0f64), 4..16),
+        weight in prop::collection::vec(0i64..8, 7),
+        ideal in prop::collection::vec(0.0..2.0f64, 7),
+        perturb in prop::collection::vec(-0.4..0.4f64, 7),
+    ) {
+        let inst = Instance::build(n, &witness, &raw_edges, &weight, &ideal);
+        let (pairs, caps, costs) = inst.dual_arcs();
+        let qcosts: Vec<i64> = costs.iter().map(|c| (c * COST_SCALE).round() as i64).collect();
+        // A perturbed cost vector for the warm re-solve: nudge each R-arc
+        // pair's ideal, keeping the antisymmetric ±t structure.
+        let mut qcosts2 = qcosts.clone();
+        for (k, &dt) in perturb[..n].iter().enumerate() {
+            let dq = (dt * COST_SCALE).round() as i64;
+            qcosts2[inst.constraints.len() + 2 * k] += dq;
+            qcosts2[inst.constraints.len() + 2 * k + 1] -= dq;
+        }
+
+        let mut seq = Circulation::new(n + 1, &pairs);
+        seq.set_strategy(DijkstraStrategy::Sequential);
+        let mut par = Circulation::new(n + 1, &pairs);
+        par.set_strategy(DijkstraStrategy::Bucketed);
+
+        for (costs, warm) in [(&qcosts, false), (&qcosts2, true)] {
+            seq.solve(&caps, costs, warm);
+            par.solve(&caps, costs, warm);
+            prop_assert_eq!(seq.total_cost(), par.total_cost());
+            prop_assert_eq!(seq.potentials(), par.potentials());
+            for k in 0..pairs.len() {
+                prop_assert_eq!(seq.flow(k), par.flow(k));
+            }
+            prop_assert_eq!(seq.canonical_distances(), par.canonical_distances());
+        }
     }
 
     /// Carrying the `SkewContext` (and its circulation engine) across a
