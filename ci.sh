@@ -52,9 +52,23 @@ echo "==> tables --suite s35932 table4 (smoke, 150s budget + reuse check)"
 stage4_rows="$(grep 'cost_driven_skew' "$scratch/tables_s35932_ci.log")"
 [ "$(wc -l <<< "$stage4_rows")" -eq 2 ] \
   || { echo "expected 2 stage-4 telemetry rows (nf + ilp):"; echo "$stage4_rows"; exit 1; }
-awk '$(NF-5) == 0 || $(NF-3) == 0 { bad = 1 }
+awk '$(NF-6) == 0 || $(NF-4) == 0 { bad = 1 }
      END { exit bad }' <<< "$stage4_rows" \
   || { echo "stage-4 reuse columns must be nonzero on the warm route:"; echo "$stage4_rows"; exit 1; }
+
+# Cost-scaling backend smoke: the same s15850 Fig. 3 loop forced onto the
+# push-relabel circulation backend. Quality is byte-identical by
+# construction (canonical-distance recovery), so the checks here are that
+# the run completes in budget and that the telemetry attributes stage 4 to
+# the forced backend — a silent fallback to SSP would pass the timing
+# check while invalidating every cost-scaling A/B number.
+echo "==> ROTARY_MCMF_BACKEND=cost_scaling tables --suite s15850 table4 (smoke, 60s budget)"
+(cd "$scratch" && ROTARY_MCMF_BACKEND=cost_scaling timeout 60 "$tables_bin" --suite s15850 table4 \
+  > tables_s15850_cs_ci.log)
+cs_rows="$(grep 'cost_driven_skew' "$scratch/tables_s15850_cs_ci.log")"
+awk '$NF != "cost-scaling" { bad = 1 }
+     END { exit bad }' <<< "$cs_rows" \
+  || { echo "stage-4 backend column must read cost-scaling under the override:"; echo "$cs_rows"; exit 1; }
 
 # Stage-2 scheduling smoke: period search + max-slack, cold then warm
 # over drifted placements. The binary itself asserts the delta-rebind

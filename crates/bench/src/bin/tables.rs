@@ -76,7 +76,28 @@ fn main() {
     let mut only: Vec<BenchmarkSuite> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--suite" {
+        if args[i] == "--backend" {
+            args.remove(i);
+            let Some(name) = (i < args.len()).then(|| args.remove(i)) else {
+                eprintln!("--backend needs a name (auto, ssp, or cost_scaling)");
+                std::process::exit(2);
+            };
+            if !matches!(
+                name.trim().to_ascii_lowercase().as_str(),
+                "auto"
+                    | "ssp"
+                    | "successive_shortest_paths"
+                    | "cs"
+                    | "cost_scaling"
+                    | "cost-scaling"
+            ) {
+                eprintln!("unknown backend {name}; known: auto, ssp, cost_scaling");
+                std::process::exit(2);
+            }
+            // Same switch the solver reads directly; setting it here lets
+            // table runs A/B the circulation backend without a wrapper.
+            std::env::set_var("ROTARY_MCMF_BACKEND", &name);
+        } else if args[i] == "--suite" {
             args.remove(i);
             let Some(name) = (i < args.len()).then(|| args.remove(i)) else {
                 eprintln!("--suite needs a suite name (e.g. --suite s38417)");
@@ -177,9 +198,18 @@ fn telemetry(ctx: &Ctx) {
                     continue;
                 }
                 let (_, reused, delta, touched) = reuse[k];
+                // Solver backend that served the stage's last pass (stages
+                // without a backend choice print `-`); kept as the final
+                // single-token column so `awk '{print $NF}'` grabs it.
+                let backend = out
+                    .telemetry
+                    .records()
+                    .iter()
+                    .rfind(|r| r.stage == stage && !r.backend.is_empty())
+                    .map_or("-", |r| r.backend);
                 println!(
                     "  {}. {:<22} {:>9}s  {:>2} pass(es)  {:>6} solver iters  \
-                     {:>9} reused  {:>6} Δarcs  {:>7} touched",
+                     {:>9} reused  {:>6} Δarcs  {:>7} touched  {:>14}",
                     stage.number(),
                     stage.name(),
                     cpu(secs, 3),
@@ -188,6 +218,7 @@ fn telemetry(ctx: &Ctx) {
                     reused,
                     delta,
                     touched,
+                    backend,
                 );
             }
         }

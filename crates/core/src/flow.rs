@@ -28,6 +28,7 @@ use crate::telemetry::{FlowTelemetry, Stage};
 use rotary_netlist::Circuit;
 use rotary_place::{Placer, PlacerConfig, PseudoNet};
 use rotary_ring::{RingArray, RingParams};
+use rotary_solver::mcmf::CirculationBackend;
 use rotary_timing::{SequentialGraph, Technology};
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,15 @@ pub struct FlowConfig {
     /// feasibility verdicts — so this is off only for diagnostics.
     #[serde(default = "default_true")]
     pub warm_start: bool,
+    /// Min-cost-circulation engine behind the stage-4 weighted dual.
+    /// Schedules are bit-identical across backends (both recover the
+    /// canonical residual distances); `Auto` currently resolves to
+    /// successive shortest paths, which beats cost scaling on every
+    /// measured suite, so cost scaling is an explicit opt-in. The
+    /// `ROTARY_MCMF_BACKEND` environment variable overrides this at the
+    /// solver level.
+    #[serde(default)]
+    pub circulation_backend: CirculationBackend,
 }
 
 // Referenced by the `#[serde(default)]` attribute; the offline serde shim
@@ -112,6 +122,7 @@ impl Default for FlowConfig {
             skew_variant: SkewVariant::WeightedSum,
             objective: AssignmentObjective::TappingCost,
             warm_start: true,
+            circulation_backend: CirculationBackend::Auto,
         }
     }
 }
@@ -227,6 +238,7 @@ impl Flow {
         // (period search, stage 2, stage 4). Cleared before each use when
         // warm starting is disabled.
         let mut skew_ctx = skew::SkewContext::new();
+        skew_ctx.set_circulation_backend(cfg.circulation_backend);
         // Optimal LP basis carried across the stage-3 relaxation solves,
         // and the candidate ring lists carried across stage-3 cost
         // computations — both cleared per pass when warm starting is off.
@@ -281,6 +293,7 @@ impl Flow {
                 };
                 if !cfg.warm_start {
                     skew_ctx = skew::SkewContext::new();
+                    skew_ctx.set_circulation_backend(cfg.circulation_backend);
                 }
                 let (stage2, stats) = skew::max_slack_schedule_ctx(&graph, &tech, &mut skew_ctx);
                 stage.set_problem_size(stats.constraints);
@@ -345,6 +358,9 @@ impl Flow {
                 stage.set_reused_work(stats.reused_work);
                 stage.add_delta_arcs(stats.delta_arcs);
                 stage.add_affected_vertices(stats.affected_vertices);
+                if let Some(backend) = stats.backend {
+                    stage.set_backend(backend);
+                }
                 schedule = sched;
             }
 
@@ -531,6 +547,7 @@ impl Flow {
                 let solve = |rd: &[f64], sd: &[f64], ctx: &mut skew::SkewContext| {
                     if !self.config.warm_start {
                         *ctx = skew::SkewContext::new();
+                        ctx.set_circulation_backend(self.config.circulation_backend);
                     }
                     skew::minimax_schedule_ctx(graph, tech, rd, sd, m, ctx)
                 };
@@ -556,6 +573,7 @@ impl Flow {
                     stats.reused_work += st.reused_work;
                     stats.delta_arcs += st.delta_arcs;
                     stats.affected_vertices += st.affected_vertices;
+                    stats.backend = st.backend.or(stats.backend);
                 }
                 (sched, stats)
             }
@@ -574,6 +592,7 @@ impl Flow {
                 let solve = |id: &[f64], ctx: &mut skew::SkewContext| {
                     if !self.config.warm_start {
                         *ctx = skew::SkewContext::new();
+                        ctx.set_circulation_backend(self.config.circulation_backend);
                     }
                     skew::weighted_schedule_ctx(graph, tech, id, &distance, m, ctx)
                 };
@@ -597,6 +616,7 @@ impl Flow {
                     stats.reused_work += st.reused_work;
                     stats.delta_arcs += st.delta_arcs;
                     stats.affected_vertices += st.affected_vertices;
+                    stats.backend = st.backend.or(stats.backend);
                 }
                 (sched, stats)
             }

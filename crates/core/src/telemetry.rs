@@ -132,6 +132,10 @@ pub struct StageRecord {
     /// relaxations — the size of the affected region the delta seeding
     /// propagated through. Zero for stages without relaxation solves.
     pub affected_vertices: usize,
+    /// Label of the solver backend that served this pass (for stage 4,
+    /// the circulation engine: `"ssp-sequential"`, `"ssp-bucketed"`, or
+    /// `"cost-scaling"`). Empty for stages without a backend choice.
+    pub backend: &'static str,
 }
 
 /// The full per-stage log of one [`crate::flow::Flow::run`].
@@ -158,6 +162,7 @@ impl FlowTelemetry {
             reused_work: 0,
             delta_arcs: 0,
             affected_vertices: 0,
+            backend: "",
             start: Instant::now(),
         }
     }
@@ -237,7 +242,8 @@ impl FlowTelemetry {
             s.push_str(&format!(
                 "    {{\"stage\": \"{}\", \"fig3_stage\": {}, \"iteration\": {}, \
                  \"seconds\": {}, \"problem_size\": {}, \"solver_iterations\": {}, \
-                 \"reused_work\": {}, \"delta_arcs\": {}, \"affected_vertices\": {}}}{}\n",
+                 \"reused_work\": {}, \"delta_arcs\": {}, \"affected_vertices\": {}, \
+                 \"backend\": \"{}\"}}{}\n",
                 r.stage.name(),
                 r.stage.number(),
                 r.iteration,
@@ -247,6 +253,7 @@ impl FlowTelemetry {
                 r.reused_work,
                 r.delta_arcs,
                 r.affected_vertices,
+                r.backend,
                 if k + 1 < self.records.len() { "," } else { "" },
             ));
         }
@@ -275,6 +282,7 @@ pub struct StageScope<'a> {
     reused_work: usize,
     delta_arcs: usize,
     affected_vertices: usize,
+    backend: &'static str,
     start: Instant,
 }
 
@@ -305,6 +313,11 @@ impl StageScope<'_> {
         self.affected_vertices += vertices;
     }
 
+    /// Records the solver backend label that served this pass.
+    pub fn set_backend(&mut self, backend: &'static str) {
+        self.backend = backend;
+    }
+
     /// Ends the scope now (equivalent to dropping it).
     pub fn finish(self) {}
 }
@@ -320,6 +333,7 @@ impl Drop for StageScope<'_> {
             reused_work: self.reused_work,
             delta_arcs: self.delta_arcs,
             affected_vertices: self.affected_vertices,
+            backend: self.backend,
         });
     }
 }
@@ -338,6 +352,7 @@ mod tests {
             reused_work: 0,
             delta_arcs: 0,
             affected_vertices: 0,
+            backend: "",
         }
     }
 
@@ -353,6 +368,7 @@ mod tests {
             scope.add_delta_arcs(4);
             scope.add_delta_arcs(6);
             scope.add_affected_vertices(21);
+            scope.set_backend("cost-scaling");
         }
         assert_eq!(t.records().len(), 1);
         let r = t.records()[0];
@@ -363,6 +379,7 @@ mod tests {
         assert_eq!(r.reused_work, 13);
         assert_eq!(r.delta_arcs, 10);
         assert_eq!(r.affected_vertices, 21);
+        assert_eq!(r.backend, "cost-scaling");
         assert!(r.seconds >= 0.0);
     }
 
@@ -418,7 +435,9 @@ mod tests {
     fn json_is_well_formed_and_complete() {
         let mut t = FlowTelemetry::new();
         t.push(record(Stage::InitialPlacement, 0, 0.25));
-        t.push(record(Stage::SkewOptimization, 0, 0.5));
+        let mut s4 = record(Stage::SkewOptimization, 0, 0.5);
+        s4.backend = "ssp-bucketed";
+        t.push(s4);
         let json = t.to_json();
         assert!(json.contains("\"stage\": \"initial_placement\""));
         assert!(json.contains("\"fig3_stage\": 2"));
@@ -427,6 +446,8 @@ mod tests {
         assert!(json.contains("\"iterations\": 1"));
         assert!(json.contains("\"delta_arcs\": 0"));
         assert!(json.contains("\"affected_vertices\": 0"));
+        assert!(json.contains("\"backend\": \"\""), "no-backend stages serialize empty");
+        assert!(json.contains("\"backend\": \"ssp-bucketed\""));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
         assert_eq!(json.matches('[').count(), json.matches(']').count(),);

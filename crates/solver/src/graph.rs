@@ -89,6 +89,21 @@ impl Cost for i64 {
     }
 }
 
+/// Wide exact costs for the cost-scaling circulation backend: its internal
+/// prices are scaled by `n + 1` on top of the 2^40 cost quantization, which
+/// overflows `i64` on large instances; the price-refinement SPFA therefore
+/// relaxes in `i128`.
+impl Cost for i128 {
+    const ZERO: Self = 0;
+    const UNREACHED: Self = i128::MAX;
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn finite(self) -> bool {
+        self != i128::MAX
+    }
+}
+
 /// Where shortest paths start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Source {
