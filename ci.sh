@@ -76,6 +76,17 @@ awk '$NF != "cost-scaling" { bad = 1 }
 echo "==> tables --suite s15850 stage2 (smoke, 60s budget)"
 (cd "$scratch" && timeout 60 "$tables_bin" --suite s15850 stage2 > tables_stage2_ci.log)
 
+# Stage-3 assignment warm-start smoke: interleaved warm/cold full flows on
+# both routes. The binary asserts bit-identical schedules/assignments/taps
+# and nonzero assignment reuse, so a dead LP basis carry or a warm/cold
+# divergence fails here even well under budget. The grep double-checks the
+# dual-simplex repair actually served a pass (backend column).
+echo "==> tables --suite s15850 assign (smoke, 120s budget + reuse check)"
+(cd "$scratch" && timeout 120 "$tables_bin" --suite s15850 assign > tables_assign_ci.log)
+grep -q 'backend lp-warm\|backend lp-dual-repair' "$scratch/tables_assign_ci.log" \
+  || { echo "assignment smoke must serve a pass from a carried LP basis:"; \
+       cat "$scratch/tables_assign_ci.log"; exit 1; }
+
 # Staleness guard: the committed small-suite battery must match a fresh
 # run byte-for-byte. --redact-cpu blanks every wall-clock column, so the
 # regenerated file depends only on the deterministic computation; any

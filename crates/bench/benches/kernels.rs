@@ -34,13 +34,17 @@ fn bench_tapping(c: &mut Criterion) {
 }
 
 fn setup_costs(suite: BenchmarkSuite) -> (CandidateCosts, Vec<usize>, usize) {
+    setup_costs_k(suite, 9)
+}
+
+fn setup_costs_k(suite: BenchmarkSuite, k: usize) -> (CandidateCosts, Vec<usize>, usize) {
     let circuit = placed_circuit(suite);
     let tech = Technology::default();
     let graph = SequentialGraph::extract(&circuit, &tech);
     let schedule = max_slack_schedule(&graph, &tech);
     let params = RingParams { period: schedule.period, ..RingParams::default() };
     let array = RingArray::generate(circuit.die, suite.ring_grid(), params);
-    let costs = CandidateCosts::compute(&circuit, &array, &schedule, 9);
+    let costs = CandidateCosts::compute(&circuit, &array, &schedule, k);
     let caps = array.capacities();
     let n = array.rings().len();
     (costs, caps, n)
@@ -468,6 +472,25 @@ fn bench_lp(c: &mut Criterion) {
     });
     c.bench_function("lp/round_rescan_s38417_sized", |b| {
         b.iter(|| std::hint::black_box(greedy_round_loaded_rescan(&rows, 49)))
+    });
+
+    // Dual-simplex basis repair vs a cold restart on a drifted s38417
+    // relaxation: the K=9 optimum's basis is resolved by stable key into
+    // the K=8 problem (every flip-flop loses its farthest candidate
+    // column), exactly the carry stage 3 performs between Fig. 3
+    // iterations. Both benches solve the *same* K=8 LP, so the gap is
+    // pure pivot work saved by the repaired basis.
+    let (costs9, _, n_rings9) = setup_costs(BenchmarkSuite::S38417);
+    let (lp9, _) = rotary_core::assign::min_max_lp(&costs9, n_rings9);
+    let (_, basis9) = lp9.solve_with_basis(None);
+    let basis9 = basis9.expect("K=9 relaxation solves to optimality");
+    let (costs8, _, n_rings8) = setup_costs_k(BenchmarkSuite::S38417, 8);
+    let (lp8, _) = rotary_core::assign::min_max_lp(&costs8, n_rings8);
+    c.bench_function("lp/dual_repair_warm_vs_cold/warm_s38417_real", |b| {
+        b.iter(|| std::hint::black_box(lp8.solve_with_basis(Some(&basis9))))
+    });
+    c.bench_function("lp/dual_repair_warm_vs_cold/cold_s38417_real", |b| {
+        b.iter(|| std::hint::black_box(lp8.solve()))
     });
 }
 

@@ -163,6 +163,7 @@ fn main() {
             "fig5" => fig5(),
             "variation" => variation(&mut ctx),
             "stage2" => stage2(&mut ctx),
+            "assign" => assign_ab(&mut ctx),
             other if other.parse::<u64>().is_ok() => {}
             other => eprintln!("unknown target {other}"),
         }
@@ -732,6 +733,76 @@ fn stage2(ctx: &mut Ctx) {
             reused,
             delta,
         );
+    }
+}
+
+/// Stage-3 smoke: full warm and cold flows, interleaved A/B on the same
+/// binary, per assignment route. Prints the assignment-stage wall clock
+/// of each (best of two interleaved reps, so both modes see the same
+/// machine conditions), asserts the warm flow actually reused assignment
+/// work on every suite and route, and asserts the warm outputs are
+/// bit-identical to the cold reference — a dead warm path, a slow warm
+/// path, and a divergent warm path all fail here.
+fn assign_ab(ctx: &mut Ctx) {
+    use rotary_core::flow::{AssignmentObjective, Flow, FlowConfig, FlowOutcome};
+    use rotary_core::telemetry::Stage;
+    header("STAGE-3 SMOKE — assignment warm starts (interleaved warm/cold full flows)");
+    for suite in ctx.suites.clone() {
+        for (label, objective) in [
+            ("network-flow", AssignmentObjective::TappingCost),
+            ("ilp", AssignmentObjective::MaxLoadCap),
+        ] {
+            let run = |warm: bool| -> FlowOutcome {
+                let mut c = suite.circuit(TABLE_SEED);
+                let cfg = FlowConfig { objective, warm_start: warm, ..FlowConfig::default() };
+                Flow::new(cfg).run(&mut c, suite.ring_grid())
+            };
+            let stage3_secs = |out: &FlowOutcome| {
+                out.telemetry
+                    .totals_by_stage()
+                    .iter()
+                    .find(|e| e.0 == Stage::Assignment)
+                    .map_or(0.0, |e| e.1)
+            };
+            let (mut t_warm, mut t_cold) = (f64::INFINITY, f64::INFINITY);
+            let (mut warm_out, mut cold_out) = (None, None);
+            for _rep in 0..2 {
+                let w = run(true);
+                t_warm = t_warm.min(stage3_secs(&w));
+                warm_out = Some(w);
+                let c = run(false);
+                t_cold = t_cold.min(stage3_secs(&c));
+                cold_out = Some(c);
+            }
+            let (w, c) = (warm_out.unwrap(), cold_out.unwrap());
+            assert_eq!(w.schedule, c.schedule, "warm flow diverged on {suite} [{label}]");
+            assert_eq!(w.assignment, c.assignment, "warm flow diverged on {suite} [{label}]");
+            assert_eq!(
+                w.taps.solutions, c.taps.solutions,
+                "warm flow diverged on {suite} [{label}]"
+            );
+            let (_, reused, delta, _) = *w
+                .telemetry
+                .reuse_by_stage()
+                .iter()
+                .find(|e| e.0 == Stage::Assignment)
+                .expect("assignment stage is always recorded");
+            assert!(reused > 0, "warm assignment must reuse work on {suite} [{label}]");
+            let backend = w
+                .telemetry
+                .records()
+                .iter()
+                .rfind(|r| r.stage == Stage::Assignment && !r.backend.is_empty())
+                .map_or("-", |r| r.backend);
+            println!(
+                "{:<8} [{label:<12}] assignment warm {:>7}s  cold {:>7}s  speedup {:>5}x  \
+                 ({reused} reused, {delta} Δarcs, backend {backend})",
+                suite.name(),
+                cpu(t_warm, 3),
+                cpu(t_cold, 3),
+                cpu(t_cold / t_warm.max(1e-12), 2),
+            );
+        }
     }
 }
 

@@ -14,7 +14,7 @@
 use crate::tapping::CandidateCosts;
 use rotary_ring::RingId;
 use rotary_solver::ilp::{BranchAndBound, IlpOutcome};
-use rotary_solver::lp::{LpBasis, LpProblem, LpSolution, LpStatus, RowKind};
+use rotary_solver::lp::{LpBasis, LpProblem, LpSolution, LpStatus, RowKind, WarmMode};
 use rotary_solver::mcmf::FlowNetwork;
 use rotary_solver::rounding::{greedy_round, greedy_round_loaded};
 use serde::{Deserialize, Serialize};
@@ -77,33 +77,95 @@ impl std::fmt::Display for AssignError {
 
 impl std::error::Error for AssignError {}
 
+/// Solver-effort statistics from one assignment relaxation solve, for
+/// flow telemetry (the assignment analogue of `skew::SkewStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssignStats {
+    /// Simplex pivots of the relaxation solve (dual repair + primal).
+    pub lp_iterations: usize,
+    /// Structural LP columns carried over from the previous pass — either
+    /// patched in place (unchanged candidate structure) or remapped into
+    /// the rebuilt matrix by stable key. Zero on the first pass.
+    pub cols_reused: usize,
+    /// Structural LP columns that had to be built fresh because their
+    /// flip-flop's candidate ring set changed (or appeared) this pass.
+    pub cols_rebuilt: usize,
+    /// Pivots spent inside a warm-started solve (the delta the repair
+    /// phase replays); zero when the solve ran cold.
+    pub warm_pivots: usize,
+    /// How the simplex actually started ([`WarmMode`]).
+    pub warm_mode: WarmMode,
+}
+
 /// Reusable state carried across the re-solves of the flow loop (the
 /// assignment analogue of `skew::SkewContext`): the optimal basis of the
-/// previous relaxation warm-starts the next one. The LP's constraint
-/// *values* move between flow iterations (the loads in the ring rows), so
-/// the carried basis is revalidated on the new coefficients and silently
-/// falls back to a cold start when it is no longer primal feasible —
-/// solutions are bit-identical either way thanks to the simplex's
-/// canonical basis extraction.
+/// previous relaxation warm-starts the next one, and the previous pass's
+/// LP matrix is carried as a keyed column map. When the per-flip-flop
+/// candidate ring structure is unchanged (the common case — incremental
+/// placement moves flip-flops by fractions of a ring pitch), the next
+/// pass *patches* the carried matrix's costs and loads in place instead
+/// of rebuilding it, and the carried basis — mapped by stable
+/// flip-flop × ring keys — is repaired by the simplex's dual phase
+/// instead of being discarded. Solutions are bit-identical to a cold
+/// rebuild either way, thanks to the simplex's canonical basis
+/// extraction.
 #[derive(Debug, Clone, Default)]
 pub struct AssignContext {
     basis: Option<LpBasis>,
+    cached: Option<CachedLp>,
+    /// The previous pass's rounded assignment — the seed of the crash
+    /// basis used when the candidate structure changed too much for the
+    /// carried simplex basis to be worth repairing.
+    last_rings: Option<Vec<RingId>>,
+    /// When set, a solve with no carried incumbent crash-starts from the
+    /// nearest-candidate assignment instead of the all-artificial big-M
+    /// start (skips the feasibility phase on the very first pass). Off by
+    /// default so one-shot solves keep the classic cold reference path;
+    /// survives [`AssignContext::reset`] — it is configuration, not state.
+    crash_start: bool,
+    stats: AssignStats,
+}
+
+/// The previous pass's relaxation, kept for in-place delta patching.
+#[derive(Debug, Clone)]
+struct CachedLp {
+    lp: LpProblem,
+    var_of: Vec<Vec<usize>>,
+    /// LP row index of each ring's load row (`None` for candidate-less
+    /// rings, which get no row).
+    ring_row_of: Vec<Option<usize>>,
+    /// Per-flip-flop candidate ring ids the matrix was built for.
+    structure: Vec<Vec<RingId>>,
 }
 
 impl AssignContext {
-    /// A context with no carried basis (first solve is cold).
+    /// A context with no carried state (first solve is cold).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Drops the carried basis; the next solve starts cold.
+    /// Drops the carried basis and column map; the next solve starts cold
+    /// from a freshly built matrix.
     pub fn reset(&mut self) {
         self.basis = None;
+        self.cached = None;
+        self.last_rings = None;
     }
 
     /// Whether a basis from a previous solve is being carried.
     pub fn has_basis(&self) -> bool {
         self.basis.is_some()
+    }
+
+    /// Enables (or disables) crash-starting incumbent-less solves from
+    /// the nearest-candidate assignment. See the field doc.
+    pub fn set_crash_start(&mut self, on: bool) {
+        self.crash_start = on;
+    }
+
+    /// Telemetry of the most recent [`assign_min_max_cap_ctx`] call.
+    pub fn stats(&self) -> AssignStats {
+        self.stats
     }
 }
 
@@ -184,6 +246,30 @@ pub fn assign_network_flow_with_stats(
 /// simplex pricing rules; flow code goes through
 /// [`assign_min_max_cap_ctx`].
 pub fn min_max_lp(costs: &CandidateCosts, n_rings: usize) -> (LpProblem, Vec<Vec<usize>>) {
+    let (lp, var_of, _) = build_min_max_lp(costs, n_rings);
+    (lp, var_of)
+}
+
+/// Stable simplex key of the `x_ij` column (flip-flop × candidate ring) —
+/// what lets a carried basis survive candidate-set changes between flow
+/// iterations.
+fn col_key(ff: usize, rid: RingId) -> u64 {
+    ((ff as u64) << 32) | (u64::from(rid.0) + 1)
+}
+
+/// Stable key of the makespan variable `t`.
+const T_VAR_KEY: u64 = u64::MAX;
+
+/// Tag distinguishing ring-load row keys from flip-flop row keys.
+const RING_ROW_TAG: u64 = 1 << 48;
+
+/// [`min_max_lp`] plus the LP row index of every ring's load row (`None`
+/// for rings no flip-flop considers) — the map the in-place patching of
+/// [`assign_min_max_cap_ctx`] needs.
+fn build_min_max_lp(
+    costs: &CandidateCosts,
+    n_rings: usize,
+) -> (LpProblem, Vec<Vec<usize>>, Vec<Option<usize>>) {
     let f = costs.len();
     let mut var_of = Vec::with_capacity(f);
     let mut n_vars = 0usize;
@@ -199,15 +285,20 @@ pub fn min_max_lp(costs: &CandidateCosts, n_rings: usize) -> (LpProblem, Vec<Vec
     // without measurably changing the achieved maximum load.
     let mut obj = vec![0.0; n_vars + 1];
     obj[t_var] = 1.0;
+    let mut col_keys = vec![0u64; n_vars + 1];
+    col_keys[t_var] = T_VAR_KEY;
     for (i, cands) in costs.candidates.iter().enumerate() {
-        for (k, &(_, wl, _)) in cands.iter().enumerate() {
+        for (k, &(rid, wl, _)) in cands.iter().enumerate() {
             obj[var_of[i][k]] = 1e-9 * wl;
+            col_keys[var_of[i][k]] = col_key(i, rid);
         }
     }
     let mut lp = LpProblem::minimize(obj);
-    for vars in var_of.iter().take(f) {
+    let mut row_keys: Vec<u64> = Vec::with_capacity(f);
+    for (i, vars) in var_of.iter().enumerate().take(f) {
         let row: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
         lp.add_row(RowKind::Eq, 1.0, &row);
+        row_keys.push(i as u64);
     }
     let mut ring_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_rings];
     for (i, cands) in costs.candidates.iter().enumerate() {
@@ -215,15 +306,49 @@ pub fn min_max_lp(costs: &CandidateCosts, n_rings: usize) -> (LpProblem, Vec<Vec
             ring_rows[rid.index()].push((var_of[i][k], load));
         }
     }
-    for row in ring_rows.into_iter() {
+    let mut ring_row_of = vec![None; n_rings];
+    for (j, row) in ring_rows.into_iter().enumerate() {
         if row.is_empty() {
             continue;
         }
         let mut row = row;
         row.push((t_var, -1.0));
-        lp.add_row(RowKind::Le, 0.0, &row);
+        ring_row_of[j] = Some(lp.add_row(RowKind::Le, 0.0, &row));
+        row_keys.push(RING_ROW_TAG | j as u64);
     }
-    (lp, var_of)
+    lp.set_col_keys(col_keys);
+    lp.set_row_keys(row_keys);
+    (lp, var_of, ring_row_of)
+}
+
+/// Builds the crash basis seeded from the incumbent assignment `last`
+/// (see [`assign_min_max_cap_ctx`]): the incumbent's surviving
+/// flip-flop × ring columns, the makespan variable, and the slack of every
+/// ring-load row except the one carrying the incumbent's peak load (whose
+/// row the makespan column pivots). Flip-flops whose incumbent ring is no
+/// longer a candidate are left to the solver's artificial fill. `None`
+/// when no ring row exists to pivot the makespan against.
+fn crash_basis(
+    costs: &CandidateCosts,
+    n_rings: usize,
+    ring_row_of: &[Option<usize>],
+    last: &[RingId],
+) -> Option<LpBasis> {
+    let mut load_of_ring = vec![0.0f64; n_rings];
+    let mut structural = vec![(T_VAR_KEY, false)];
+    for (i, (cands, &rid)) in costs.candidates.iter().zip(last).enumerate() {
+        if let Some(&(_, _, load)) = cands.iter().find(|&&(r, _, _)| r == rid) {
+            structural.push((col_key(i, rid), false));
+            load_of_ring[rid.index()] += load;
+        }
+    }
+    let tight = (0..n_rings).filter(|&j| ring_row_of[j].is_some()).max_by(|&a, &b| {
+        load_of_ring[a].partial_cmp(&load_of_ring[b]).expect("loads are finite").then(b.cmp(&a))
+    })?;
+    let slacks = (0..n_rings)
+        .filter(|&j| j != tight && ring_row_of[j].is_some())
+        .map(|j| RING_ROW_TAG | j as u64);
+    Some(LpBasis::crash(structural, slacks))
 }
 
 /// Max ring load of an integral assignment under the candidate loads.
@@ -255,8 +380,11 @@ pub fn assign_min_max_cap(
 
 /// [`assign_min_max_cap`] with an [`AssignContext`] carried across calls:
 /// the optimal basis of the previous relaxation warm-starts the current
-/// simplex. The context is updated with this solve's optimal basis on
-/// success and cleared on failure.
+/// simplex (dual-simplex repair accepts drifted costs/loads and even
+/// changed candidate columns), and when the candidate ring structure is
+/// unchanged the previous pass's LP matrix is patched in place instead of
+/// rebuilt. The context is updated with this solve's optimal basis and
+/// matrix on success and cleared on failure.
 ///
 /// # Errors
 ///
@@ -267,8 +395,124 @@ pub fn assign_min_max_cap_ctx(
     n_rings: usize,
     ctx: &mut AssignContext,
 ) -> Result<AssignOutcome, AssignError> {
-    let (lp, var_of) = min_max_lp(costs, n_rings);
-    let (sol, basis) = lp.solve_with_basis(ctx.basis.as_ref());
+    let structure: Vec<Vec<RingId>> =
+        costs.candidates.iter().map(|c| c.iter().map(|&(r, _, _)| r).collect()).collect();
+    let total_cols: usize = costs.candidates.iter().map(Vec::len).sum();
+    let (lp, var_of, ring_row_of, cols_reused, cols_rebuilt) = match ctx.cached.take() {
+        // Structure unchanged: carry the matrix, patch the deltas (the
+        // wirelength tiebreak costs and the ring-row loads) in place. The
+        // patched problem is representationally identical to a fresh
+        // build, so downstream results cannot differ.
+        Some(mut c) if c.ring_row_of.len() == n_rings && c.structure == structure => {
+            for (i, cands) in costs.candidates.iter().enumerate() {
+                for (k, &(rid, wl, load)) in cands.iter().enumerate() {
+                    let v = c.var_of[i][k];
+                    c.lp.set_objective_coeff(v, 1e-9 * wl);
+                    let row = c.ring_row_of[rid.index()].expect("candidate ring has a load row");
+                    c.lp.update_coeff(v, row, load);
+                }
+            }
+            (c.lp, c.var_of, c.ring_row_of, total_cols, 0)
+        }
+        // Structure changed (or first pass): rebuild, and count how many
+        // flip-flop × ring columns survive by key — those are what the
+        // keyed basis resolution can still map.
+        prev => {
+            let (lp, var_of, ring_row_of) = build_min_max_lp(costs, n_rings);
+            let reused = prev
+                .map(|c| {
+                    structure
+                        .iter()
+                        .zip(&c.structure)
+                        .map(|(now, was)| now.iter().filter(|r| was.contains(r)).count())
+                        .sum()
+                })
+                .unwrap_or(0);
+            (lp, var_of, ring_row_of, reused, total_cols - reused.min(total_cols))
+        }
+    };
+    // Warm-start choice. Unchanged structure means small drift: the
+    // carried optimal basis is near the new optimum and the dual-simplex
+    // repair replays the delta cheaply. Changed structure means the
+    // placement moved flip-flops across ring neighborhoods — the old
+    // basis is typically hundreds of columns from the new optimum and
+    // repairing it costs nearly a cold solve — so instead seed a *crash*
+    // basis from the incumbent rounded assignment: one surviving column
+    // per flip-flop at its old ring, the makespan column pivoting the
+    // tightest ring row, and every other ring row on its slack. That
+    // vertex is primal feasible by construction, so the solve skips the
+    // big-M feasibility phase and starts the primal simplex from the
+    // incumbent instead of from nothing.
+    let crash = if cols_rebuilt > 0 {
+        match (&ctx.last_rings, ctx.crash_start) {
+            (Some(last), _) => crash_basis(costs, n_rings, &ring_row_of, last),
+            // No incumbent yet (first pass): crash from a greedy
+            // least-peak-load sweep over the candidate lists when enabled —
+            // primal feasible like any integral assignment, spares the
+            // big-M feasibility phase its ~m artificial evictions, and
+            // lands far closer to the min-max optimum than the plain
+            // nearest-ring choice (which overloads central rings).
+            (None, true) => {
+                let mut loads = vec![0.0f64; n_rings];
+                let mut greedy: Vec<RingId> = costs
+                    .candidates
+                    .iter()
+                    .map(|cands| {
+                        let mut best = 0usize;
+                        let mut best_peak = f64::INFINITY;
+                        for (k, &(rid, _, load)) in cands.iter().enumerate() {
+                            let peak = loads[rid.index()] + load;
+                            if peak < best_peak {
+                                best = k;
+                                best_peak = peak;
+                            }
+                        }
+                        let (rid, _, load) = cands[best];
+                        loads[rid.index()] += load;
+                        rid
+                    })
+                    .collect();
+                // A couple of deterministic reassignment sweeps: with all
+                // loads known, move each flip-flop to the candidate that
+                // minimizes its ring's resulting load. Each sweep is
+                // O(f·k) and pulls the start vertex visibly closer to the
+                // min-max optimum (fewer simplex pivots to pay later).
+                for _ in 0..2 {
+                    for (i, cands) in costs.candidates.iter().enumerate() {
+                        let cur = greedy[i];
+                        let cur_load =
+                            cands.iter().find(|&&(r, _, _)| r == cur).map_or(0.0, |&(_, _, l)| l);
+                        loads[cur.index()] -= cur_load;
+                        let mut best = 0usize;
+                        let mut best_peak = f64::INFINITY;
+                        for (k, &(rid, _, load)) in cands.iter().enumerate() {
+                            let peak = loads[rid.index()] + load;
+                            if peak < best_peak {
+                                best = k;
+                                best_peak = peak;
+                            }
+                        }
+                        let (rid, _, load) = cands[best];
+                        loads[rid.index()] += load;
+                        greedy[i] = rid;
+                    }
+                }
+                crash_basis(costs, n_rings, &ring_row_of, &greedy)
+            }
+            (None, false) => None,
+        }
+    } else {
+        None
+    };
+    let warm_basis = crash.as_ref().or(ctx.basis.as_ref());
+    let (sol, basis, warm) = lp.solve_with_basis_stats(warm_basis);
+    ctx.stats = AssignStats {
+        lp_iterations: sol.iterations,
+        cols_reused,
+        cols_rebuilt,
+        warm_pivots: if warm.mode == WarmMode::Cold { 0 } else { sol.iterations },
+        warm_mode: warm.mode,
+    };
     if sol.status != LpStatus::Optimal {
         ctx.reset();
         return Err(AssignError::RelaxationFailed {
@@ -277,6 +521,27 @@ pub fn assign_min_max_cap_ctx(
         });
     }
     ctx.basis = basis;
+    // The crash seed for the next pass is the per-flip-flop *LP argmax*,
+    // not the rounded assignment: rounding's load-aware tie steering moves
+    // rows off the relaxation vertex, and the crash wants to start as close
+    // to the previous optimal basis as an integral vertex can.
+    ctx.last_rings = Some(
+        costs
+            .candidates
+            .iter()
+            .zip(&var_of)
+            .map(|(cands, vars)| {
+                let mut best = 0usize;
+                for (k, &v) in vars.iter().enumerate().skip(1) {
+                    if sol.x[v] > sol.x[vars[best]] {
+                        best = k;
+                    }
+                }
+                cands[best].0
+            })
+            .collect(),
+    );
+    ctx.cached = Some(CachedLp { lp, var_of: var_of.clone(), ring_row_of, structure });
     let rings = round_assignment(costs, &sol, &var_of, n_rings);
     let achieved = max_load_of(costs, n_rings, &rings);
     let lp_opt = sol.objective.max(1e-12);

@@ -21,14 +21,15 @@
 
 use crate::assign::{self, Assignment};
 use crate::metrics::CostSnapshot;
-use crate::par::{par_map_with, ParConfig};
 use crate::skew::{self, SkewSchedule, SkewStats};
 use crate::tapping::{CandidateCache, CandidateCosts, TapAssignments};
 use crate::telemetry::{FlowTelemetry, Stage};
 use rotary_netlist::Circuit;
 use rotary_place::{Placer, PlacerConfig, PseudoNet};
 use rotary_ring::{RingArray, RingParams};
+use rotary_solver::lp::WarmMode;
 use rotary_solver::mcmf::CirculationBackend;
+use rotary_solver::par::{par_map_with, ParConfig};
 use rotary_timing::{SequentialGraph, Technology};
 use serde::{Deserialize, Serialize};
 
@@ -243,6 +244,7 @@ impl Flow {
         // and the candidate ring lists carried across stage-3 cost
         // computations — both cleared per pass when warm starting is off.
         let mut assign_ctx = assign::AssignContext::new();
+        assign_ctx.set_crash_start(cfg.warm_start);
         let mut cand_cache = CandidateCache::new();
 
         // Determine the effective clock period once, after the initial
@@ -321,10 +323,25 @@ impl Flow {
                     &mut cand_cache,
                 );
                 stage.set_problem_size(costs.total_candidates());
-                stage.set_reused_work(cand_cache.reused() - reused_before);
+                let cache_delta = cand_cache.reused() - reused_before;
                 let (a, solver_iters) =
                     self.assign(&costs, &capacities, array.rings().len(), &mut assign_ctx);
                 stage.add_solver_iterations(solver_iters);
+                // Reuse telemetry mirrors stages 2/4: reused_work counts
+                // candidate-cache hits plus LP columns carried over,
+                // delta_arcs the columns rebuilt, affected_vertices the
+                // warm pivots the repair phase spent.
+                let astats = assign_ctx.stats();
+                stage.set_reused_work(cache_delta + astats.cols_reused);
+                stage.add_delta_arcs(astats.cols_rebuilt);
+                stage.add_affected_vertices(astats.warm_pivots);
+                if self.config.objective == AssignmentObjective::MaxLoadCap {
+                    stage.set_backend(match astats.warm_mode {
+                        WarmMode::Cold => "lp-cold",
+                        WarmMode::Primal => "lp-warm",
+                        WarmMode::DualRepair => "lp-dual-repair",
+                    });
+                }
                 assignment = a;
             }
 

@@ -35,7 +35,6 @@ pub mod assign;
 pub mod flow;
 pub mod local_tree;
 pub mod metrics;
-pub mod par;
 pub mod skew;
 pub mod tapping;
 pub mod telemetry;

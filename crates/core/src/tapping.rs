@@ -7,10 +7,10 @@
 //! both assignment formulations; the chosen ring's solution also yields the
 //! load capacitance `C_p^ij = c·l + C_ff` of Section VI.
 
-use crate::par::par_map;
 use crate::skew::SkewSchedule;
 use rotary_netlist::{CellId, Circuit, Point};
 use rotary_ring::{RingArray, RingId, TapSolution};
+use rotary_solver::par::par_map;
 use serde::{Deserialize, Serialize};
 
 /// Cross-iteration cache of the per-flip-flop nearest-`k` candidate ring
@@ -30,6 +30,7 @@ pub struct CandidateCache {
     k: usize,
     entries: Vec<CacheEntry>,
     reused: usize,
+    stable_misses: usize,
 }
 
 /// One flip-flop's cached nearest-`k` query: the position it was computed
@@ -53,12 +54,23 @@ impl CandidateCache {
     pub fn reset(&mut self) {
         self.entries.clear();
         self.reused = 0;
+        self.stable_misses = 0;
     }
 
     /// Ring lists served from cache (telemetry: geometry queries saved)
     /// since construction or the last [`CandidateCache::reset`].
     pub fn reused(&self) -> usize {
         self.reused
+    }
+
+    /// Misses whose fresh nearest-`k` query returned the *same* ring list
+    /// as the cached one: the flip-flop drifted past the certificate but
+    /// its candidate structure held. These are exactly the flip-flops
+    /// whose LP columns survive keyed basis reuse downstream
+    /// ([`crate::assign::AssignContext`]), so this counter bounds how much
+    /// of the drift radius the 1-Lipschitz margin is leaving on the table.
+    pub fn stable_misses(&self) -> usize {
+        self.stable_misses
     }
 }
 
@@ -76,8 +88,8 @@ impl CandidateCosts {
     /// at the given skew schedule.
     ///
     /// The per-FF×ring tapping solves are independent, so they fan out
-    /// over scoped worker threads ([`crate::par::par_map`]); the result is
-    /// bit-identical to the sequential computation.
+    /// over scoped worker threads ([`rotary_solver::par::par_map`]); the
+    /// result is bit-identical to the sequential computation.
     ///
     /// # Panics
     ///
@@ -149,6 +161,9 @@ impl CandidateCosts {
             } else {
                 let anchor = circuit.position(flip_flops[i]);
                 let (rings, margin) = fresh.expect("miss carries the fresh query");
+                if cache.entries.get(i).is_some_and(|e| e.rings == rings) {
+                    cache.stable_misses += 1;
+                }
                 entries.push(CacheEntry { anchor, margin, rings });
             }
             candidates.push(costed);

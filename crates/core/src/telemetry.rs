@@ -120,21 +120,27 @@ pub struct StageRecord {
     /// augmenting paths, or canceled cycles. Zero for non-solver stages.
     pub solver_iterations: usize,
     /// Work units served from a cross-iteration cache instead of being
-    /// recomputed (e.g. candidate ring lists reused by stage 3, or
-    /// constraint arcs a delta-rebound parametric engine did not have to
-    /// re-examine). Zero for stages without a cache.
+    /// recomputed (e.g. candidate ring lists reused by stage 3, LP columns
+    /// a carried simplex basis mapped by stable key, or constraint arcs a
+    /// delta-rebound parametric engine did not have to re-examine). Zero
+    /// for stages without a cache.
     pub reused_work: usize,
-    /// Constraint arcs whose bounds actually changed when a persistent
-    /// solver engine was re-targeted at this pass's system (the delta the
-    /// incremental path replays). Zero for stages without such an engine.
+    /// Constraint arcs (stages 2/4) or LP columns (stage 3) whose bounds,
+    /// costs, or existence actually changed when a persistent solver
+    /// engine was re-targeted at this pass's system — the delta the
+    /// incremental path replays. Zero for stages without such an engine.
     pub delta_arcs: usize,
     /// Distinct variables whose labels moved during this pass's
-    /// relaxations — the size of the affected region the delta seeding
-    /// propagated through. Zero for stages without relaxation solves.
+    /// relaxations — the affected region the delta seeding propagated
+    /// through; for stage 3 the pivots the warm-started simplex spent
+    /// reaching the new optimum. Zero for stages without relaxation
+    /// solves.
     pub affected_vertices: usize,
-    /// Label of the solver backend that served this pass (for stage 4,
-    /// the circulation engine: `"ssp-sequential"`, `"ssp-bucketed"`, or
-    /// `"cost-scaling"`). Empty for stages without a backend choice.
+    /// Label of the solver backend that served this pass (stage 4: the
+    /// circulation engine `"ssp-sequential"`, `"ssp-bucketed"`, or
+    /// `"cost-scaling"`; stage 3 on the eq. 3 route: `"lp-cold"`,
+    /// `"lp-warm"`, or `"lp-dual-repair"`). Empty for stages without a
+    /// backend choice.
     pub backend: &'static str,
 }
 

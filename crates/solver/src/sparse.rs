@@ -280,6 +280,102 @@ impl SparseLu {
         self.m
     }
 
+    /// Rank-deficiency scan of a singular basis: the same left-looking
+    /// elimination as [`SparseLu::factor`], but a column with no
+    /// acceptable pivot is *skipped* (recorded) instead of aborting the
+    /// factorization. Returns the deficient column positions paired with
+    /// the rows left unpivoted at the end, both ascending — substituting
+    /// each listed row's unit column (its slack or artificial) at the
+    /// matching basis position yields a nonsingular basis.
+    ///
+    /// Only worth calling after [`SparseLu::factor`] returned `None`: it
+    /// repeats the full elimination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bt` is not square.
+    pub fn deficiency(bt: &CsrMatrix) -> (Vec<usize>, Vec<usize>) {
+        let m = bt.nrows();
+        assert_eq!(m, bt.ncols(), "basis must be square");
+        let mut pinv = vec![u32::MAX; m];
+        let mut rowof = vec![u32::MAX; m];
+        let mut lcols: Vec<Vec<(u32, f64)>> = Vec::with_capacity(m);
+        let mut deficient: Vec<usize> = Vec::new();
+
+        let mut x = vec![0.0f64; m];
+        let mut stamp = vec![0u32; m];
+        let mut touched: Vec<u32> = Vec::with_capacity(64);
+
+        for k in 0..m {
+            let gen = k as u32 + 1;
+            touched.clear();
+            let (rows, vals) = bt.row(k);
+            for (&r, &v) in rows.iter().zip(vals) {
+                let r = r as usize;
+                if stamp[r] != gen {
+                    stamp[r] = gen;
+                    x[r] = 0.0;
+                    touched.push(r as u32);
+                }
+                x[r] += v;
+            }
+            for j in 0..k {
+                if rowof[j] == u32::MAX {
+                    continue;
+                }
+                let pr = rowof[j] as usize;
+                if stamp[pr] != gen {
+                    continue;
+                }
+                let xj = x[pr];
+                if xj == 0.0 {
+                    continue;
+                }
+                for &(orig, lv) in &lcols[j] {
+                    let o = orig as usize;
+                    if stamp[o] != gen {
+                        stamp[o] = gen;
+                        x[o] = 0.0;
+                        touched.push(orig);
+                    }
+                    x[o] -= lv * xj;
+                }
+            }
+            let mut piv = usize::MAX;
+            let mut piv_abs = 0.0f64;
+            for &t in &touched {
+                let t = t as usize;
+                if pinv[t] == u32::MAX && x[t].abs() > piv_abs {
+                    piv_abs = x[t].abs();
+                    piv = t;
+                }
+            }
+            if piv == usize::MAX || piv_abs < SINGULAR_EPS {
+                deficient.push(k);
+                lcols.push(Vec::new());
+                continue;
+            }
+            let d = x[piv];
+            pinv[piv] = k as u32;
+            rowof[k] = piv as u32;
+            let mut lcol = Vec::new();
+            for &t in &touched {
+                let t = t as usize;
+                let v = x[t];
+                if v == 0.0 || t == piv {
+                    continue;
+                }
+                if pinv[t] == u32::MAX {
+                    lcol.push((t as u32, v / d));
+                }
+            }
+            lcols.push(lcol);
+        }
+        let mut rows: Vec<usize> = (0..m).filter(|&r| pinv[r] == u32::MAX).collect();
+        rows.sort_unstable();
+        (deficient, rows)
+    }
+
     /// FTRAN: solves `B·x = b` for sparse `b` given as `(orig_row, value)`
     /// pairs; writes the dense solution (indexed by basis position) into
     /// `out`.
@@ -408,6 +504,13 @@ impl BasisFactorization {
             }
             None => false,
         }
+    }
+
+    /// Whether the factorization is fresh — no eta updates since the last
+    /// (re)factorization, so FTRAN/BTRAN solve against the bare LU with no
+    /// accumulated product-form drift.
+    pub fn is_fresh(&self) -> bool {
+        self.etas.is_empty()
     }
 
     /// Whether the eta chain has grown past the refactorization threshold.

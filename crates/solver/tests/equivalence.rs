@@ -261,6 +261,120 @@ proptest! {
     }
 }
 
+/// [`min_max_instance`] with stable item×bin column keys and row keys —
+/// the shape `core::assign` hands the solver, where a basis carried from
+/// one instance can be resolved against another whose candidate columns
+/// only partially overlap.
+fn keyed_min_max_instance(
+    items: usize,
+    bins: usize,
+    raw: &[f64],
+) -> (LpProblem, Vec<Vec<(usize, usize)>>) {
+    let (mut lp, var_of) = min_max_instance(items, bins, raw);
+    let n_vars = lp.num_vars();
+    let mut col_keys = vec![0u64; n_vars];
+    for (item, row) in var_of.iter().enumerate() {
+        for &(bin, col) in row {
+            col_keys[col] = ((item as u64) << 32) | (bin as u64 + 1);
+        }
+    }
+    col_keys[n_vars - 1] = u64::MAX; // the makespan t
+    let mut row_keys: Vec<u64> = (0..items as u64).collect();
+    let mut present = vec![false; bins];
+    for row in &var_of {
+        for &(bin, _) in row {
+            present[bin] = true;
+        }
+    }
+    for (bin, p) in present.iter().enumerate() {
+        if *p {
+            row_keys.push((1 << 48) | bin as u64);
+        }
+    }
+    lp.set_col_keys(col_keys);
+    lp.set_row_keys(row_keys);
+    (lp, var_of)
+}
+
+proptest! {
+    /// Warm-starting from a *different* instance's optimal basis is
+    /// bit-identical to the cold Dantzig solve. The two instances share
+    /// only their shape (items × bins): costs and loads are redrawn and
+    /// the candidate bin sets differ, so the keyed resolution exercises
+    /// surviving, added, and dropped columns together; triage then takes
+    /// whichever of the primal / dual-repair / cold paths applies. The
+    /// tiebreak-polish termination makes the optimal vertex a function of
+    /// the problem alone, so `x` must match bit for bit, not just in
+    /// objective.
+    #[test]
+    fn warm_started_resolve_is_bit_identical_to_cold(
+        items in 3usize..=14,
+        bins in 2usize..=5,
+        raw_a in prop::collection::vec(-2.0f64..2.0, 96),
+        raw_b in prop::collection::vec(-2.0f64..2.0, 96),
+    ) {
+        let (lp_a, _) = keyed_min_max_instance(items, bins, &raw_a);
+        let (sol_a, basis_a) = lp_a.solve_with_basis(None);
+        prop_assert_eq!(sol_a.status, LpStatus::Optimal);
+        let basis_a = basis_a.expect("optimal solve returns a basis");
+
+        let (lp_b, _) = keyed_min_max_instance(items, bins, &raw_b);
+        let cold = lp_b.solve();
+        let (warm, _, _stats) = lp_b.solve_with_basis_stats(Some(&basis_a));
+        prop_assert_eq!(cold.status, LpStatus::Optimal);
+        prop_assert_eq!(warm.status, LpStatus::Optimal);
+        prop_assert!(
+            warm.x == cold.x,
+            "warm x diverged from cold x: warm obj {} cold obj {}",
+            warm.objective,
+            cold.objective
+        );
+        prop_assert_eq!(warm.objective, cold.objective);
+    }
+
+    /// Same property under pure cost/bound drift: the instance keeps its
+    /// matrix but every objective coefficient is redrawn. The carried
+    /// basis maps fully (no added or dropped columns), which pins the
+    /// primal-restart triage arm specifically.
+    #[test]
+    fn warm_cost_drift_is_bit_identical_to_cold(
+        items in 3usize..=14,
+        bins in 2usize..=5,
+        raw in prop::collection::vec(-2.0f64..2.0, 96),
+        scale in 0.25f64..4.0,
+    ) {
+        let (lp_a, var_of) = keyed_min_max_instance(items, bins, &raw);
+        let (sol_a, basis_a) = lp_a.solve_with_basis(None);
+        prop_assert_eq!(sol_a.status, LpStatus::Optimal);
+        let basis_a = basis_a.expect("optimal solve returns a basis");
+
+        let mut lp_b = lp_a;
+        for row in &var_of {
+            for &(_, col) in row {
+                // Redraw every cost with the generator's two-term lattice
+                // structure (dyadic 1e-4·wl + integer·1e-7 jitter) under a
+                // fresh hash multiplier. The lattice is what rules out
+                // near-ties: any basis-exchange circuit sums to exactly 0
+                // or to ≥ 1e-7 ≫ EPS in each term independently, so an
+                // exact alternate optimum needs both sums to vanish at
+                // once. A single constant-plus-jitter term admits zero-sum
+                // circuits far too often, and warm/cold then legitimately
+                // stop at different corners of the tied face.
+                let h = (col as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+                let wl = q8(scale * ((h >> 52) as f64) / 512.0);
+                let jitter = ((h >> 20) & 0xFFF) as f64;
+                lp_b.set_objective_coeff(col, 1e-4 * wl + 1e-7 * (jitter + 1.0));
+            }
+        }
+        let cold = lp_b.solve();
+        let (warm, _, _stats) = lp_b.solve_with_basis_stats(Some(&basis_a));
+        prop_assert_eq!(cold.status, LpStatus::Optimal);
+        prop_assert_eq!(warm.status, LpStatus::Optimal);
+        prop_assert!(warm.x == cold.x, "cost-drift warm x diverged from cold x");
+        prop_assert_eq!(warm.objective, cold.objective);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Textbook Bellman–Ford reference
 // ---------------------------------------------------------------------------

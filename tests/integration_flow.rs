@@ -66,6 +66,64 @@ fn s15850_warm_flow_matches_cold_and_reuses_stage2_work() {
     let stage4 = reuse.iter().find(|r| r.0 == Stage::CostDrivenSkew).unwrap();
     assert!(stage4.1 > 0, "stage-4 reused_work must be nonzero on a warm s15850 run");
     assert!(stage4.2 > 0, "stage-4 delta_arcs must be nonzero (ideals drift every re-wrap)");
+
+    // Stage 3: on the network-flow route the candidate cache carries
+    // geometry across Fig. 3 iterations; drift-bounded regeneration must
+    // report the retained entries as reused work.
+    let stage3 = reuse.iter().find(|r| r.0 == Stage::Assignment).unwrap();
+    assert!(stage3.1 > 0, "stage-3 reused_work must be nonzero on a warm s15850 run");
+    let cold_stage3 = cold_reuse.iter().find(|r| r.0 == Stage::Assignment).unwrap();
+    assert_eq!(cold_stage3.1, 0, "cold runs must not report assignment reuse");
+}
+
+/// On the eq. 3 (`MaxLoadCap`) route, stage 3 is a simplex solve and the
+/// warm path is the dual-simplex basis repair: surviving columns are
+/// mapped by stable key, the basis is refactorized, and the solver pivots
+/// from the prior vertex. The telemetry must show the repaired-basis
+/// backend and a nonzero column-reuse footprint — and the result must
+/// still be bit-identical to a cold run (same polish-terminated vertex).
+#[test]
+fn s15850_ilp_route_warm_assignment_repairs_lp_basis() {
+    use rotary::core::telemetry::Stage;
+    let suite = BenchmarkSuite::S15850;
+    let run = |warm_start: bool| {
+        let mut circuit = suite.circuit(7);
+        let cfg = FlowConfig {
+            warm_start,
+            objective: AssignmentObjective::MaxLoadCap,
+            ..FlowConfig::default()
+        };
+        Flow::new(cfg).run(&mut circuit, suite.ring_grid())
+    };
+    let warm = run(true);
+    let cold = run(false);
+    assert_eq!(warm.schedule, cold.schedule);
+    assert_eq!(warm.assignment, cold.assignment);
+    assert_eq!(warm.taps.solutions, cold.taps.solutions);
+
+    let reuse = warm.telemetry.reuse_by_stage();
+    let stage3 = reuse.iter().find(|r| r.0 == Stage::Assignment).unwrap();
+    assert!(stage3.1 > 0, "LP warm start must report reused columns on s15850");
+    assert!(stage3.3 > 0, "warm pivot count (affected_vertices) must be nonzero");
+    let warm_backends: Vec<&str> = warm
+        .telemetry
+        .records()
+        .iter()
+        .filter(|r| r.stage == Stage::Assignment)
+        .map(|r| r.backend)
+        .collect();
+    assert!(
+        warm_backends.iter().any(|b| *b == "lp-warm" || *b == "lp-dual-repair"),
+        "warm run must serve at least one pass from a carried basis, got {warm_backends:?}"
+    );
+    assert!(
+        cold.telemetry
+            .records()
+            .iter()
+            .filter(|r| r.stage == Stage::Assignment)
+            .all(|r| r.backend == "lp-cold"),
+        "cold run must stay on the cold simplex path"
+    );
 }
 
 #[test]
