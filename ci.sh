@@ -79,12 +79,21 @@ echo "==> tables --suite s15850 stage2 (smoke, 60s budget)"
 # Stage-3 assignment warm-start smoke: interleaved warm/cold full flows on
 # both routes. The binary asserts bit-identical schedules/assignments/taps
 # and nonzero assignment reuse, so a dead LP basis carry or a warm/cold
-# divergence fails here even well under budget. The grep double-checks the
-# dual-simplex repair actually served a pass (backend column).
+# divergence fails here even well under budget. The greps double-check
+# both routes' engines actually served a warm pass: the ilp route must
+# report a carried LP basis (lp-warm / lp-dual-repair) and the
+# network-flow route must report the carried transportation engine
+# (tp-warm) with nonzero arc reuse on its A/B row.
 echo "==> tables --suite s15850 assign (smoke, 120s budget + reuse check)"
 (cd "$scratch" && timeout 120 "$tables_bin" --suite s15850 assign > tables_assign_ci.log)
 grep -q 'backend lp-warm\|backend lp-dual-repair' "$scratch/tables_assign_ci.log" \
   || { echo "assignment smoke must serve a pass from a carried LP basis:"; \
+       cat "$scratch/tables_assign_ci.log"; exit 1; }
+grep -q 'backend tp-warm' "$scratch/tables_assign_ci.log" \
+  || { echo "assignment smoke must serve a pass from the carried transportation engine:"; \
+       cat "$scratch/tables_assign_ci.log"; exit 1; }
+grep '\[network-flow' "$scratch/tables_assign_ci.log" | grep -q '([1-9][0-9]* reused' \
+  || { echo "network-flow A/B row must report nonzero transportation arc reuse:"; \
        cat "$scratch/tables_assign_ci.log"; exit 1; }
 
 # Staleness guard: the committed small-suite battery must match a fresh

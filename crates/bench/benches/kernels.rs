@@ -13,7 +13,9 @@ use rotary_netlist::BenchmarkSuite;
 use rotary_ring::{Ring, RingArray, RingDirection, RingParams};
 use rotary_solver::graph::{Source, SpfaGraph};
 use rotary_solver::lp::{LpProblem, Pricing, RowKind};
-use rotary_solver::mcmf::{Circulation, CirculationBackend, DijkstraStrategy, FlowNetwork};
+use rotary_solver::mcmf::{
+    Circulation, CirculationBackend, DijkstraStrategy, FlowNetwork, Transportation,
+};
 use rotary_solver::rounding::{greedy_round_loaded, greedy_round_loaded_rescan, LoadedCandidate};
 use rotary_solver::sparse::{CsrMatrix, SparseLu};
 use rotary_solver::{DifferenceSystem, ParametricSystem};
@@ -63,6 +65,55 @@ fn bench_assignment(c: &mut Criterion) {
         b.iter_batched(
             || costs.clone(),
             |costs| std::hint::black_box(assign_min_max_cap(&costs, n_rings).expect("solved")),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// The incremental stage-3 transportation engine at s38417 scale: one
+/// cold build-and-solve, and one warm re-solve after an incremental-
+/// placement-sized cost drift (structure unchanged — the steady-state
+/// shape of the Fig.-3 loop).
+fn bench_transportation(c: &mut Criterion) {
+    let (costs, caps, _) = setup_costs_k(BenchmarkSuite::S38417, 9);
+    let f = costs.len();
+    let r = caps.len();
+    let cands: Vec<Vec<(u32, i64)>> = costs
+        .candidates
+        .iter()
+        .map(|list| {
+            list.iter().map(|&(rid, wl, _)| (rid.0, (wl * COST_SCALE).round() as i64)).collect()
+        })
+        .collect();
+    let ring_caps: Vec<i64> = caps.iter().map(|&u| u as i64).collect();
+    c.bench_function("assign/transportation_cold_s38417", |b| {
+        b.iter_batched(
+            || Transportation::new(f, r),
+            |mut eng| {
+                eng.solve(&cands, &ring_caps, false).expect("feasible");
+                std::hint::black_box(eng.assignment().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut warm_src = Transportation::new(f, r);
+    warm_src.solve(&cands, &ring_caps, false).expect("feasible");
+    let mut drifted = cands.clone();
+    let delta = (0.05 * COST_SCALE) as i64;
+    for (i, list) in drifted.iter_mut().enumerate() {
+        if i % 8 == 0 {
+            for cand in list.iter_mut() {
+                cand.1 += delta;
+            }
+        }
+    }
+    c.bench_function("assign/transportation_warm_s38417", |b| {
+        b.iter_batched(
+            || warm_src.clone(),
+            |mut eng| {
+                eng.solve(&drifted, &ring_caps, true).expect("feasible");
+                std::hint::black_box(eng.assignment().len())
+            },
             BatchSize::SmallInput,
         )
     });
@@ -675,7 +726,7 @@ fn bench_mcmf(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_tapping, bench_assignment, bench_skew, bench_sta, bench_sparse_lu, bench_spfa,
-        bench_parametric, bench_lp, bench_mcmf
+    targets = bench_tapping, bench_assignment, bench_transportation, bench_skew, bench_sta,
+        bench_sparse_lu, bench_spfa, bench_parametric, bench_lp, bench_mcmf
 }
 criterion_main!(kernels);

@@ -228,6 +228,18 @@ fn telemetry(ctx: &Ctx) {
         .ok()
         .map(|doc| parse_top_level(&doc))
         .unwrap_or_default();
+    // Run metadata under the reserved `_meta` key (sorts ahead of every
+    // suite name): the worker-thread cap the run saw and the git revision
+    // it was built from, so a merged file records the provenance of its
+    // freshest entries.
+    suites.insert(
+        "_meta".to_string(),
+        format!(
+            "{{\n\"threads\": {},\n\"git_rev\": \"{}\"\n}}",
+            rotary_solver::par::default_max_threads(),
+            git_rev(),
+        ),
+    );
     for (name, r) in &ctx.results {
         suites.insert(
             name.to_string(),
@@ -248,6 +260,20 @@ fn telemetry(ctx: &Ctx) {
         Ok(()) => println!("(telemetry JSON merged into BENCH_flow.json)"),
         Err(e) => eprintln!("could not write BENCH_flow.json: {e}"),
     }
+}
+
+/// Short git revision of the working tree, `"unknown"` when git (or the
+/// repository) is unavailable — metadata only, never load-bearing.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 /// Splits a `BENCH_flow.json` document into its top-level

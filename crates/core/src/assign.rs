@@ -15,7 +15,7 @@ use crate::tapping::CandidateCosts;
 use rotary_ring::RingId;
 use rotary_solver::ilp::{BranchAndBound, IlpOutcome};
 use rotary_solver::lp::{LpBasis, LpProblem, LpSolution, LpStatus, RowKind, WarmMode};
-use rotary_solver::mcmf::FlowNetwork;
+use rotary_solver::mcmf::{FlowNetwork, Transportation};
 use rotary_solver::rounding::{greedy_round, greedy_round_loaded};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -77,24 +77,38 @@ impl std::fmt::Display for AssignError {
 
 impl std::error::Error for AssignError {}
 
-/// Solver-effort statistics from one assignment relaxation solve, for
-/// flow telemetry (the assignment analogue of `skew::SkewStats`).
+/// Solver-effort statistics from one assignment solve, for flow telemetry
+/// (the assignment analogue of `skew::SkewStats`). Written by both stage-3
+/// engines: the eq.-3 LP relaxation ([`assign_min_max_cap_ctx`]) and the
+/// Section-V transportation engine ([`assign_network_flow_ctx`]) — field
+/// docs note the meaning on each route.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AssignStats {
-    /// Simplex pivots of the relaxation solve (dual repair + primal).
+    /// Simplex pivots of the relaxation solve (dual repair + primal); on
+    /// the network-flow route, augmenting paths pushed by the
+    /// transportation engine.
     pub lp_iterations: usize,
     /// Structural LP columns carried over from the previous pass — either
     /// patched in place (unchanged candidate structure) or remapped into
-    /// the rebuilt matrix by stable key. Zero on the first pass.
+    /// the rebuilt matrix by stable key. Zero on the first pass. On the
+    /// network-flow route: carried flow-arc pairs that survived the warm
+    /// rebind untouched.
     pub cols_reused: usize,
     /// Structural LP columns that had to be built fresh because their
-    /// flip-flop's candidate ring set changed (or appeared) this pass.
+    /// flip-flop's candidate ring set changed (or appeared) this pass. On
+    /// the network-flow route: arc pairs re-priced, re-capped, or rebuilt.
     pub cols_rebuilt: usize,
     /// Pivots spent inside a warm-started solve (the delta the repair
-    /// phase replays); zero when the solve ran cold.
+    /// phase replays); zero when the solve ran cold. On the network-flow
+    /// route: distinct nodes touched by the rebind delta.
     pub warm_pivots: usize,
-    /// How the simplex actually started ([`WarmMode`]).
+    /// How the simplex actually started ([`WarmMode`]); unused (default)
+    /// on the network-flow route.
     pub warm_mode: WarmMode,
+    /// Engine label of the solve that produced these stats: `tp-cold` /
+    /// `tp-warm` from the transportation engine; `None` from the LP route
+    /// (whose label the flow derives from [`WarmMode`]).
+    pub backend: Option<&'static str>,
 }
 
 /// Reusable state carried across the re-solves of the flow loop (the
@@ -113,6 +127,15 @@ pub struct AssignStats {
 pub struct AssignContext {
     basis: Option<LpBasis>,
     cached: Option<CachedLp>,
+    /// The incremental transportation engine of the network-flow route,
+    /// carried beside the LP basis: flow and dual potentials survive
+    /// between passes (and candidate add/drop, keyed by flip-flop × ring
+    /// exactly like the LP columns).
+    transportation: Option<Transportation>,
+    /// Reusable quantized candidate-list scratch for the engine (cleared
+    /// and refilled each pass; never reallocated in steady state).
+    tp_cands: Vec<Vec<(u32, i64)>>,
+    tp_caps: Vec<i64>,
     /// The previous pass's rounded assignment — the seed of the crash
     /// basis used when the candidate structure changed too much for the
     /// carried simplex basis to be worth repairing.
@@ -144,11 +167,12 @@ impl AssignContext {
         Self::default()
     }
 
-    /// Drops the carried basis and column map; the next solve starts cold
-    /// from a freshly built matrix.
+    /// Drops the carried basis, column map, and transportation engine;
+    /// the next solve starts cold from a freshly built matrix/network.
     pub fn reset(&mut self) {
         self.basis = None;
         self.cached = None;
+        self.transportation = None;
         self.last_rings = None;
     }
 
@@ -163,10 +187,21 @@ impl AssignContext {
         self.crash_start = on;
     }
 
-    /// Telemetry of the most recent [`assign_min_max_cap_ctx`] call.
+    /// Telemetry of the most recent [`assign_min_max_cap_ctx`] or
+    /// [`assign_network_flow_ctx`] call.
     pub fn stats(&self) -> AssignStats {
         self.stats
     }
+}
+
+/// Cost quantization step of the transportation engine: tapping costs in
+/// µm are scaled by 2^40 and rounded once, exactly as the stage-4 skew
+/// duals quantize theirs, so optimality (and the canonical extraction) is
+/// exact integer arithmetic end to end.
+const COST_SCALE: f64 = 1_099_511_627_776.0;
+
+fn quantize(x: f64) -> i64 {
+    (x * COST_SCALE).round() as i64
 }
 
 /// Section V: min-cost network flow over the Fig. 4 network.
@@ -174,6 +209,10 @@ impl AssignContext {
 /// Vertices: source → one per flip-flop → one per candidate ring → target.
 /// Arc costs are the tapping costs `c_ij`; ring→target arcs carry the
 /// capacities `U_j`.
+///
+/// One-shot convenience over [`assign_network_flow_ctx`] (a fresh
+/// transportation engine, cold solve); the flow loop carries the context
+/// version instead.
 ///
 /// # Errors
 ///
@@ -183,11 +222,76 @@ pub fn assign_network_flow(
     costs: &CandidateCosts,
     capacities: &[usize],
 ) -> Result<Assignment, AssignError> {
-    assign_network_flow_with_stats(costs, capacities).map(|(a, _)| a)
+    let mut ctx = AssignContext::new();
+    assign_network_flow_ctx(costs, capacities, false, &mut ctx).map(|(a, _)| a)
+}
+
+/// The Section-V assignment through the incremental
+/// [`Transportation`] engine carried in `ctx` (the network-flow analogue
+/// of [`assign_min_max_cap_ctx`]).
+///
+/// Candidate tapping costs are quantized once to exact 2^40 integers;
+/// with `warm` the engine reuses the carried flow and dual potentials —
+/// re-pricing only drifted arcs when the candidate structure is unchanged
+/// and re-installing carried flow keyed by flip-flop × ring when it is
+/// not. The returned assignment is recovered from the canonical duals and
+/// is **bit-identical** between warm and cold solves of the same pass.
+/// Returns the assignment and the augmenting-path count (flow telemetry);
+/// effort counters land in [`AssignContext::stats`].
+///
+/// # Errors
+///
+/// [`AssignError::InsufficientCapacity`] when not all flip-flops can be
+/// routed; the engine resets itself and the next solve runs cold.
+pub fn assign_network_flow_ctx(
+    costs: &CandidateCosts,
+    capacities: &[usize],
+    warm: bool,
+    ctx: &mut AssignContext,
+) -> Result<(Assignment, usize), AssignError> {
+    let f = costs.len();
+    let r = capacities.len();
+    let AssignContext { transportation, tp_cands, tp_caps, stats, .. } = ctx;
+    let tp = match transportation {
+        Some(tp) if tp.dims() == (f, r) => tp,
+        _ => transportation.insert(Transportation::new(f, r)),
+    };
+    tp_cands.truncate(f);
+    tp_cands.resize_with(f, Vec::new);
+    for (list, cands) in tp_cands.iter_mut().zip(&costs.candidates) {
+        list.clear();
+        list.extend(cands.iter().map(|&(rid, wl, _)| (rid.0, quantize(wl))));
+    }
+    tp_caps.clear();
+    tp_caps.extend(capacities.iter().map(|&u| u as i64));
+    match tp.solve(tp_cands, tp_caps, warm) {
+        Ok(tstats) => {
+            *stats = AssignStats {
+                lp_iterations: tstats.correction_paths,
+                cols_reused: tstats.reused_arcs,
+                cols_rebuilt: tstats.delta_pairs,
+                warm_pivots: tstats.touched_nodes,
+                warm_mode: WarmMode::default(),
+                backend: Some(tp.backend_label()),
+            };
+            let rings = tp.assignment().iter().map(|&j| RingId(j)).collect();
+            Ok((Assignment { rings }, tstats.correction_paths))
+        }
+        Err(_) => {
+            *stats = AssignStats { backend: Some(tp.backend_label()), ..AssignStats::default() };
+            Err(AssignError::InsufficientCapacity)
+        }
+    }
 }
 
 /// [`assign_network_flow`] plus the number of augmenting paths the
-/// min-cost-flow solver pushed (flow telemetry).
+/// min-cost-flow solver pushed.
+///
+/// This is the original one-shot float-cost [`FlowNetwork`] build — kept
+/// **off the hot path** as the reference oracle the transportation-engine
+/// tests cross-check against (float successive-shortest-paths vs exact
+/// quantized integer solve). Flow code goes through
+/// [`assign_network_flow_ctx`].
 ///
 /// # Errors
 ///
@@ -512,6 +616,7 @@ pub fn assign_min_max_cap_ctx(
         cols_rebuilt,
         warm_pivots: if warm.mode == WarmMode::Cold { 0 } else { sol.iterations },
         warm_mode: warm.mode,
+        backend: None,
     };
     if sol.status != LpStatus::Optimal {
         ctx.reset();

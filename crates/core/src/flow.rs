@@ -335,12 +335,21 @@ impl Flow {
                 stage.set_reused_work(cache_delta + astats.cols_reused);
                 stage.add_delta_arcs(astats.cols_rebuilt);
                 stage.add_affected_vertices(astats.warm_pivots);
-                if self.config.objective == AssignmentObjective::MaxLoadCap {
-                    stage.set_backend(match astats.warm_mode {
-                        WarmMode::Cold => "lp-cold",
-                        WarmMode::Primal => "lp-warm",
-                        WarmMode::DualRepair => "lp-dual-repair",
-                    });
+                match self.config.objective {
+                    AssignmentObjective::MaxLoadCap => {
+                        stage.set_backend(match astats.warm_mode {
+                            WarmMode::Cold => "lp-cold",
+                            WarmMode::Primal => "lp-warm",
+                            WarmMode::DualRepair => "lp-dual-repair",
+                        });
+                    }
+                    AssignmentObjective::TappingCost => {
+                        // The transportation engine reports its own start
+                        // label (`tp-cold` / `tp-warm`).
+                        if let Some(backend) = astats.backend {
+                            stage.set_backend(backend);
+                        }
+                    }
                 }
                 assignment = a;
             }
@@ -483,7 +492,10 @@ impl Flow {
     ) -> (Assignment, usize) {
         match self.config.objective {
             AssignmentObjective::TappingCost => {
-                match assign::assign_network_flow_with_stats(costs, capacities) {
+                // Warm-start whenever the context carries an engine; the
+                // flow's warm_start=false path resets the context each
+                // iteration, which downgrades this to a cold solve.
+                match assign::assign_network_flow_ctx(costs, capacities, true, ctx) {
                     Ok(pair) => pair,
                     Err(_) => {
                         // Fall back to nearest-candidate (always feasible

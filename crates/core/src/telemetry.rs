@@ -121,11 +121,13 @@ pub struct StageRecord {
     pub solver_iterations: usize,
     /// Work units served from a cross-iteration cache instead of being
     /// recomputed (e.g. candidate ring lists reused by stage 3, LP columns
-    /// a carried simplex basis mapped by stable key, or constraint arcs a
-    /// delta-rebound parametric engine did not have to re-examine). Zero
-    /// for stages without a cache.
+    /// a carried simplex basis mapped by stable key, flow-arc pairs the
+    /// transportation engine carried untouched across the rebind, or
+    /// constraint arcs a delta-rebound parametric engine did not have to
+    /// re-examine). Zero for stages without a cache.
     pub reused_work: usize,
-    /// Constraint arcs (stages 2/4) or LP columns (stage 3) whose bounds,
+    /// Constraint arcs (stages 2/4), LP columns (stage 3, eq. 3 route),
+    /// or flow-arc pairs (stage 3, network-flow route) whose bounds,
     /// costs, or existence actually changed when a persistent solver
     /// engine was re-targeted at this pass's system — the delta the
     /// incremental path replays. Zero for stages without such an engine.
@@ -133,14 +135,16 @@ pub struct StageRecord {
     /// Distinct variables whose labels moved during this pass's
     /// relaxations — the affected region the delta seeding propagated
     /// through; for stage 3 the pivots the warm-started simplex spent
-    /// reaching the new optimum. Zero for stages without relaxation
-    /// solves.
+    /// reaching the new optimum (eq. 3 route) or the distinct network
+    /// nodes the transportation rebind touched (network-flow route). Zero
+    /// for stages without relaxation solves.
     pub affected_vertices: usize,
     /// Label of the solver backend that served this pass (stage 4: the
     /// circulation engine `"ssp-sequential"`, `"ssp-bucketed"`, or
     /// `"cost-scaling"`; stage 3 on the eq. 3 route: `"lp-cold"`,
-    /// `"lp-warm"`, or `"lp-dual-repair"`). Empty for stages without a
-    /// backend choice.
+    /// `"lp-warm"`, or `"lp-dual-repair"`; stage 3 on the network-flow
+    /// route: the transportation engine's `"tp-cold"` or `"tp-warm"`).
+    /// Empty for stages without a backend choice.
     pub backend: &'static str,
 }
 

@@ -61,7 +61,10 @@ pub use difference::{DifferenceSystem, ParametricSystem};
 pub use graph::{RelaxOutcome, ShortestPaths, SpfaGraph, SpfaResult, WarmSpfa};
 pub use ilp::{BranchAndBound, IlpOutcome};
 pub use lp::{LpBasis, LpProblem, LpSolution, LpStatus, Pricing, RowKind};
-pub use mcmf::{ArcId, Circulation, CirculationStats, DijkstraStrategy, FlowNetwork, NodeId};
+pub use mcmf::{
+    ArcId, Circulation, CirculationStats, DijkstraStrategy, FlowNetwork, NodeId, Transportation,
+    TransportationInfeasible, TransportationStats,
+};
 pub use par::{default_max_threads, par_map, par_map_with, ParConfig};
 pub use rounding::{greedy_round, greedy_round_loaded, greedy_round_loaded_rescan};
 pub use sparse::{BasisFactorization, CsrMatrix, SparseLu};

@@ -1,0 +1,180 @@
+//! Property-based tests for the incremental transportation engine behind
+//! the stage-3 network-flow assignment (`solver::mcmf::Transportation`).
+//!
+//! Two families:
+//!
+//! * the engine's cold solve is checked against the one-shot float
+//!   `FlowNetwork` reference on random bipartite instances — *exact*
+//!   objective equality (2^40-quantized costs are exactly representable
+//!   in `f64`, so the float reference is exact too) and agreement on
+//!   infeasibility;
+//! * a warm engine carried across a sequence of combined cost drifts,
+//!   candidate add/drop, and capacity changes must extract bit-identical
+//!   assignments to a cold solve of every step — including both sides
+//!   reporting `TransportationInfeasible` on infeasible steps, after
+//!   which the warm chain must recover on its own.
+
+use proptest::prelude::*;
+use rotary::solver::mcmf::{FlowNetwork, Transportation};
+
+/// Fixed-point scale matching the engine integration in `core::assign`.
+const COST_SCALE: f64 = 1_099_511_627_776.0; // 2^40
+
+/// Builds per-flip-flop candidate lists from raw proptest draws: each
+/// flip-flop gets up to three distinct rings with 2^40-quantized costs.
+fn build_cands(f: usize, r: usize, picks: &[(usize, f64)]) -> Vec<Vec<(u32, i64)>> {
+    (0..f)
+        .map(|i| {
+            let mut list: Vec<(u32, i64)> = Vec::new();
+            for &(ring, cost) in &picks[3 * i..3 * i + 3] {
+                let j = (ring % r) as u32;
+                if !list.iter().any(|&(jj, _)| jj == j) {
+                    list.push((j, (cost * COST_SCALE).round() as i64));
+                }
+            }
+            list
+        })
+        .collect()
+}
+
+/// One-shot float reference over the same Fig.-4 network: `None` when the
+/// instance is infeasible, else the exact optimal cost.
+fn oracle(cands: &[Vec<(u32, i64)>], caps: &[i64]) -> Option<i128> {
+    let f = cands.len();
+    let r = caps.len();
+    let mut net = FlowNetwork::new(2 + f + r);
+    let s = net.node(0);
+    let t = net.node(1);
+    for (i, list) in cands.iter().enumerate() {
+        net.add_arc(s, net.node(2 + i), 1, 0.0);
+        for &(j, c) in list {
+            net.add_arc(net.node(2 + i), net.node(2 + f + j as usize), 1, c as f64);
+        }
+    }
+    for (j, &cap) in caps.iter().enumerate() {
+        net.add_arc(net.node(2 + f + j), t, cap, 0.0);
+    }
+    let (flow, cost) = net.min_cost_flow(s, t, f as i64)?;
+    (flow == f as i64).then_some(cost.round() as i128)
+}
+
+/// Validity of an extracted assignment: every flip-flop on one of its own
+/// candidates, no ring over capacity, reported cost consistent.
+fn assert_valid(
+    tp: &Transportation,
+    cands: &[Vec<(u32, i64)>],
+    caps: &[i64],
+) -> Result<(), String> {
+    let mut loads = vec![0i64; caps.len()];
+    let mut total = 0i128;
+    for (i, &ring) in tp.assignment().iter().enumerate() {
+        let c = cands[i].iter().find(|&&(j, _)| j == ring);
+        prop_assert!(c.is_some(), "flip-flop {} assigned to non-candidate ring {}", i, ring);
+        total += c.unwrap().1 as i128;
+        loads[ring as usize] += 1;
+    }
+    for (j, (&l, &cap)) in loads.iter().zip(caps).enumerate() {
+        prop_assert!(l <= cap, "ring {} over capacity: {} > {}", j, l, cap);
+    }
+    prop_assert_eq!(total, tp.total_cost());
+    Ok(())
+}
+
+proptest! {
+    /// Cold solve ≡ the float reference: same feasibility verdict, exact
+    /// same optimum, and a valid assignment achieving it.
+    #[test]
+    fn cold_solve_matches_float_reference(
+        f in 4usize..10,
+        r in 2usize..5,
+        picks in prop::collection::vec((0usize..64, 0.0..2.0f64), 30),
+        caps_raw in prop::collection::vec(0i64..8, 5),
+    ) {
+        let cands = build_cands(f, r, &picks);
+        let caps: Vec<i64> = caps_raw[..r].to_vec();
+        let mut tp = Transportation::new(f, r);
+        match (tp.solve(&cands, &caps, false), oracle(&cands, &caps)) {
+            (Ok(stats), Some(cost)) => {
+                prop_assert_eq!(tp.backend_label(), "tp-cold");
+                prop_assert_eq!(stats.reused_arcs, 0);
+                prop_assert_eq!(tp.total_cost(), cost);
+                assert_valid(&tp, &cands, &caps)?;
+            }
+            (Err(_), None) => {}
+            (got, want) => prop_assert!(
+                false, "engine {:?} disagrees with reference {:?}", got, want
+            ),
+        }
+    }
+
+    /// One warm engine carried across combined drift + add/drop + cap
+    /// changes extracts bit-identical assignments to a cold solve of
+    /// every step; infeasible steps err on both sides and the warm chain
+    /// recovers by itself.
+    #[test]
+    fn warm_chain_is_bit_identical_to_cold(
+        f in 4usize..10,
+        r in 2usize..5,
+        picks in prop::collection::vec((0usize..64, 0.0..2.0f64), 30),
+        caps_raw in prop::collection::vec(1i64..8, 5),
+        steps in prop::collection::vec(
+            (
+                // Per-flip-flop cost drift (index chooses the flip-flop).
+                prop::collection::vec((0usize..64, -0.3..0.3f64), 0..8),
+                // Candidate toggles: drop the ring if present, add it if not.
+                prop::collection::vec((0usize..64, 0.0..2.0f64), 0..4),
+                // One capacity rewrite.
+                (0usize..5, 0i64..8),
+            ),
+            1..5,
+        ),
+    ) {
+        let mut cands = build_cands(f, r, &picks);
+        let mut caps: Vec<i64> = caps_raw[..r].to_vec();
+        let mut warm = Transportation::new(f, r);
+        // After an infeasible solve the engine resets itself, so the next
+        // solve runs (and labels itself) cold even when asked to warm.
+        let mut carried = warm.solve(&cands, &caps, false).is_ok();
+        for (drifts, toggles, (cap_ix, cap_val)) in &steps {
+            for &(ix, delta) in drifts {
+                let i = ix % f;
+                let dq = (delta * COST_SCALE).round() as i64;
+                for c in cands[i].iter_mut() {
+                    c.1 = (c.1 + dq).max(0);
+                }
+            }
+            for &(ix, cost) in toggles {
+                let i = ix % f;
+                let j = ((ix / f) % r) as u32;
+                if let Some(at) = cands[i].iter().position(|&(jj, _)| jj == j) {
+                    if cands[i].len() > 1 {
+                        cands[i].remove(at);
+                    }
+                } else {
+                    cands[i].push((j, (cost * COST_SCALE).round() as i64));
+                }
+            }
+            caps[cap_ix % r] = *cap_val;
+
+            let warm_res = warm.solve(&cands, &caps, true);
+            let mut cold = Transportation::new(f, r);
+            let cold_res = cold.solve(&cands, &caps, false);
+            let expect_label = if carried { "tp-warm" } else { "tp-cold" };
+            carried = warm_res.is_ok();
+            match (warm_res, cold_res, oracle(&cands, &caps)) {
+                (Ok(_), Ok(_), Some(cost)) => {
+                    prop_assert_eq!(warm.backend_label(), expect_label);
+                    prop_assert_eq!(warm.assignment(), cold.assignment());
+                    prop_assert_eq!(warm.total_cost(), cold.total_cost());
+                    prop_assert_eq!(warm.total_cost(), cost);
+                    assert_valid(&warm, &cands, &caps)?;
+                }
+                (Err(we), Err(ce), None) => prop_assert_eq!(we, ce),
+                (w, c, o) => prop_assert!(
+                    false,
+                    "warm {:?} / cold {:?} disagree with reference {:?}", w, c, o
+                ),
+            }
+        }
+    }
+}
