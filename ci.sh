@@ -38,9 +38,13 @@ echo "==> tables --suite s38417 table1 (smoke, 120s budget)"
 # Stage-4 tractability smoke: the full Fig. 3 loop on s15850 runs the
 # incremental circulation engine through every re-wrap round and flow
 # iteration (~2.5 s when healthy) — a regression in the warm-start path
-# or the bulk-augmentation kernel shows up here as a timeout.
-echo "==> tables --suite s15850 table4 (smoke, 60s budget)"
-(cd "$scratch" && timeout 60 "$tables_bin" --suite s15850 table4 > tables_s15850_ci.log)
+# or the bulk-augmentation kernel shows up here as a timeout. Pinned to
+# the SSP backend: this run is the round-count baseline the quant-ladder
+# smoke below must undercut (Auto resolves to the ladder, so an
+# unpinned run would compare the ladder against itself).
+echo "==> tables --suite s15850 table4 --backend ssp (smoke, 60s budget)"
+(cd "$scratch" && timeout 60 "$tables_bin" --suite s15850 table4 --backend ssp \
+  > tables_s15850_ci.log)
 
 # Largest-suite stage-4 smoke: the s35932 Fig. 3 loop drives the shared
 # relaxation kernel through its warm circulation route (~23k Dijkstra
@@ -52,7 +56,7 @@ echo "==> tables --suite s35932 table4 (smoke, 150s budget + reuse check)"
 stage4_rows="$(grep 'cost_driven_skew' "$scratch/tables_s35932_ci.log")"
 [ "$(wc -l <<< "$stage4_rows")" -eq 2 ] \
   || { echo "expected 2 stage-4 telemetry rows (nf + ilp):"; echo "$stage4_rows"; exit 1; }
-awk '$(NF-6) == 0 || $(NF-4) == 0 { bad = 1 }
+awk '$(NF-8) == 0 || $(NF-6) == 0 { bad = 1 }
      END { exit bad }' <<< "$stage4_rows" \
   || { echo "stage-4 reuse columns must be nonzero on the warm route:"; echo "$stage4_rows"; exit 1; }
 
@@ -69,6 +73,27 @@ cs_rows="$(grep 'cost_driven_skew' "$scratch/tables_s15850_cs_ci.log")"
 awk '$NF != "cost-scaling" { bad = 1 }
      END { exit bad }' <<< "$cs_rows" \
   || { echo "stage-4 backend column must read cost-scaling under the override:"; echo "$cs_rows"; exit 1; }
+
+# Quantization-ladder backend smoke: the same loop forced onto the
+# coarse-to-fine ladder via the tables flag (which must accept the name —
+# the flag, the env var, and FlowConfig share one parser). Quality is
+# byte-identical by construction; the checks are backend attribution and
+# the ladder's structural claim — its Dijkstra round total (the `rounds`
+# telemetry column) must undercut the SSP baseline recorded by the
+# earlier s15850 smoke, because coarse levels serve many paths per round.
+echo "==> tables --suite s15850 table4 --backend quant-ladder (smoke, 60s budget + round-collapse check)"
+(cd "$scratch" && timeout 60 "$tables_bin" --suite s15850 table4 --backend quant-ladder \
+  > tables_s15850_ql_ci.log)
+ql_rows="$(grep 'cost_driven_skew' "$scratch/tables_s15850_ql_ci.log")"
+awk '$NF != "quant-ladder" { bad = 1 }
+     END { exit bad }' <<< "$ql_rows" \
+  || { echo "stage-4 backend column must read quant-ladder under the override:"; echo "$ql_rows"; exit 1; }
+ssp_rounds="$(grep 'cost_driven_skew' "$scratch/tables_s15850_ci.log" \
+  | awk '{ n += $(NF-2) } END { print n }')"
+ql_rounds="$(awk '{ n += $(NF-2) } END { print n }' <<< "$ql_rows")"
+[ -n "$ssp_rounds" ] && [ "$ql_rounds" -lt "$ssp_rounds" ] \
+  || { echo "quant-ladder rounds ($ql_rounds) must undercut the SSP baseline ($ssp_rounds):"; \
+       echo "$ql_rows"; exit 1; }
 
 # Stage-2 scheduling smoke: period search + max-slack, cold then warm
 # over drifted placements. The binary itself asserts the delta-rebind

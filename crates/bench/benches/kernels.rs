@@ -669,6 +669,39 @@ fn bench_mcmf(c: &mut Criterion) {
         )
     });
 
+    // The quantization ladder on the same instance pair: cold runs the
+    // full 2^16 -> 2^24 -> 2^32 -> 2^40 refinement, warm takes the
+    // sparse-delta bypass (the re-wrap touches ~3% of pairs, well under
+    // the ladder's density threshold) and should track the SSP warm
+    // number — the ladder's win is the cold/dense regime.
+    c.bench_function("mcmf/quant_ladder_cold_s35932_sized", |b| {
+        b.iter_batched(
+            || {
+                let mut eng = Circulation::new(n + 1, &pairs);
+                eng.set_backend(CirculationBackend::QuantLadder);
+                eng
+            },
+            |mut eng| {
+                eng.solve(&caps, &costs, false);
+                std::hint::black_box(eng.canonical_distances())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut ql_warm_src = Circulation::new(n + 1, &pairs);
+    ql_warm_src.set_backend(CirculationBackend::QuantLadder);
+    ql_warm_src.solve(&caps, &costs, false);
+    c.bench_function("mcmf/quant_ladder_warm_rewrap_s35932_sized", |b| {
+        b.iter_batched(
+            || ql_warm_src.clone(),
+            |mut eng| {
+                eng.solve(&caps, &wrapped, true);
+                std::hint::black_box(eng.canonical_distances())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
     // The two relaxation-kernel strategies head to head on the same cold
     // solve: the sequential binary heap vs the parallel bucket-based
     // radix queue. Results are bit-identical (see the strategy proptest);

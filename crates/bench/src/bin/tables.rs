@@ -79,19 +79,13 @@ fn main() {
         if args[i] == "--backend" {
             args.remove(i);
             let Some(name) = (i < args.len()).then(|| args.remove(i)) else {
-                eprintln!("--backend needs a name (auto, ssp, or cost_scaling)");
+                eprintln!("--backend needs a name ({})", rotary_solver::mcmf::BACKEND_NAMES);
                 std::process::exit(2);
             };
-            if !matches!(
-                name.trim().to_ascii_lowercase().as_str(),
-                "auto"
-                    | "ssp"
-                    | "successive_shortest_paths"
-                    | "cs"
-                    | "cost_scaling"
-                    | "cost-scaling"
-            ) {
-                eprintln!("unknown backend {name}; known: auto, ssp, cost_scaling");
+            // One parser for the flag, the env var, and FlowConfig — a
+            // name accepted here is accepted everywhere (and vice versa).
+            if let Err(msg) = rotary_solver::mcmf::parse_backend(&name) {
+                eprintln!("--backend: {msg}");
                 std::process::exit(2);
             }
             // Same switch the solver reads directly; setting it here lets
@@ -199,6 +193,17 @@ fn telemetry(ctx: &Ctx) {
                     continue;
                 }
                 let (_, reused, delta, touched) = reuse[k];
+                // Stage-4 round histogram rollup (zero rows elsewhere):
+                // `rounds` is the Dijkstra-round total whose collapse the
+                // quantization ladder targets; per-solve detail (paths,
+                // max plateau width) is in the BENCH_flow.json records.
+                let rounds: usize = out
+                    .telemetry
+                    .records()
+                    .iter()
+                    .filter(|r| r.stage == stage)
+                    .map(|r| r.rounds)
+                    .sum();
                 // Solver backend that served the stage's last pass (stages
                 // without a backend choice print `-`); kept as the final
                 // single-token column so `awk '{print $NF}'` grabs it.
@@ -210,7 +215,7 @@ fn telemetry(ctx: &Ctx) {
                     .map_or("-", |r| r.backend);
                 println!(
                     "  {}. {:<22} {:>9}s  {:>2} pass(es)  {:>6} solver iters  \
-                     {:>9} reused  {:>6} Δarcs  {:>7} touched  {:>14}",
+                     {:>9} reused  {:>6} Δarcs  {:>7} touched  {:>7} rounds  {:>14}",
                     stage.number(),
                     stage.name(),
                     cpu(secs, 3),
@@ -219,6 +224,7 @@ fn telemetry(ctx: &Ctx) {
                     reused,
                     delta,
                     touched,
+                    rounds,
                     backend,
                 );
             }

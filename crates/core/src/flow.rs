@@ -384,6 +384,9 @@ impl Flow {
                 stage.set_reused_work(stats.reused_work);
                 stage.add_delta_arcs(stats.delta_arcs);
                 stage.add_affected_vertices(stats.affected_vertices);
+                stage.add_rounds(stats.rounds);
+                stage.add_paths(stats.paths);
+                stage.note_max_plateau(stats.max_plateau);
                 if let Some(backend) = stats.backend {
                     stage.set_backend(backend);
                 }
@@ -597,12 +600,7 @@ impl Flow {
                     }
                     let (s, st) = solve(&ring_delay, &stub_delay, ctx);
                     sched = s;
-                    stats.solver_iterations += st.solver_iterations;
-                    stats.constraints = stats.constraints.max(st.constraints);
-                    stats.reused_work += st.reused_work;
-                    stats.delta_arcs += st.delta_arcs;
-                    stats.affected_vertices += st.affected_vertices;
-                    stats.backend = st.backend.or(stats.backend);
+                    stats.absorb_rewrap(&st);
                 }
                 (sched, stats)
             }
@@ -618,34 +616,40 @@ impl Flow {
                 // `ideal + k·T/2` closest to the solved target and the
                 // schedule is re-optimized; a few rounds converge.
                 let half = 0.5 * tech.clock_period;
-                let solve = |id: &[f64], ctx: &mut skew::SkewContext| {
+                let solve = |id: &[f64], rewrapped: Option<&[u32]>, ctx: &mut skew::SkewContext| {
                     if !self.config.warm_start {
                         *ctx = skew::SkewContext::new();
                         ctx.set_circulation_backend(self.config.circulation_backend);
                     }
-                    skew::weighted_schedule_ctx(graph, tech, id, &distance, m, ctx)
+                    match rewrapped {
+                        // Converged-FF dropout: between re-wrap rounds only
+                        // the re-wrapped flip-flops' ideals move (same
+                        // graph, technology, slack, and weights), so the
+                        // solve carries that certificate and the frozen
+                        // complement never enters the rebind scan.
+                        Some(r) => skew::weighted_schedule_rewrap_ctx(
+                            graph, tech, id, &distance, m, ctx, r,
+                        ),
+                        None => skew::weighted_schedule_ctx(graph, tech, id, &distance, m, ctx),
+                    }
                 };
-                let (mut sched, mut stats) = solve(&ideal, ctx);
+                let (mut sched, mut stats) = solve(&ideal, None, ctx);
+                let mut rewrapped: Vec<u32> = Vec::new();
                 for _ in 0..3 {
-                    let mut changed = false;
-                    for (id, &t) in ideal.iter_mut().zip(&sched.targets) {
+                    rewrapped.clear();
+                    for (i, (id, &t)) in ideal.iter_mut().zip(&sched.targets).enumerate() {
                         let k = ((t - *id) / half).round();
                         if k != 0.0 {
                             *id += k * half;
-                            changed = true;
+                            rewrapped.push(i as u32);
                         }
                     }
-                    if !changed {
+                    if rewrapped.is_empty() {
                         break;
                     }
-                    let (s, st) = solve(&ideal, ctx);
+                    let (s, st) = solve(&ideal, Some(&rewrapped), ctx);
                     sched = s;
-                    stats.solver_iterations += st.solver_iterations;
-                    stats.constraints = stats.constraints.max(st.constraints);
-                    stats.reused_work += st.reused_work;
-                    stats.delta_arcs += st.delta_arcs;
-                    stats.affected_vertices += st.affected_vertices;
-                    stats.backend = st.backend.or(stats.backend);
+                    stats.absorb_rewrap(&st);
                 }
                 (sched, stats)
             }

@@ -14,7 +14,7 @@
 //!   dual (the LP's network structure), with `w_i = l_i` as the paper
 //!   suggests.
 
-use rotary_solver::mcmf::{Circulation, CirculationBackend, CirculationStats};
+use rotary_solver::mcmf::{effective_backend, Circulation, CirculationBackend, CirculationStats};
 use rotary_solver::{DifferenceSystem, ParametricSystem};
 use rotary_timing::{SequentialGraph, Technology};
 use serde::{Deserialize, Serialize};
@@ -65,10 +65,41 @@ pub struct SkewStats {
     /// relaxations, or — for the weighted dual's circulation — the
     /// endpoint nodes of the changed arc pairs (the affected region).
     pub affected_vertices: usize,
+    /// Dijkstra rounds the weighted dual's circulation ran (the round
+    /// histogram's first axis; zero for schedulers without a circulation
+    /// and on memo-replayed probes).
+    pub rounds: usize,
+    /// Augmenting paths the circulation routed. `paths / rounds` is the
+    /// mean bulk-augmentation width; rounds ≈ paths is the near-unique-
+    /// distance regime the quantization ladder attacks.
+    pub paths: usize,
+    /// Most paths any single Dijkstra round served — the widest plateau
+    /// the admissible subgraph offered this call.
+    pub max_plateau: usize,
     /// Label of the circulation engine variant that served this call
-    /// (`"ssp-sequential"`, `"ssp-bucketed"`, or `"cost-scaling"`);
-    /// `None` for schedulers that run no circulation.
+    /// (`"ssp-sequential"`, `"ssp-bucketed"`, `"cost-scaling"`, or
+    /// `"quant-ladder"`); `None` for schedulers that run no circulation.
     pub backend: Option<&'static str>,
+}
+
+impl SkewStats {
+    /// Folds a re-wrap round's stats into an accumulator: effort counters
+    /// add up, `constraints` is a property of the system (max, not sum),
+    /// `max_plateau` is a max over solves, and the backend label of the
+    /// latest round wins. Shared by every re-solve loop in
+    /// `Flow::cost_driven` so new telemetry fields cannot drift between
+    /// the scheduler variants again.
+    pub fn absorb_rewrap(&mut self, st: &SkewStats) {
+        self.constraints = self.constraints.max(st.constraints);
+        self.solver_iterations += st.solver_iterations;
+        self.reused_work += st.reused_work;
+        self.delta_arcs += st.delta_arcs;
+        self.affected_vertices += st.affected_vertices;
+        self.rounds += st.rounds;
+        self.paths += st.paths;
+        self.max_plateau = self.max_plateau.max(st.max_plateau);
+        self.backend = st.backend.or(self.backend);
+    }
 }
 
 /// Warm-start state carried across scheduling calls within one flow run.
@@ -128,17 +159,55 @@ impl SkewContext {
 struct CirculationState {
     engine: Circulation,
     pairs: Vec<(u32, u32)>,
-    /// Caps/costs of the last certified solve plus its canonical
-    /// distances. A Dinkelbach probe sequence frequently re-evaluates the
-    /// exact same parameter (the re-wrap loop's phase assignments settle
-    /// after a round or two), and the canonical distances are a pure
-    /// function of `(pairs, caps, costs)` — so an exact match replays the
-    /// memoized duals and skips the solve entirely. Empty until the first
-    /// solve on this engine completes.
-    memo_caps: Vec<i64>,
-    memo_costs: Vec<i64>,
-    memo_dist: Vec<i64>,
+    /// Ring of the last few certified solves: caps/costs plus their
+    /// canonical distances, oldest first. Two uses:
+    ///
+    /// * **Exact replay** — a Dinkelbach probe sequence frequently
+    ///   re-evaluates a recent parameter (the re-wrap loop's phase
+    ///   assignments settle and oscillate between a couple of fixed
+    ///   points), and the canonical distances are a pure function of
+    ///   `(pairs, caps, costs)`, so a matching entry answers the probe
+    ///   with no solve at all.
+    /// * **Nearest-neighbor potential seeding** — when no entry matches
+    ///   exactly but one is much closer (fewer differing pairs) to the
+    ///   incoming problem than the engine's carried state, its canonical
+    ///   distances seed the Johnson potentials via
+    ///   [`Circulation::seed_potentials`] (quant-ladder backend only;
+    ///   exactness is unaffected, see there).
+    memo: Vec<MemoEntry>,
+    /// Caps/costs the *engine* last actually solved (memo replays skip
+    /// the engine, so this can lag the newest memo entry). This is the
+    /// baseline both the dropout hint and the seeding distance are
+    /// measured against.
+    solved_caps: Vec<i64>,
+    solved_costs: Vec<i64>,
+    /// Pair indices that may have changed since the engine's last solve —
+    /// the union of caller dropout hints accumulated across memo-replayed
+    /// calls. `None` = unknown (an unhinted call intervened since the
+    /// last solve); hinting resumes after the next engine solve.
+    hint: Option<Vec<u32>>,
 }
+
+/// One certified solve in the [`CirculationState`] memo ring.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    caps: Vec<i64>,
+    costs: Vec<i64>,
+    dist: Vec<i64>,
+}
+
+/// Memo ring depth: the re-wrap fixed points plus the latest Dinkelbach
+/// probes fit in a handful of entries, and each entry is three
+/// instance-sized vectors — deep rings would cost more in `Vec` clones
+/// than a re-solve.
+const MEMO_RING: usize = 4;
+
+/// A memo entry seeds the potentials only when it is at least this many
+/// times closer (in differing pairs) to the incoming problem than the
+/// engine's carried state: seeding voids the engine's per-pair rebind
+/// certificate and forces a full-slot saturation scan, so a marginal
+/// improvement is a net loss.
+const SEED_ADVANTAGE: usize = 2;
 
 /// Takes the slot's engine and re-targets it at `sys`/`tighten` when the
 /// shape matches (patching only the changed bounds), or builds a fresh
@@ -209,7 +278,7 @@ pub fn min_feasible_period_ctx(
         reused_work: reused,
         delta_arcs: delta,
         affected_vertices: par.affected_vertices() - affected0,
-        backend: None,
+        ..SkewStats::default()
     };
     ctx.period = Some(par);
     (tech.clock_period + excess, stats)
@@ -302,7 +371,7 @@ pub fn max_slack_schedule_ctx(
         reused_work: period_stats.reused_work + reused,
         delta_arcs: period_stats.delta_arcs + delta,
         affected_vertices: period_stats.affected_vertices + (par.affected_vertices() - affected0),
-        backend: None,
+        ..SkewStats::default()
     };
     ctx.stage2 = Some(par);
     normalize(&mut targets);
@@ -406,7 +475,7 @@ pub fn minimax_schedule_ctx(
         reused_work: reused,
         delta_arcs: delta,
         affected_vertices: par.affected_vertices() - affected0,
-        backend: None,
+        ..SkewStats::default()
     };
     ctx.minimax = Some(par);
     (SkewSchedule { targets: sol, slack: m, period: tech.clock_period }, stats)
@@ -482,6 +551,45 @@ pub fn weighted_schedule_ctx(
     m: f64,
     ctx: &mut SkewContext,
 ) -> (SkewSchedule, SkewStats) {
+    weighted_schedule_hinted(graph, tech, ideal, weight, m, ctx, None)
+}
+
+/// [`weighted_schedule_ctx`] with the converged-FF dropout hint of the
+/// phase re-wrap loop: `rewrapped` lists the flip-flop indices whose
+/// `ideal` moved since the previous call on this context, certifying the
+/// rest of the problem — every other flip-flop's parameters and the whole
+/// constraint system (same graph, technology, slack, and weights) — as
+/// byte-identical to that call's. The certified complement is frozen out
+/// of the circulation's rebind scan ([`Circulation::solve_hinted`];
+/// surfaced as nonzero frozen-pair reuse), and the certificate survives
+/// memo-replayed probes in between. The hint is a pure accelerator:
+/// schedules are byte-identical with or without it.
+///
+/// # Panics
+///
+/// Same conditions as [`weighted_schedule`]; debug builds additionally
+/// panic if the caller's certificate is violated.
+pub fn weighted_schedule_rewrap_ctx(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ideal: &[f64],
+    weight: &[f64],
+    m: f64,
+    ctx: &mut SkewContext,
+    rewrapped: &[u32],
+) -> (SkewSchedule, SkewStats) {
+    weighted_schedule_hinted(graph, tech, ideal, weight, m, ctx, Some(rewrapped))
+}
+
+fn weighted_schedule_hinted(
+    graph: &SequentialGraph,
+    tech: &Technology,
+    ideal: &[f64],
+    weight: &[f64],
+    m: f64,
+    ctx: &mut SkewContext,
+    ff_hint: Option<&[u32]>,
+) -> (SkewSchedule, SkewStats) {
     let n = graph.flip_flops().len();
     assert_eq!(ideal.len(), n);
     assert_eq!(weight.len(), n);
@@ -552,28 +660,90 @@ pub fn weighted_schedule_ctx(
             CirculationState {
                 engine: Circulation::new(n + 1, &pairs),
                 pairs,
-                memo_caps: Vec::new(),
-                memo_costs: Vec::new(),
-                memo_dist: Vec::new(),
+                memo: Vec::new(),
+                solved_caps: Vec::new(),
+                solved_costs: Vec::new(),
+                hint: None,
             },
             false,
         ),
     };
     state.engine.set_backend(ctx.backend);
-    let memo_hit = warm && state.memo_caps == caps && state.memo_costs == costs;
-    let (circ_stats, d) = if memo_hit {
-        // Duplicate Dinkelbach probe: same caps and costs as the last
+    // Fold the caller's dropout hint into the carried certificate: the
+    // union of hinted pairs since the engine's *last actual solve* stays
+    // valid across memo-replayed probes in between; an unhinted call
+    // makes the delta unknown until the next solve re-anchors it.
+    let n_constraints = sys.constraints().len();
+    match (ff_hint, &mut state.hint) {
+        (Some(rewrapped), Some(pending)) => {
+            for &i in rewrapped {
+                let fwd = (n_constraints + 2 * i as usize) as u32;
+                pending.push(fwd);
+                pending.push(fwd + 1);
+            }
+        }
+        (None, pending) => *pending = None,
+        (Some(_), None) => {}
+    }
+    // The dropout hint and nearest-neighbor seeding ride only the
+    // quantization-ladder backend: both are pure accelerators (results
+    // are byte-identical), but keeping the other backends' solve paths
+    // untouched keeps every A/B attribution clean.
+    let assist = effective_backend(ctx.backend) == CirculationBackend::QuantLadder;
+    let memo_hit =
+        warm.then(|| state.memo.iter().find(|e| e.caps == caps && e.costs == costs)).flatten();
+    let (circ_stats, d) = if let Some(entry) = memo_hit {
+        // Duplicate Dinkelbach probe: same caps and costs as a recent
         // certified solve, so the memoized canonical distances are the
         // answer. Credit the whole instance as reused, no delta.
         let stats =
             CirculationStats { reused_arcs: state.pairs.len(), ..CirculationStats::default() };
-        (stats, state.memo_dist.clone())
+        (stats, entry.dist.clone())
     } else {
-        let stats = state.engine.solve(&caps, &costs, warm);
+        let differing = |mcaps: &[i64], mcosts: &[i64]| {
+            mcaps
+                .iter()
+                .zip(mcosts)
+                .zip(caps.iter().zip(&costs))
+                .filter(|((ec, ek), (c, k))| ec != c || ek != k)
+                .count()
+        };
+        if warm && assist && !state.memo.is_empty() {
+            // Cross-probe potential sharing: when a memoized probe is
+            // decisively closer to the incoming parameter than the
+            // engine's carried state — and the carried rebind is dense
+            // enough that the forced full-slot scan is being paid anyway
+            // — its canonical duals seed the Johnson potentials.
+            let engine_diff = differing(&state.solved_caps, &state.solved_costs);
+            let best = state.memo.iter().min_by_key(|e| differing(&e.caps, &e.costs));
+            if let Some(best) = best {
+                let best_diff = differing(&best.caps, &best.costs);
+                if best_diff * SEED_ADVANTAGE <= engine_diff
+                    && best_diff < engine_diff
+                    && engine_diff * 8 >= state.pairs.len()
+                {
+                    state.engine.seed_potentials(&best.dist);
+                }
+            }
+        }
+        let hint = match (&state.hint, warm && assist) {
+            (Some(pending), true) => {
+                let mut h = pending.clone();
+                h.sort_unstable();
+                h.dedup();
+                Some(h)
+            }
+            _ => None,
+        };
+        let stats = state.engine.solve_hinted(&caps, &costs, warm, hint.as_deref());
         let d = state.engine.canonical_distances();
-        state.memo_caps = caps;
-        state.memo_costs = costs;
-        state.memo_dist = d.clone();
+        state.solved_caps = caps.clone();
+        state.solved_costs = costs.clone();
+        state.hint = Some(Vec::new());
+        if state.memo.len() == MEMO_RING {
+            state.memo.remove(0);
+        }
+        state.memo.push(MemoEntry { caps, costs, dist: d.clone() });
         (stats, d)
     };
     let backend_label = state.engine.backend_label();
@@ -587,7 +757,9 @@ pub fn weighted_schedule_ctx(
     let stats = SkewStats {
         constraints: sys.constraints().len(),
         solver_iterations: circ_stats.correction_paths + pre_solves,
-        reused_work: circ_stats.reused_arcs + pre_reused,
+        // Frozen pairs are carried work too: the dropout hint certified
+        // them unchanged, so the rebind scan never even read them.
+        reused_work: circ_stats.reused_arcs + circ_stats.frozen_pairs + pre_reused,
         // Warm-rebind delta of the circulation (arc pairs whose caps or
         // costs actually changed, and their endpoint nodes) plus the
         // pre-check engine's replayed bounds — so the reuse columns mean
@@ -595,6 +767,9 @@ pub fn weighted_schedule_ctx(
         // parametric stages, instead of flapping to the full arc count.
         delta_arcs: pre_delta + circ_stats.delta_pairs,
         affected_vertices: pre_affected + circ_stats.touched_nodes,
+        rounds: circ_stats.rounds,
+        paths: circ_stats.correction_paths,
+        max_plateau: circ_stats.max_round_paths,
         backend: Some(backend_label),
     };
     (SkewSchedule { targets, slack: m, period: tech.clock_period }, stats)

@@ -139,12 +139,24 @@ pub struct StageRecord {
     /// nodes the transportation rebind touched (network-flow route). Zero
     /// for stages without relaxation solves.
     pub affected_vertices: usize,
+    /// Stage-4 round histogram, first axis: Dijkstra rounds the
+    /// circulation ran across this pass's solves. Zero for other stages.
+    pub rounds: usize,
+    /// Stage-4 round histogram, second axis: augmenting paths routed.
+    /// `paths / rounds` is the mean bulk-augmentation width; rounds ≈
+    /// paths is the near-unique-distance regime the quantization ladder
+    /// attacks. Zero for other stages.
+    pub paths: usize,
+    /// Most paths any single Dijkstra round of this pass served — the
+    /// widest plateau the admissible subgraph offered. Zero for other
+    /// stages.
+    pub max_plateau: usize,
     /// Label of the solver backend that served this pass (stage 4: the
-    /// circulation engine `"ssp-sequential"`, `"ssp-bucketed"`, or
-    /// `"cost-scaling"`; stage 3 on the eq. 3 route: `"lp-cold"`,
-    /// `"lp-warm"`, or `"lp-dual-repair"`; stage 3 on the network-flow
-    /// route: the transportation engine's `"tp-cold"` or `"tp-warm"`).
-    /// Empty for stages without a backend choice.
+    /// circulation engine `"ssp-sequential"`, `"ssp-bucketed"`,
+    /// `"cost-scaling"`, or `"quant-ladder"`; stage 3 on the eq. 3 route:
+    /// `"lp-cold"`, `"lp-warm"`, or `"lp-dual-repair"`; stage 3 on the
+    /// network-flow route: the transportation engine's `"tp-cold"` or
+    /// `"tp-warm"`). Empty for stages without a backend choice.
     pub backend: &'static str,
 }
 
@@ -172,6 +184,9 @@ impl FlowTelemetry {
             reused_work: 0,
             delta_arcs: 0,
             affected_vertices: 0,
+            rounds: 0,
+            paths: 0,
+            max_plateau: 0,
             backend: "",
             start: Instant::now(),
         }
@@ -253,6 +268,7 @@ impl FlowTelemetry {
                 "    {{\"stage\": \"{}\", \"fig3_stage\": {}, \"iteration\": {}, \
                  \"seconds\": {}, \"problem_size\": {}, \"solver_iterations\": {}, \
                  \"reused_work\": {}, \"delta_arcs\": {}, \"affected_vertices\": {}, \
+                 \"rounds\": {}, \"paths\": {}, \"max_plateau\": {}, \
                  \"backend\": \"{}\"}}{}\n",
                 r.stage.name(),
                 r.stage.number(),
@@ -263,6 +279,9 @@ impl FlowTelemetry {
                 r.reused_work,
                 r.delta_arcs,
                 r.affected_vertices,
+                r.rounds,
+                r.paths,
+                r.max_plateau,
                 r.backend,
                 if k + 1 < self.records.len() { "," } else { "" },
             ));
@@ -292,6 +311,9 @@ pub struct StageScope<'a> {
     reused_work: usize,
     delta_arcs: usize,
     affected_vertices: usize,
+    rounds: usize,
+    paths: usize,
+    max_plateau: usize,
     backend: &'static str,
     start: Instant,
 }
@@ -323,6 +345,21 @@ impl StageScope<'_> {
         self.affected_vertices += vertices;
     }
 
+    /// Accumulates circulation Dijkstra rounds attributed to this pass.
+    pub fn add_rounds(&mut self, rounds: usize) {
+        self.rounds += rounds;
+    }
+
+    /// Accumulates circulation augmenting paths attributed to this pass.
+    pub fn add_paths(&mut self, paths: usize) {
+        self.paths += paths;
+    }
+
+    /// Raises the pass's widest-round watermark (max, not sum).
+    pub fn note_max_plateau(&mut self, width: usize) {
+        self.max_plateau = self.max_plateau.max(width);
+    }
+
     /// Records the solver backend label that served this pass.
     pub fn set_backend(&mut self, backend: &'static str) {
         self.backend = backend;
@@ -343,6 +380,9 @@ impl Drop for StageScope<'_> {
             reused_work: self.reused_work,
             delta_arcs: self.delta_arcs,
             affected_vertices: self.affected_vertices,
+            rounds: self.rounds,
+            paths: self.paths,
+            max_plateau: self.max_plateau,
             backend: self.backend,
         });
     }
@@ -362,6 +402,9 @@ mod tests {
             reused_work: 0,
             delta_arcs: 0,
             affected_vertices: 0,
+            rounds: 0,
+            paths: 0,
+            max_plateau: 0,
             backend: "",
         }
     }
@@ -378,6 +421,11 @@ mod tests {
             scope.add_delta_arcs(4);
             scope.add_delta_arcs(6);
             scope.add_affected_vertices(21);
+            scope.add_rounds(9);
+            scope.add_rounds(2);
+            scope.add_paths(40);
+            scope.note_max_plateau(6);
+            scope.note_max_plateau(4);
             scope.set_backend("cost-scaling");
         }
         assert_eq!(t.records().len(), 1);
@@ -389,6 +437,9 @@ mod tests {
         assert_eq!(r.reused_work, 13);
         assert_eq!(r.delta_arcs, 10);
         assert_eq!(r.affected_vertices, 21);
+        assert_eq!(r.rounds, 11);
+        assert_eq!(r.paths, 40);
+        assert_eq!(r.max_plateau, 6, "plateau watermark is a max, not a sum");
         assert_eq!(r.backend, "cost-scaling");
         assert!(r.seconds >= 0.0);
     }
@@ -456,6 +507,9 @@ mod tests {
         assert!(json.contains("\"iterations\": 1"));
         assert!(json.contains("\"delta_arcs\": 0"));
         assert!(json.contains("\"affected_vertices\": 0"));
+        assert!(json.contains("\"rounds\": 0"));
+        assert!(json.contains("\"paths\": 0"));
+        assert!(json.contains("\"max_plateau\": 0"));
         assert!(json.contains("\"backend\": \"\""), "no-backend stages serialize empty");
         assert!(json.contains("\"backend\": \"ssp-bucketed\""));
         // Balanced braces/brackets (cheap well-formedness check).

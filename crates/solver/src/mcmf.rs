@@ -369,6 +369,11 @@ pub struct CirculationStats {
     pub correction_paths: usize,
     /// Multi-source Dijkstra rounds (each serves a batch of deficits).
     pub rounds: usize,
+    /// Largest number of correction paths any single round served — the
+    /// plateau width of the admissible subgraph. 1 means every round was
+    /// a single path (the rounds-≈-paths regime of near-unique quantized
+    /// distances); large values mean bulk augmentation fired.
+    pub max_round_paths: usize,
     /// Residual arcs force-saturated in phase 1 (negative reduced cost
     /// under the starting potentials).
     pub saturated_arcs: usize,
@@ -381,6 +386,10 @@ pub struct CirculationStats {
     pub delta_pairs: usize,
     /// Distinct endpoint nodes of the changed pairs. Zero on cold solves.
     pub touched_nodes: usize,
+    /// Arc pairs a [`Circulation::solve_hinted`] caller certified
+    /// unchanged, which the rebind therefore never scanned (the
+    /// converged-subgraph dropout). Zero without a hint.
+    pub frozen_pairs: usize,
 }
 
 const NO_ARC: u32 = u32::MAX;
@@ -549,20 +558,27 @@ pub enum DijkstraStrategy {
 /// * [`Self::CostScaling`] is a Goldberg–Tarjan ε-scaling push-relabel
 ///   engine whose work is bounded by scaling levels × discharge sweeps —
 ///   it never pays per path.
+/// * [`Self::QuantLadder`] runs the same SSP machinery through a
+///   coarse-to-fine ladder of cost quantizations: coarse levels have
+///   plateau-rich distances (bulk augmentation serves many deficits per
+///   Dijkstra round), and each finer level is a warm repair of the
+///   previous level's optimum; the final level runs at the exact input
+///   costs, so optimality is identical to the direct solve.
 ///
 /// The configured value can be overridden process-wide by the
-/// `ROTARY_MCMF_BACKEND` environment variable (`cost_scaling`, `ssp` /
-/// `successive_shortest_paths`, or `auto`), read once and cached like
+/// `ROTARY_MCMF_BACKEND` environment variable (see [`parse_backend`] for
+/// the accepted names), read once and cached like
 /// [`crate::par::default_max_threads`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CirculationBackend {
-    /// Currently resolves to successive shortest paths everywhere:
-    /// measured head-to-head on the battery suites (single hardware
-    /// thread), cost scaling lands 1.1–2× behind SSP at every size —
-    /// its ε-level sweeps cost more than SSP's per-path Dijkstras save.
-    /// The variant exists so the policy can change with evidence (e.g. a
-    /// multi-core crossover for the parallel bulk phases) without
-    /// touching any caller.
+    /// Resolves to the empirically fastest backend for this machine class
+    /// (see [`effective_backend`]). Currently the quantization ladder:
+    /// it shares the SSP warm path exactly and won the cold solves on
+    /// every measured suite and route in interleaved A/B (1.1–1.3×
+    /// stage-4 wall clock, 29–41% fewer Dijkstra rounds), while cost
+    /// scaling lands 1.7–3× behind SSP at every size (see
+    /// EXPERIMENTS.md). The variant exists so the policy can change
+    /// with evidence without touching any caller.
     #[default]
     Auto,
     /// Saturate-and-correct with multi-source Dijkstra rounds (the PR-5
@@ -570,24 +586,79 @@ pub enum CirculationBackend {
     SuccessiveShortestPaths,
     /// Exact integer ε-scaling push-relabel over the same residual arrays.
     CostScaling,
+    /// Coarse-to-fine quantization ladder of warm SSP repairs on cold
+    /// solves (effective 4-quantization → exact, see [`LADDER_SHIFTS`])
+    /// with wide full-settle plateau rounds, plus converged-subgraph
+    /// dropout and nearest-probe potential seeding layered on by
+    /// `core::skew`.
+    QuantLadder,
 }
 
-/// The `ROTARY_MCMF_BACKEND` override, if set to a recognized value.
+/// Every name [`parse_backend`] accepts, for error listings.
+pub const BACKEND_NAMES: &str = "auto, ssp / successive_shortest_paths, \
+     cost_scaling / cost-scaling / cs, quant_ladder / quant-ladder / ql";
+
+/// Parses a backend name as accepted by the `ROTARY_MCMF_BACKEND`
+/// environment variable and the `tables --backend` flag. Unknown names
+/// return an error listing every valid value — never a silent fallback.
+pub fn parse_backend(name: &str) -> Result<CirculationBackend, String> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "auto" => Ok(CirculationBackend::Auto),
+        "ssp" | "successive_shortest_paths" => Ok(CirculationBackend::SuccessiveShortestPaths),
+        "cost_scaling" | "cost-scaling" | "cs" => Ok(CirculationBackend::CostScaling),
+        "quant_ladder" | "quant-ladder" | "ql" => Ok(CirculationBackend::QuantLadder),
+        other => Err(format!("unknown circulation backend `{other}`; valid: {BACKEND_NAMES}")),
+    }
+}
+
+/// The `ROTARY_MCMF_BACKEND` override, if the variable is set.
 /// Read once per process and cached.
+///
+/// # Panics
+///
+/// Panics if the variable is set to an unrecognized value (listing the
+/// valid names) — a typo'd backend override must never silently fall back
+/// to the default and invalidate an A/B measurement.
 pub fn env_backend() -> Option<CirculationBackend> {
     static BACKEND: OnceLock<Option<CirculationBackend>> = OnceLock::new();
     *BACKEND.get_or_init(|| {
         let v = std::env::var("ROTARY_MCMF_BACKEND").ok()?;
-        match v.trim().to_ascii_lowercase().as_str() {
-            "cost_scaling" | "cost-scaling" | "cs" => Some(CirculationBackend::CostScaling),
-            "ssp" | "successive_shortest_paths" => {
-                Some(CirculationBackend::SuccessiveShortestPaths)
-            }
-            "auto" => Some(CirculationBackend::Auto),
-            _ => None,
+        match parse_backend(&v) {
+            Ok(b) => Some(b),
+            Err(msg) => panic!("ROTARY_MCMF_BACKEND: {msg}"),
         }
     })
 }
+
+/// The backend a solve configured with `configured` will actually run:
+/// the `ROTARY_MCMF_BACKEND` override wins, then the configured value;
+/// [`CirculationBackend::Auto`] resolves to the empirically fastest
+/// backend — the quantization ladder, which won the interleaved A/B on
+/// every measured suite and route (see EXPERIMENTS.md "Runtime —
+/// stage-4 quantization ladder"; its warm path is the SSP warm path, so
+/// the promotion only changes cold solves). Never returns `Auto`.
+pub fn effective_backend(configured: CirculationBackend) -> CirculationBackend {
+    match env_backend().unwrap_or(configured) {
+        CirculationBackend::Auto => CirculationBackend::QuantLadder,
+        resolved => resolved,
+    }
+}
+
+/// The quantization-ladder refinement schedule: right-shift amounts
+/// applied to the exact 2^40-quantized costs, coarsest first. Shift 38
+/// solves at an effective 4-quantization — skew costs are O(1) in
+/// periods (≲ 2^41 once scaled), so level costs collapse to a handful
+/// of distinct values and path distances tie constantly: the wide
+/// full-settle rounds drain whole plateaus per blocking pass (~160
+/// paths/round on s35932 versus ~1 for direct 2^40 SSP). The second
+/// level is shift 0 — the exact costs — entered with the coarse
+/// potentials scaled up: the repair it runs is bulk work too (the
+/// unwind excess is broad and shallow), and its exactness certifies
+/// optimality and pins the canonical dual face. Intermediate 8- or
+/// 16-bit steps were measured and lost: every extra level re-unwinds
+/// the tight flow-carrying arcs (~one path per flip-flop) without
+/// making the final repair any cheaper.
+const LADDER_SHIFTS: [u32; 2] = [38, 0];
 
 /// Incremental min-cost circulation over a fixed arc topology.
 ///
@@ -691,6 +762,13 @@ pub struct Circulation {
     /// Cost-scaling scratch, allocated on the first cost-scaling solve so
     /// SSP-only users pay nothing.
     cs: Option<Box<CostScaling>>,
+    /// Per-slot costs at the quantization-ladder level currently being
+    /// routed (empty unless the ladder backend ran a coarse level).
+    lcost: Vec<i64>,
+    /// Set by [`Self::seed_potentials`]: the carried potentials were
+    /// replaced by a foreign certificate, so the next warm solve must run
+    /// a full-slot saturation scan instead of the changed-pairs-only scan.
+    seeded: bool,
     /// Pair indices whose caps/costs changed in the current warm rebind.
     changed: Vec<u32>,
     /// Stamp per node marking it touched by the current rebind delta.
@@ -805,6 +883,8 @@ impl Circulation {
             backend: CirculationBackend::default(),
             label: "",
             cs: None,
+            lcost: Vec::new(),
+            seeded: false,
             changed: Vec::new(),
             node_stamp: vec![u32::MAX; n],
             stamp_round: 0,
@@ -854,11 +934,16 @@ impl Circulation {
     }
 
     /// Resolves the effective backend: env override first, then the
-    /// configured value. `Auto` resolves to SSP on current measurements
-    /// (see [`CirculationBackend::Auto`]); cost scaling is an explicit
-    /// opt-in.
+    /// configured value. `Auto` resolves to the quantization ladder on
+    /// current measurements (see [`effective_backend`]); cost scaling
+    /// is an explicit opt-in.
     fn use_cost_scaling(&self) -> bool {
-        matches!(env_backend().unwrap_or(self.backend), CirculationBackend::CostScaling)
+        matches!(effective_backend(self.backend), CirculationBackend::CostScaling)
+    }
+
+    /// Whether [`Self::solve`] should run the quantization ladder.
+    fn use_quant_ladder(&self) -> bool {
+        matches!(effective_backend(self.backend), CirculationBackend::QuantLadder)
     }
 
     /// Number of nodes.
@@ -913,12 +998,40 @@ impl Circulation {
     /// Panics if slice lengths disagree with the pair count or a capacity
     /// is negative.
     pub fn solve(&mut self, caps: &[i64], costs: &[i64], warm: bool) -> CirculationStats {
+        self.solve_hinted(caps, costs, warm, None)
+    }
+
+    /// [`Self::solve`] with a caller-supplied rebind hint: `hint` lists
+    /// the pair indices that *may* have changed since the previous solve
+    /// on this engine, certifying every other pair's caps and costs as
+    /// byte-identical to the engine state. The rebind diff then scans only
+    /// the hinted pairs — the frozen complement never enters the solve's
+    /// active region (reported as [`CirculationStats::frozen_pairs`]).
+    /// This is the converged-subgraph dropout of the re-wrap loop: between
+    /// phase re-wrap rounds only the re-wrapped flip-flops' reference-arc
+    /// pairs move, so the caller can name them exactly.
+    ///
+    /// The hint is a pure accelerator: the `changed` set it produces is
+    /// identical to the full diff's (hinted-but-unchanged pairs fail the
+    /// same equality test), so the solve path — and every result — is
+    /// byte-identical with or without it. Debug builds verify the
+    /// caller's certificate against the full diff.
+    ///
+    /// Ignored (full diff) when `warm` is false.
+    pub fn solve_hinted(
+        &mut self,
+        caps: &[i64],
+        costs: &[i64],
+        warm: bool,
+        hint: Option<&[u32]>,
+    ) -> CirculationStats {
         assert_eq!(caps.len(), self.num_pairs(), "capacity vector length mismatch");
         assert_eq!(costs.len(), self.num_pairs(), "cost vector length mismatch");
         self.stats = CirculationStats::default();
         debug_assert!(self.excess.iter().all(|&e| e == 0), "imbalance left by a previous solve");
         if !warm {
             self.potential.iter_mut().for_each(|p| *p = 0);
+            self.seeded = false;
         }
         self.stamp_round = self.stamp_round.wrapping_add(1);
         if self.stamp_round == 0 {
@@ -930,81 +1043,138 @@ impl Circulation {
         // capacity; shed flow becomes an excess/deficit pair routed below.
         // Warm solves diff each pair against the engine state first: a
         // pair with the same total capacity and forward cost is binary-
-        // identical to its previous residual state.
-        for (k, (&cap_k, &cost_k)) in caps.iter().zip(costs).enumerate() {
-            assert!(cap_k >= 0, "negative capacity");
-            let (fwd, twin) = (2 * k, 2 * k + 1);
-            if warm {
-                if self.cap[fwd] + self.cap[twin] == cap_k && self.cost[fwd] == cost_k {
-                    if self.cap[twin] > 0 {
-                        self.stats.reused_arcs += 1;
-                    }
-                    continue;
-                }
-                self.changed.push(k as u32);
-                for node in [self.heads[fwd] as usize, self.heads[twin] as usize] {
-                    if self.node_stamp[node] != self.stamp_round {
-                        self.node_stamp[node] = self.stamp_round;
-                        self.stats.touched_nodes += 1;
-                    }
+        // identical to its previous residual state. A hint restricts the
+        // diff to the named pairs.
+        match hint {
+            Some(hinted) if warm => {
+                #[cfg(debug_assertions)]
+                self.debug_check_hint(caps, costs, hinted);
+                self.stats.frozen_pairs = self.num_pairs() - hinted.len();
+                for &k in hinted {
+                    self.rebind_pair(k as usize, caps[k as usize], costs[k as usize], true);
                 }
             }
-            let carried = if warm { self.cap[twin] } else { 0 };
-            let kept = carried.min(cap_k);
-            if kept < carried {
-                let shed = carried - kept;
-                self.excess[self.heads[twin] as usize] += shed;
-                self.excess[self.heads[fwd] as usize] -= shed;
-            } else if carried > 0 {
-                self.stats.reused_arcs += 1;
+            _ => {
+                for (k, (&cap_k, &cost_k)) in caps.iter().zip(costs).enumerate() {
+                    self.rebind_pair(k, cap_k, cost_k, warm);
+                }
             }
-            self.cap[fwd] = cap_k - kept;
-            self.cap[twin] = kept;
-            self.cost[fwd] = cost_k;
-            self.cost[twin] = -cost_k;
         }
         self.stats.delta_pairs = self.changed.len();
-        // Backend dispatch. Both paths start from the same rebound state
+        // Backend dispatch. All paths start from the same rebound state
         // (installed caps/costs, carried flow clamped, shed imbalances in
         // `excess`) and end at an exactly optimal circulation.
         if self.use_cost_scaling() {
             self.label = "cost-scaling";
+            self.seeded = false;
             self.solve_cost_scaling();
             return self.stats;
         }
-        self.label = if self.use_bucketed() { "ssp-bucketed" } else { "ssp-sequential" };
-        // Phase 1: force flow onto every residual arc whose reduced cost
-        // under the starting potentials is negative. Cold (π = 0, no
-        // carried flow) this is exactly the classic saturation of
-        // negative-cost arcs. Warm, only the changed pairs need the check:
-        // an unchanged pair's residual slots are byte-identical to the
-        // previous solve's, whose optimality certificate already proved
-        // them non-negative under the carried potentials.
-        if warm {
-            let changed = std::mem::take(&mut self.changed);
-            for &k in &changed {
-                self.saturate_slot(2 * k as usize);
-                self.saturate_slot(2 * k as usize + 1);
-            }
-            self.changed = changed;
-        } else {
-            for a in 0..self.heads.len() {
-                self.saturate_slot(a);
-            }
+        if self.use_quant_ladder() {
+            self.label = "quant-ladder";
+            self.solve_quant_ladder(warm);
+            return self.stats;
         }
+        self.label = if self.use_bucketed() { "ssp-bucketed" } else { "ssp-sequential" };
+        self.saturate_phase(warm, false);
         self.route_excess();
         self.stats
     }
 
+    /// Installs pair `k`'s new cap/cost, clamping carried flow and
+    /// shedding the surplus into `excess`; on warm rebinds, unchanged
+    /// pairs short-circuit out (their previous optimality certificate
+    /// still covers them) and changed pairs are recorded in `changed`.
+    #[inline]
+    fn rebind_pair(&mut self, k: usize, cap_k: i64, cost_k: i64, warm: bool) {
+        assert!(cap_k >= 0, "negative capacity");
+        let (fwd, twin) = (2 * k, 2 * k + 1);
+        if warm {
+            if self.cap[fwd] + self.cap[twin] == cap_k && self.cost[fwd] == cost_k {
+                if self.cap[twin] > 0 {
+                    self.stats.reused_arcs += 1;
+                }
+                return;
+            }
+            self.changed.push(k as u32);
+            for node in [self.heads[fwd] as usize, self.heads[twin] as usize] {
+                if self.node_stamp[node] != self.stamp_round {
+                    self.node_stamp[node] = self.stamp_round;
+                    self.stats.touched_nodes += 1;
+                }
+            }
+        }
+        let carried = if warm { self.cap[twin] } else { 0 };
+        let kept = carried.min(cap_k);
+        if kept < carried {
+            let shed = carried - kept;
+            self.excess[self.heads[twin] as usize] += shed;
+            self.excess[self.heads[fwd] as usize] -= shed;
+        } else if carried > 0 {
+            self.stats.reused_arcs += 1;
+        }
+        self.cap[fwd] = cap_k - kept;
+        self.cap[twin] = kept;
+        self.cost[fwd] = cost_k;
+        self.cost[twin] = -cost_k;
+    }
+
+    /// Verifies a [`Self::solve_hinted`] caller's certificate: every pair
+    /// outside the hint must be byte-identical to the engine state.
+    #[cfg(debug_assertions)]
+    fn debug_check_hint(&self, caps: &[i64], costs: &[i64], hinted: &[u32]) {
+        let mut in_hint = vec![false; self.num_pairs()];
+        for &k in hinted {
+            in_hint[k as usize] = true;
+        }
+        for k in 0..self.num_pairs() {
+            if !in_hint[k] {
+                assert!(
+                    self.cap[2 * k] + self.cap[2 * k + 1] == caps[k]
+                        && self.cost[2 * k] == costs[k],
+                    "hint certificate violated: pair {k} changed but was not hinted"
+                );
+            }
+        }
+    }
+
+    /// Phase 1: force flow onto every residual arc whose reduced cost
+    /// under the starting potentials is negative. Cold (π = 0, no carried
+    /// flow) this is exactly the classic saturation of negative-cost arcs.
+    /// Warm, only the changed pairs need the check — an unchanged pair's
+    /// residual slots are byte-identical to the previous solve's, whose
+    /// optimality certificate already proved them non-negative under the
+    /// carried potentials — *unless* the potentials were replaced by
+    /// [`Self::seed_potentials`], which voids that certificate and forces
+    /// the full-slot scan.
+    fn saturate_phase(&mut self, warm: bool, coarse: bool) {
+        if warm && !self.seeded {
+            let changed = std::mem::take(&mut self.changed);
+            for &k in &changed {
+                self.saturate_slot(2 * k as usize, coarse);
+                self.saturate_slot(2 * k as usize + 1, coarse);
+            }
+            self.changed = changed;
+        } else {
+            for a in 0..self.heads.len() {
+                self.saturate_slot(a, coarse);
+            }
+        }
+        self.seeded = false;
+    }
+
     /// Saturates residual slot `a` if its reduced cost under the current
-    /// potentials is negative (phase-1 step).
-    fn saturate_slot(&mut self, a: usize) {
+    /// potentials is negative (phase-1 step). With `coarse`, the reduced
+    /// cost is taken at the quantization-ladder level materialized in
+    /// `lcost` instead of the exact costs.
+    fn saturate_slot(&mut self, a: usize, coarse: bool) {
         if self.cap[a] <= 0 {
             return;
         }
         let u = self.heads[a ^ 1] as usize;
         let v = self.heads[a] as usize;
-        if self.cost[a] + self.potential[u] - self.potential[v] < 0 {
+        let c = if coarse { self.lcost[a] } else { self.cost[a] };
+        if c + self.potential[u] - self.potential[v] < 0 {
             let push = self.cap[a];
             self.cap[a] = 0;
             self.cap[a ^ 1] += push;
@@ -1014,14 +1184,27 @@ impl Circulation {
         }
     }
 
+    /// [`Self::route_excess_on`] at the exact costs (the non-ladder path).
+    fn route_excess(&mut self) {
+        self.route_excess_on(false, false);
+    }
+
     /// Phase 2: route all node imbalances back at minimum cost. Every
     /// residual arc has non-negative reduced cost on entry (phase 1
     /// guarantees it), so each round is one multi-source Dijkstra from the
     /// excess nodes — on the shared kernel, stopping as soon as the settled
     /// deficits can absorb the outstanding excess — followed by the capped
     /// potential update and a blocking flow over the admissible
-    /// (reduced-cost-zero) residual subgraph.
-    fn route_excess(&mut self) {
+    /// (reduced-cost-zero) residual subgraph. With `coarse`, every reduced
+    /// cost is taken at the quantization-ladder level materialized in
+    /// `lcost`; the exact-cost path reads `cost` directly, so the ladder
+    /// costs the hot SSP loop nothing. `wide_roots` hands *every*
+    /// outstanding excess node to the round's blocking pass instead of
+    /// only the served tree roots — the ladder sets it on all its levels
+    /// (distances tie constantly there, so the whole plateau drains per
+    /// round), the SSP path never does (ties are rare at near-unique
+    /// exact distances, so the wide scan would be flat overhead).
+    fn route_excess_on(&mut self, coarse: bool, wide_roots: bool) {
         let mut total: i64 = self.excess.iter().filter(|&&e| e > 0).sum();
         let bucketed = self.use_bucketed();
         let cfg = ParConfig::default();
@@ -1029,6 +1212,7 @@ impl Circulation {
         let mut roots: Vec<u32> = Vec::new();
         while total > 0 {
             self.stats.rounds += 1;
+            let round_paths0 = self.stats.correction_paths;
             // d_max = the stopping distance (largest settled deficit
             // distance); caps the potential update so nodes beyond (or
             // unreached by) this round keep the reduced-cost invariant.
@@ -1041,7 +1225,8 @@ impl Circulation {
             served.clear();
             {
                 let dij = &mut self.dij;
-                let (heads, cap, cost) = (&self.heads, &self.cap, &self.cost);
+                let cost = if coarse { &self.lcost } else { &self.cost };
+                let (heads, cap) = (&self.heads, &self.cap);
                 let (csr_start, csr_arcs) = (&self.csr_start, &self.csr_arcs);
                 let (potential, excess) = (&self.potential, &self.excess);
                 let sources = excess.iter().enumerate().filter_map(|(v, &e)| (e > 0).then_some(v));
@@ -1059,12 +1244,20 @@ impl Circulation {
                     })
                 };
                 let served = &mut served;
+                // Ladder rounds settle the whole reachable graph instead
+                // of stopping at covering capacity: the uncapped update
+                // then makes *every* source's shortest path to *every*
+                // settled deficit admissible at once, and the wide-root
+                // blocking pass drains them all in this round. On the SSP
+                // path the covering stop stands — distances are
+                // near-unique there, so a full settle would pay the whole
+                // graph scan to serve the same single path.
                 let settle = |u: usize, d: i64| {
                     if excess[u] < 0 {
                         served.push(u as u32);
                         served_cap += -excess[u];
                         d_max = d;
-                        if served_cap >= total {
+                        if !wide_roots && served_cap >= total {
                             return SettleControl::Stop;
                         }
                     }
@@ -1098,32 +1291,68 @@ impl Circulation {
             let want = served_cap.min(total);
             let mut pushed = self.tree_serve(&served, total);
             if pushed < want {
-                // Admissible excess→deficit detours start (up to distance
-                // ties at exactly d_max) from the tree roots of this
-                // round's served deficits: any other source kept a
-                // strictly positive reduced distance to every settled
-                // deficit, and the capped update preserves that gap.
                 roots.clear();
-                {
-                    let pred = self.dij.pred();
-                    for &t in &served {
-                        let mut v = t as usize;
-                        while pred[v] != NO_PRED {
-                            v = self.heads[pred[v] as usize ^ 1] as usize;
-                        }
-                        if !self.root_seen[v] {
-                            self.root_seen[v] = true;
-                            roots.push(v as u32);
+                if wide_roots {
+                    // Quantization-ladder level: distance ties at exactly
+                    // d_max are the *common* case (coarse costs fit in a
+                    // few bits; refinement repairs start within 2^8 of
+                    // optimal), so after the capped update almost every
+                    // outstanding source has an admissible route — hand
+                    // them all to the blocking pass. This is the bulk
+                    // augmentation the ladder levels exist for: one
+                    // O(scan) pass drains the whole plateau instead of
+                    // one covering-stop Dijkstra per source.
+                    roots.extend(
+                        self.excess
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(v, &e)| (e > 0).then_some(v as u32)),
+                    );
+                    // Loop the pass until it runs dry: each pass restarts
+                    // with fresh prune marks over the *advanced* residual
+                    // capacities, so augmentations a stale `dead` mark hid
+                    // (admissible twins revived by an earlier push) are
+                    // found now instead of after a whole re-Dijkstra that
+                    // would make no dual progress and rediscover the same
+                    // admissible graph.
+                    loop {
+                        let drained = self.blocking_flow(&roots, coarse);
+                        pushed += drained;
+                        if drained == 0 || pushed >= want {
+                            break;
                         }
                     }
-                }
-                roots.sort_unstable();
-                pushed += self.blocking_flow(&roots);
-                for &r in &roots {
-                    self.root_seen[r as usize] = false;
+                } else {
+                    // Admissible excess→deficit detours start (up to
+                    // distance ties at exactly d_max — rare on the
+                    // near-unique exact-cost distances) from the tree
+                    // roots of this round's served deficits: any other
+                    // source kept a strictly positive reduced distance to
+                    // every settled deficit, and the capped update
+                    // preserves that gap.
+                    {
+                        let pred = self.dij.pred();
+                        for &t in &served {
+                            let mut v = t as usize;
+                            while pred[v] != NO_PRED {
+                                v = self.heads[pred[v] as usize ^ 1] as usize;
+                            }
+                            if !self.root_seen[v] {
+                                self.root_seen[v] = true;
+                                roots.push(v as u32);
+                            }
+                        }
+                    }
+                    roots.sort_unstable();
+                    pushed += self.blocking_flow(&roots, coarse);
+                    for &r in &roots {
+                        self.root_seen[r as usize] = false;
+                    }
                 }
             }
             total -= pushed;
+            let width = self.stats.correction_paths - round_paths0;
+            self.stats.max_round_paths = self.stats.max_round_paths.max(width);
         }
     }
 
@@ -1177,12 +1406,12 @@ impl Circulation {
     /// admissible subgraph (residual arcs with zero reduced cost under the
     /// just-updated potentials) and returns the total units moved. Thin
     /// wrapper over the engine-shared [`admissible_blocking_flow`] pass.
-    fn blocking_flow(&mut self, roots: &[u32]) -> i64 {
+    fn blocking_flow(&mut self, roots: &[u32], coarse: bool) -> i64 {
         admissible_blocking_flow(
             BlockingScratch {
                 heads: &self.heads,
                 cap: &mut self.cap,
-                cost: &self.cost,
+                cost: if coarse { &self.lcost } else { &self.cost },
                 csr_start: &self.csr_start,
                 csr_arcs: &self.csr_arcs,
                 potential: &self.potential,
@@ -1195,6 +1424,98 @@ impl Circulation {
             roots,
             &mut self.stats.correction_paths,
         )
+    }
+
+    /// Replaces the carried Johnson potentials with a caller-supplied seed
+    /// — e.g. the canonical distances of the nearest previously-solved
+    /// Dinkelbach parameter. Foreign potentials void the per-pair rebind
+    /// certificate (an unchanged pair's residual slots are no longer
+    /// proven non-negative), so the next warm solve runs the full-slot
+    /// saturation scan regardless of its rebind diff. Exactness is
+    /// unaffected: the scan repairs the invariant under *any* potentials;
+    /// a good seed only shrinks the imbalance it sheds.
+    ///
+    /// A subsequent cold solve discards the seed (potentials are zeroed).
+    pub fn seed_potentials(&mut self, seed: &[i64]) {
+        assert_eq!(seed.len(), self.n, "potential seed length mismatch");
+        self.potential.copy_from_slice(seed);
+        self.seeded = true;
+    }
+
+    /// The quantization-ladder backend: solve the circulation at coarse
+    /// cost quantization first, then refine level by level down to the
+    /// exact 2^40-quantized costs, carrying flow and potentials on the
+    /// same paired-slot residual arrays throughout.
+    ///
+    /// Structure per level (shift `s`): floor-scale the carried potentials
+    /// to the level (`π · 2^Δ` between levels — exact — and `π / 2^s` on
+    /// coarse entry), materialize the level costs `c_k / 2^s` into
+    /// `lcost` (always derived from the *forward* cost and negated for the
+    /// twin — an arithmetic shift of the negative twin would break the
+    /// antisymmetry), then run one full-slot sign-flip saturation scan and
+    /// route the resulting imbalance with the ordinary covering-stop
+    /// Dijkstra rounds at the level costs. Coarse levels are plateau-rich
+    /// (many distance ties → bulk tree-serve/blocking-flow augmentation,
+    /// few rounds); each finer level starts from the previous level's
+    /// near-optimal flow, so it is a warm SSP *repair*, not a from-scratch
+    /// solve. The final level runs at shift 0 — the exact costs — so the
+    /// result is exactly optimal and [`Self::canonical_distances`] lands
+    /// on the same canonical dual face as the other backends.
+    ///
+    /// Warm solves skip the ladder entirely and run a finest-level repair
+    /// — identical to the SSP warm path (plus a full-slot scan when the
+    /// potentials were foreign-seeded). This is a measured decision, not a
+    /// shortcut: carried full-resolution potentials already place most of
+    /// the graph on reduced-cost plateaus, so even *dense* rebinds batch
+    /// ~5 paths per round under them, while re-coarsening destroys that
+    /// precision and then pays ~one unwind path per flip-flop at every
+    /// refinement step (each level's floor-rounding error makes every
+    /// tight flow-carrying arc's twin slightly negative). The ladder wins
+    /// exactly where no potentials exist yet — cold solves, where direct
+    /// 2^40 distances are near-unique and rounds ≈ paths.
+    fn solve_quant_ladder(&mut self, warm: bool) {
+        if warm {
+            self.saturate_phase(warm, false);
+            self.route_excess_on(false, false);
+            return;
+        }
+        if self.lcost.len() != self.heads.len() {
+            self.lcost = vec![0; self.heads.len()];
+        }
+        // Coarse entry: floor-scale the carried potentials (zero on cold
+        // solves) down to the coarsest level. Any potentials are legal —
+        // the per-level scan repairs the reduced-cost invariant — but a
+        // scaled carry keeps the violation set small on dense rebinds.
+        let mut prev_shift = LADDER_SHIFTS[0];
+        for p in self.potential.iter_mut() {
+            *p >>= prev_shift;
+        }
+        for (level, &shift) in LADDER_SHIFTS.iter().enumerate() {
+            if level > 0 {
+                let up = prev_shift - shift;
+                for p in self.potential.iter_mut() {
+                    *p <<= up;
+                }
+            }
+            prev_shift = shift;
+            let coarse = shift != 0;
+            if coarse {
+                for k in 0..self.num_pairs() {
+                    let c = self.cost[2 * k] >> shift;
+                    self.lcost[2 * k] = c;
+                    self.lcost[2 * k + 1] = -c;
+                }
+            }
+            // Full-slot scan: de/re-saturate exactly the arcs whose
+            // reduced-cost sign flips under this level's refined costs
+            // (a saturated forward arc that turned strictly profitable
+            // to undo shows up as its twin's negative reduced cost).
+            for a in 0..self.heads.len() {
+                self.saturate_slot(a, coarse);
+            }
+            self.route_excess_on(coarse, true);
+        }
+        self.seeded = false;
     }
 
     /// The cost-scaling push-relabel backend (Goldberg–Tarjan ε-scaling).
@@ -1797,6 +2118,193 @@ mod tests {
         net.solve(&[2, 2, 2], &[-1, -1, -1], false);
         assert_eq!(net.total_cost(), -6);
         assert_canonical_certificate(&mut net);
+    }
+
+    #[test]
+    fn parse_backend_accepts_aliases_and_rejects_unknown() {
+        for (name, want) in [
+            ("auto", CirculationBackend::Auto),
+            ("ssp", CirculationBackend::SuccessiveShortestPaths),
+            ("successive_shortest_paths", CirculationBackend::SuccessiveShortestPaths),
+            ("cost_scaling", CirculationBackend::CostScaling),
+            ("cost-scaling", CirculationBackend::CostScaling),
+            ("cs", CirculationBackend::CostScaling),
+            ("quant_ladder", CirculationBackend::QuantLadder),
+            ("quant-ladder", CirculationBackend::QuantLadder),
+            ("ql", CirculationBackend::QuantLadder),
+            ("  QL  ", CirculationBackend::QuantLadder),
+        ] {
+            assert_eq!(parse_backend(name), Ok(want), "{name}");
+        }
+        let err = parse_backend("quantum-leap").unwrap_err();
+        assert!(err.contains("quantum-leap"), "error names the bad value: {err}");
+        for listed in ["auto", "ssp", "cost_scaling", "quant_ladder"] {
+            assert!(err.contains(listed), "error lists `{listed}`: {err}");
+        }
+    }
+
+    /// `random_instance` with costs lifted to a 2^40-like scale so the
+    /// coarse ladder levels see nonzero (and non-trivially rounded) costs.
+    fn scaled_instance(n: usize, m: usize, seed: u64) -> (Vec<(u32, u32)>, Vec<i64>, Vec<i64>) {
+        let (pairs, caps, mut costs) = random_instance(n, m, seed);
+        let mut state = seed ^ 0x9E3779B97F4A7C15;
+        for c in costs.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // High bits exercise the coarse levels, low bits force the
+            // finest level to actually refine.
+            *c = *c * (1i64 << 30) + ((state >> 40) as i64 - (1 << 23));
+        }
+        (pairs, caps, costs)
+    }
+
+    #[test]
+    fn quant_ladder_matches_ssp_on_random_instances() {
+        for seed in 0..12 {
+            let (pairs, caps, costs) = scaled_instance(9, 24, 0xC0FFEE + seed);
+            let mut ssp = Circulation::new(9, &pairs);
+            ssp.set_backend(CirculationBackend::SuccessiveShortestPaths);
+            ssp.solve(&caps, &costs, false);
+            let mut ql = Circulation::new(9, &pairs);
+            ql.set_backend(CirculationBackend::QuantLadder);
+            ql.solve(&caps, &costs, false);
+            assert_eq!(ql.total_cost(), ssp.total_cost(), "seed {seed}: backend costs differ");
+            assert_eq!(
+                ql.canonical_distances(),
+                ssp.canonical_distances(),
+                "seed {seed}: canonical duals differ"
+            );
+            assert_eq!(ql.backend_label(), "quant-ladder");
+            assert_canonical_certificate(&mut ql);
+        }
+    }
+
+    #[test]
+    fn quant_ladder_warm_resolve_matches_cold_ssp() {
+        let (pairs, caps, costs) = scaled_instance(11, 30, 0xBEEF);
+        let mut warm = Circulation::new(11, &pairs);
+        warm.set_backend(CirculationBackend::QuantLadder);
+        warm.solve(&caps, &costs, false);
+        let mut costs2 = costs.clone();
+        for step in 0..4 {
+            // Sparse perturbations ride the finest-level repair; the dense
+            // re-scale on step 2 drives the full ladder warm.
+            costs2[3 + step] += 5 * (1 << 20) - step as i64;
+            costs2[12 - step] = -costs2[12 - step];
+            if step == 2 {
+                for c in costs2.iter_mut() {
+                    *c = c.wrapping_mul(3) / 2;
+                }
+            }
+            let stats = warm.solve(&caps, &costs2, true);
+            let mut cold = Circulation::new(11, &pairs);
+            cold.solve(&caps, &costs2, false);
+            assert_eq!(warm.total_cost(), cold.total_cost(), "step {step}");
+            assert_eq!(warm.canonical_distances(), cold.canonical_distances(), "step {step}");
+            assert!(stats.delta_pairs > 0, "step {step}");
+            assert_canonical_certificate(&mut warm);
+        }
+    }
+
+    #[test]
+    fn quant_ladder_cancels_negative_cycle_exactly() {
+        let mut net = Circulation::new(3, &[(0, 1), (1, 2), (2, 0)]);
+        net.set_backend(CirculationBackend::QuantLadder);
+        let c = -(1i64 << 40);
+        net.solve(&[2, 2, 2], &[c, c, c], false);
+        assert_eq!(net.total_cost(), 6 * c);
+        assert_canonical_certificate(&mut net);
+    }
+
+    #[test]
+    fn hinted_solve_matches_full_diff_and_freezes_complement() {
+        let (pairs, caps, costs) = scaled_instance(11, 30, 0xFEED);
+        let num_pairs = pairs.len();
+        let mut hinted = Circulation::new(11, &pairs);
+        hinted.set_backend(CirculationBackend::QuantLadder);
+        hinted.solve(&caps, &costs, false);
+        let mut full = Circulation::new(11, &pairs);
+        full.set_backend(CirculationBackend::QuantLadder);
+        full.solve(&caps, &costs, false);
+        let mut costs2 = costs.clone();
+        costs2[4] += 1 << 21;
+        costs2[9] -= 1 << 21;
+        // The hint may over-approximate: pair 2 is named but unchanged.
+        let hint = [2u32, 4, 9];
+        let hs = hinted.solve_hinted(&caps, &costs2, true, Some(&hint));
+        let fs = full.solve(&caps, &costs2, true);
+        assert_eq!(hs.frozen_pairs, num_pairs - hint.len());
+        assert_eq!(fs.frozen_pairs, 0);
+        assert_eq!(hs.delta_pairs, fs.delta_pairs, "hinted diff must equal the full diff");
+        assert_eq!(hinted.total_cost(), full.total_cost());
+        assert_eq!(hinted.canonical_distances(), full.canonical_distances());
+        for k in 0..num_pairs {
+            assert_eq!(hinted.flow(k), full.flow(k), "pair {k} flow diverged under the hint");
+        }
+        assert_canonical_certificate(&mut hinted);
+    }
+
+    #[test]
+    #[should_panic(expected = "hint certificate violated")]
+    #[cfg(debug_assertions)]
+    fn hinted_solve_rejects_a_lying_certificate() {
+        let (pairs, caps, costs) = scaled_instance(9, 20, 0xF00D);
+        let mut net = Circulation::new(9, &pairs);
+        net.solve(&caps, &costs, false);
+        let mut costs2 = costs.clone();
+        costs2[4] += 1 << 21;
+        // Pair 4 changed but the hint omits it.
+        net.solve_hinted(&caps, &costs2, true, Some(&[1u32]));
+    }
+
+    #[test]
+    fn seeded_solve_stays_exactly_optimal() {
+        // Seed one engine's potentials from a *different* instance's
+        // canonical duals: the certificate is void (the full-slot scan must
+        // repair it), but the result must stay exactly optimal.
+        let (pairs, caps, costs) = scaled_instance(11, 30, 0xABCD);
+        let mut donor = Circulation::new(11, &pairs);
+        let mut costs_d = costs.clone();
+        for c in costs_d.iter_mut() {
+            *c += 7 << 22;
+        }
+        donor.solve(&caps, &costs_d, false);
+        let seed = donor.canonical_distances().to_vec();
+        for backend in
+            [CirculationBackend::SuccessiveShortestPaths, CirculationBackend::QuantLadder]
+        {
+            let mut net = Circulation::new(11, &pairs);
+            net.set_backend(backend);
+            net.solve(&caps, &costs_d, false);
+            net.seed_potentials(&seed);
+            // Unchanged re-solve under foreign potentials: without the
+            // seeded full-scan the stale certificate would be trusted.
+            let stats = net.solve(&caps, &costs, true);
+            let mut cold = Circulation::new(11, &pairs);
+            cold.solve(&caps, &costs, false);
+            assert_eq!(net.total_cost(), cold.total_cost(), "{backend:?}");
+            assert_eq!(net.canonical_distances(), cold.canonical_distances(), "{backend:?}");
+            assert!(stats.delta_pairs > 0, "{backend:?}: costs changed");
+            assert_canonical_certificate(&mut net);
+        }
+    }
+
+    #[test]
+    fn stats_report_round_width() {
+        let mut pairs = Vec::new();
+        for k in 0..3u32 {
+            let v = 1 + k;
+            pairs.push((v, 0));
+            pairs.push((0, v));
+        }
+        let mut net = Circulation::new(4, &pairs);
+        let stats = net.solve(&[3; 6], &[-2, 1, -2, 1, -2, 1], false);
+        assert!(
+            stats.max_round_paths >= 2,
+            "hub instance serves several deficits in one round, got {}",
+            stats.max_round_paths
+        );
+        assert!(stats.max_round_paths as i64 <= stats.correction_paths as i64);
+        assert_eq!(stats.frozen_pairs, 0, "unhinted solve freezes nothing");
     }
 
     #[test]

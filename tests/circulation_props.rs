@@ -244,6 +244,119 @@ proptest! {
         }
     }
 
+    /// The quantization-ladder backend and the direct 2^40 SSP solve land
+    /// on the same exact optimum: equal total cost and bit-identical
+    /// canonical distances — cold (full ladder), and warm across an
+    /// antisymmetric R-arc cost perturbation (the shape a phase re-wrap
+    /// round produces; sparse deltas take the ladder's finest-level
+    /// bypass, so both regimes are exercised). Flows and internal
+    /// potentials are *not* compared — zero-cost R-arc 2-cycles make the
+    /// optimal flow non-unique, so alternate optima are legal for every
+    /// backend; the canonical-distance recovery is what schedules are
+    /// built from, and it is a constant of the quantized problem.
+    #[test]
+    fn quant_ladder_is_bit_identical_to_ssp(
+        n in 3usize..7,
+        witness in prop::collection::vec(0.0..2.0f64, 7),
+        raw_edges in prop::collection::vec((0usize..49, 0usize..49, 0.0..1.0f64), 4..16),
+        weight in prop::collection::vec(0i64..8, 7),
+        ideal in prop::collection::vec(0.0..2.0f64, 7),
+        perturb in prop::collection::vec(-0.4..0.4f64, 7),
+    ) {
+        let inst = Instance::build(n, &witness, &raw_edges, &weight, &ideal);
+        let (pairs, caps, costs) = inst.dual_arcs();
+        let qcosts: Vec<i64> = costs.iter().map(|c| (c * COST_SCALE).round() as i64).collect();
+        let mut qcosts2 = qcosts.clone();
+        for (k, &dt) in perturb[..n].iter().enumerate() {
+            let dq = (dt * COST_SCALE).round() as i64;
+            qcosts2[inst.constraints.len() + 2 * k] += dq;
+            qcosts2[inst.constraints.len() + 2 * k + 1] -= dq;
+        }
+
+        let mut ssp = Circulation::new(n + 1, &pairs);
+        ssp.set_backend(CirculationBackend::SuccessiveShortestPaths);
+        let mut ql = Circulation::new(n + 1, &pairs);
+        ql.set_backend(CirculationBackend::QuantLadder);
+
+        for (costs, warm) in [(&qcosts, false), (&qcosts2, true)] {
+            ssp.solve(&caps, costs, warm);
+            ql.solve(&caps, costs, warm);
+            prop_assert_eq!(ql.backend_label(), "quant-ladder");
+            prop_assert_eq!(ssp.total_cost(), ql.total_cost());
+            prop_assert_eq!(ssp.canonical_distances(), ql.canonical_distances());
+        }
+    }
+
+    /// `weighted_schedule_ctx` under a quantization-ladder context returns
+    /// bit-identical schedules to a cold SSP context, across a warm
+    /// sequence of perturbed ideal vectors — the ladder, the dropout
+    /// hint's frozen region, and the memo ring are all invisible in every
+    /// quality column.
+    #[test]
+    fn quant_ladder_schedules_match_ssp(
+        n in 4usize..8,
+        cross in prop::collection::vec((0usize..49, 0usize..49), 2..5),
+        base_ideal in prop::collection::vec(0.0..0.9f64, 8),
+        perturb in prop::collection::vec((0usize..49, -0.4..0.4f64), 3..6),
+    ) {
+        let cell = |kind: CellKind| Cell {
+            kind,
+            width: 2.0,
+            height: 8.0,
+            input_cap: 0.004,
+            drive_resistance: 0.4,
+            intrinsic_delay: 0.02,
+        };
+        let mut c = Circuit::new("ladderprop", Rect::from_size(2000.0, 2000.0));
+        let ffs: Vec<_> = (0..n)
+            .map(|k| {
+                c.add_cell(
+                    cell(CellKind::FlipFlop),
+                    Point::new(100.0 + 70.0 * k as f64, 100.0 + 40.0 * (k % 3) as f64),
+                )
+            })
+            .collect();
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|k| (k, (k + 1) % n)).collect();
+        edges.extend(cross.iter().map(|&(a, b)| (a % n, b % n)).filter(|(a, b)| a != b));
+        for &(a, b) in &edges {
+            let g = c.add_cell(
+                cell(CellKind::Combinational),
+                Point::new(150.0 + 50.0 * a as f64, 150.0 + 50.0 * b as f64),
+            );
+            c.add_net(Net { driver: ffs[a], sinks: vec![g] });
+            c.add_net(Net { driver: g, sinks: vec![ffs[b]] });
+        }
+        let tech = Technology::default();
+        let graph = SequentialGraph::extract(&c, &tech);
+        if graph.pairs().is_empty() {
+            return Ok(());
+        }
+
+        let mut ideals = vec![base_ideal[..n].to_vec()];
+        for &(at, delta) in &perturb {
+            let mut next = ideals.last().unwrap().clone();
+            next[at % n] += delta;
+            ideals.push(next);
+        }
+        let weight: Vec<f64> = (0..n).map(|i| 0.5 + i as f64).collect();
+
+        let mut ql_ctx = SkewContext::new();
+        ql_ctx.set_circulation_backend(CirculationBackend::QuantLadder);
+        for ideal in &ideals {
+            let (ql, ql_stats) =
+                weighted_schedule_ctx(&graph, &tech, ideal, &weight, 0.0, &mut ql_ctx);
+            prop_assert_eq!(ql_stats.backend, Some("quant-ladder"));
+            let mut ssp_ctx = SkewContext::new();
+            ssp_ctx.set_circulation_backend(CirculationBackend::SuccessiveShortestPaths);
+            let (ssp, _) =
+                weighted_schedule_ctx(&graph, &tech, ideal, &weight, 0.0, &mut ssp_ctx);
+            prop_assert_eq!(ql.targets.len(), ssp.targets.len());
+            for (a, b) in ql.targets.iter().zip(&ssp.targets) {
+                prop_assert!(a.to_bits() == b.to_bits(), "quant-ladder {} vs ssp {}", a, b);
+            }
+        }
+    }
+
     /// `weighted_schedule_ctx` under a cost-scaling context returns
     /// bit-identical schedules to a cold SSP context, across a warm
     /// sequence of perturbed ideal vectors — the backend choice is
